@@ -1,0 +1,55 @@
+// Command vgasbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	vgasbench -list            # show the experiment registry
+//	vgasbench                  # run everything (full scale)
+//	vgasbench -quick T1 F5     # run selected experiments, small sweeps
+//	vgasbench -csv F1          # emit CSV instead of aligned tables
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nmvgas/internal/exp"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiments and exit")
+	quick := flag.Bool("quick", false, "run reduced sweeps")
+	csv := flag.Bool("csv", false, "emit CSV")
+	seed := flag.Int64("seed", 42, "workload seed")
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.Registry {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	o := exp.Options{Quick: *quick, Seed: *seed}
+	ids := flag.Args()
+	if len(ids) == 0 {
+		ids = exp.IDs()
+	}
+	for _, id := range ids {
+		e, ok := exp.Find(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "vgasbench: unknown experiment %q (use -list)\n", id)
+			os.Exit(2)
+		}
+		tb := e.Run(o)
+		if *csv {
+			fmt.Printf("# %s\n%s\n", tb.Title, tb.CSV())
+			continue
+		}
+		if err := tb.Fprint(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "vgasbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,65 @@
+// Quickstart: allocate global memory, move data with one-sided ops, run
+// actions at the data, and synchronize with futures — the whole public
+// API in ~60 lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nmvgas/vgas"
+)
+
+func main() {
+	// A 4-locality world with the network-managed address space, running
+	// on real goroutines (EngineGo) — this is the mode a library user
+	// embeds.
+	w, err := vgas.NewWorld(vgas.Config{
+		Ranks:  4,
+		Mode:   vgas.AGASNM,
+		Engine: vgas.EngineGo,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer w.Stop()
+
+	// Actions are registered before Start, identically on every
+	// locality (one registry in-process).
+	sum := w.Register("sum", func(c *vgas.Ctx) {
+		data := c.Local(c.P.Target) // the block's bytes, resident here
+		var s int64
+		for _, b := range data[:16] {
+			s += int64(b)
+		}
+		c.Continue(vgas.EncodeI64(s))
+	})
+	w.Start()
+
+	// A cyclic allocation: 8 blocks of 4 KiB spread over the world.
+	lay, err := w.AllocCyclic(0, 4096, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("allocated %d bytes over %d blocks (%s)\n",
+		lay.Bytes(), lay.NBlocks, lay.Dist)
+
+	// One-sided put from rank 0 into block 5 (which lives on rank 1),
+	// then a get from rank 3.
+	g := lay.BlockAt(5)
+	w.MustWait(w.Proc(0).Put(g, []byte{1, 2, 3, 4, 5, 6, 7, 8}))
+	back := w.MustWait(w.Proc(3).Get(g, 8))
+	fmt.Printf("round-tripped bytes: %v\n", back)
+
+	// A parcel: run `sum` at the block's owner; the result arrives
+	// through a future.
+	res := w.MustWait(w.Proc(2).Call(g, sum, nil))
+	fmt.Printf("sum computed at the owner: %d\n", vgas.DecodeI64(res))
+
+	// Migrate the block — the address stays valid.
+	if st := w.MustWait(w.Proc(0).Migrate(g, 3)); vgas.MigrateStatus(st) != vgas.MigrateOK {
+		log.Fatalf("migrate failed: %d", vgas.MigrateStatus(st))
+	}
+	res = w.MustWait(w.Proc(2).Call(g, sum, nil))
+	fmt.Printf("same address after migration, sum: %d\n", vgas.DecodeI64(res))
+}

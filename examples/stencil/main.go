@@ -1,0 +1,64 @@
+// Stencil: 1-D heat diffusion on a heterogeneous machine (one locality is
+// 8x slower). The static blocked partition stalls every timestep on the
+// slow node; the adaptive run migrates blocks off it and the same
+// numerics finish much faster — something a static PGAS cannot do.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"nmvgas/internal/netsim"
+	"nmvgas/internal/workloads"
+	"nmvgas/vgas"
+)
+
+func main() {
+	const (
+		ranks    = 8
+		perBlock = 128
+		nblocks  = 32
+		steps    = 8
+	)
+	slow := make([]float64, ranks)
+	for i := range slow {
+		slow[i] = 1
+	}
+	slow[0] = 8
+	fmt.Printf("1-D heat, %d cells over %d localities; rank 0 is 8x slower\n\n",
+		perBlock*nblocks, ranks)
+
+	run := func(adapt bool) (perStepUs float64, sum float64) {
+		w, err := vgas.NewWorld(vgas.Config{Ranks: ranks, Mode: vgas.AGASNM})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer w.Stop()
+		s := workloads.NewStencil(w, "st")
+		w.Start()
+		if err := s.Setup(perBlock, nblocks, slow, 200*netsim.Nanosecond); err != nil {
+			log.Fatal(err)
+		}
+		if adapt {
+			if err := s.AdaptPartition(0); err != nil {
+				log.Fatal(err)
+			}
+		}
+		start := w.Now()
+		if err := s.Run(steps); err != nil {
+			log.Fatal(err)
+		}
+		return (w.Now() - start).Micros() / steps, s.Sum()
+	}
+
+	staticUs, staticSum := run(false)
+	adaptUs, adaptSum := run(true)
+	fmt.Printf("static    %10.1f µs/step\n", staticUs)
+	fmt.Printf("adaptive  %10.1f µs/step  (%.2fx speedup)\n", adaptUs, staticUs/adaptUs)
+
+	if math.Abs(staticSum-adaptSum) > 1e-9 {
+		log.Fatalf("numerics diverged: %v vs %v", staticSum, adaptSum)
+	}
+	fmt.Printf("\nheat conserved and identical in both runs (sum=%.9f) ✓\n", staticSum)
+}

@@ -1,0 +1,3 @@
+module nmvgas
+
+go 1.22

@@ -1,0 +1,71 @@
+// Package agas implements the software side of the active global address
+// space: the home-based ownership directory, the per-locality software
+// translation cache, and host-level forwarding tombstones. The
+// software-managed baseline uses all three from the host CPU; the
+// network-managed mode (package nmagas) keeps the same directory as the
+// source of truth but mirrors it into NIC translation state so the data
+// path never touches these structures.
+package agas
+
+import (
+	"sync"
+
+	"nmvgas/internal/gas"
+)
+
+// Directory is the authoritative block→owner map kept at each block's
+// home locality. It only stores entries for blocks whose owner differs
+// from their home; an absent entry means "still at home", which keeps the
+// directory proportional to migrated blocks rather than all blocks.
+type Directory struct {
+	mu     sync.RWMutex
+	owners map[gas.BlockID]int
+}
+
+// NewDirectory returns an empty directory.
+func NewDirectory() *Directory {
+	return &Directory{owners: make(map[gas.BlockID]int)}
+}
+
+// Owner returns the recorded owner of block and whether an entry exists.
+// No entry means the block is at its home.
+func (d *Directory) Owner(block gas.BlockID) (int, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	o, ok := d.owners[block]
+	return o, ok
+}
+
+// Resolve returns the effective owner given the block's home.
+func (d *Directory) Resolve(block gas.BlockID, home int) int {
+	if o, ok := d.Owner(block); ok {
+		return o
+	}
+	return home
+}
+
+// Set records block's current owner. Recording the home owner removes the
+// entry (the block returned home).
+func (d *Directory) Set(block gas.BlockID, owner, home int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if owner == home {
+		delete(d.owners, block)
+		return
+	}
+	d.owners[block] = owner
+}
+
+// Drop removes any entry for block (used by free).
+func (d *Directory) Drop(block gas.BlockID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.owners, block)
+}
+
+// Len returns the number of away-from-home entries.
+func (d *Directory) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.owners)
+}

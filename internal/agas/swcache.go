@@ -1,0 +1,89 @@
+package agas
+
+import (
+	"sync"
+
+	"nmvgas/internal/gas"
+	"nmvgas/internal/netsim"
+)
+
+// CorrectionPolicy selects what a software cache does when the network
+// tells it an entry was stale.
+type CorrectionPolicy uint8
+
+const (
+	// CorrectionUpdate installs the corrected owner (default: one wrong
+	// send per migration per source).
+	CorrectionUpdate CorrectionPolicy = iota
+	// CorrectionInvalidate merely drops the stale entry, so the next
+	// send defaults back to the home and relearns. Exists for the churn
+	// ablation: it trades table accuracy for update traffic.
+	CorrectionInvalidate
+)
+
+// SWCache is the per-locality software translation cache of the
+// software-managed AGAS. It wraps the same bounded-LRU table the NIC
+// model uses — the difference the experiments measure is *where* the
+// probe happens (host CPU at SWLookup cost vs NIC at NICLookup cost) and
+// who repairs staleness, not the replacement policy.
+type SWCache struct {
+	mu     sync.Mutex
+	table  *netsim.TransTable
+	policy CorrectionPolicy
+
+	corrections uint64
+}
+
+// NewSWCache returns a cache bounded to capacity entries (0 = unbounded).
+func NewSWCache(capacity int, policy CorrectionPolicy) *SWCache {
+	return &SWCache{table: netsim.NewTransTable(capacity), policy: policy}
+}
+
+// Lookup probes the cache.
+func (c *SWCache) Lookup(block gas.BlockID) (int, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.table.Lookup(block)
+}
+
+// Learn installs a translation observed from lookup replies or owner
+// updates.
+func (c *SWCache) Learn(block gas.BlockID, owner int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.table.Update(block, owner)
+}
+
+// Correct applies the configured policy to a staleness correction.
+func (c *SWCache) Correct(block gas.BlockID, owner int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.corrections++
+	if c.policy == CorrectionInvalidate {
+		c.table.Invalidate(block)
+		return
+	}
+	c.table.Update(block, owner)
+}
+
+// Stats returns hit/miss/correction counters.
+func (c *SWCache) Stats() (hits, misses, corrections uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h, m, _, _ := c.table.Stats()
+	return h, m, c.corrections
+}
+
+// HitRate returns the cache hit rate.
+func (c *SWCache) HitRate() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.table.HitRate()
+}
+
+// Len returns the resident entry count.
+func (c *SWCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.table.Len()
+}

@@ -1,0 +1,130 @@
+package collective
+
+import (
+	"sort"
+
+	"nmvgas/internal/gas"
+	"nmvgas/internal/parcel"
+	"nmvgas/internal/runtime"
+)
+
+// Gather runs action on every locality and collects each rank's
+// continuation value at the root, tagged by rank. The returned LCO fires
+// with a blob parsed by ParseGather. Distribution uses the same binary
+// tree as Broadcast; collection is flat into a reduce LCO whose combiner
+// concatenates tagged entries (arrival order — ParseGather restores rank
+// order).
+func (o *Ops) Gather(from int, action parcel.ActionID, payload []byte) *runtime.LCORef {
+	red := o.w.NewReduce(from, o.w.Ranks(), concatCombiner)
+	o.w.Proc(from).Invoke(o.w.LocalityGVA(0), o.gather, o.encodeBcast(action, red.G, payload))
+	return red
+}
+
+// gatherNode mirrors bcastNode but interposes a per-locality future that
+// tags the user action's result with the rank before contributing it.
+func (o *Ops) gatherNode(c *runtime.Ctx) {
+	p := c.P.Payload
+	lo := parcel.U32(p, 0)
+	hi := parcel.U32(p, 4)
+	userAct := parcel.ActionID(uint16(p[8]) | uint16(p[9])<<8)
+	gather := gas.GVA(parcel.U64(p, 10))
+	userPayload := p[bcastHdr:]
+
+	rank := c.Rank()
+	w := c.World()
+	leaf := w.NewFuture(rank)
+	leaf.OnFire(func(v []byte) {
+		entry := parcel.PutU32(nil, uint32(rank))
+		entry = parcel.PutU32(entry, uint32(len(v)))
+		entry = append(entry, v...)
+		// The leaf future fires in this locality's execution context
+		// (the lco.set parcel ran here), so sending directly is safe.
+		c.ContinueTo(gather, entry)
+	})
+	c.CallCC(w.LocalityGVA(rank), userAct, userPayload, runtime.ALCOSet, leaf.G)
+
+	childLo := lo + 1
+	if childLo >= hi {
+		return
+	}
+	mid := (childLo + hi + 1) / 2
+	o.sendRangeVia(c, o.gather, childLo, mid, p)
+	o.sendRangeVia(c, o.gather, mid, hi, p)
+}
+
+// concatCombiner appends tagged entries; ParseGather decodes them.
+func concatCombiner(acc, in []byte) []byte { return append(acc, in...) }
+
+// ParseGather decodes a Gather result into per-rank values, in rank
+// order.
+func ParseGather(v []byte) map[int][]byte {
+	out := make(map[int][]byte)
+	for off := 0; off+8 <= len(v); {
+		rank := int(parcel.U32(v, off))
+		n := int(parcel.U32(v, off+4))
+		off += 8
+		out[rank] = v[off : off+n]
+		off += n
+	}
+	return out
+}
+
+// GatherRanks returns the sorted rank list of a parsed gather (test
+// convenience).
+func GatherRanks(m map[int][]byte) []int {
+	ranks := make([]int, 0, len(m))
+	for r := range m {
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks)
+	return ranks
+}
+
+// AllGather gathers at `from` and re-broadcasts the blob: every rank's
+// future fires with the same ParseGather-able value.
+func (o *Ops) AllGather(from int, action parcel.ActionID, payload []byte) []*runtime.LCORef {
+	futs := make([]*runtime.LCORef, o.w.Ranks())
+	for r := range futs {
+		futs[r] = o.w.NewFuture(r)
+	}
+	g := o.Gather(from, action, payload)
+	g.OnFire(func(v []byte) {
+		for r := range futs {
+			r := r
+			o.w.Proc(from).Invoke(futs[r].G, runtime.ALCOSet, v)
+		}
+	})
+	return futs
+}
+
+// Scatter delivers chunks[r] to rank r by running action there with that
+// chunk as payload. The returned gate fires when every action has
+// continued.
+func (o *Ops) Scatter(from int, action parcel.ActionID, chunks [][]byte) *runtime.LCORef {
+	if len(chunks) != o.w.Ranks() {
+		panic("collective: Scatter needs one chunk per rank")
+	}
+	gate := o.w.NewAndGate(from, o.w.Ranks())
+	for r := range chunks {
+		r := r
+		chunk := chunks[r]
+		o.w.Proc(from).Run(func() {
+			o.w.Locality(from).SendParcel(&parcel.Parcel{
+				Action: action, Target: o.w.LocalityGVA(r), Payload: chunk,
+				CAction: runtime.ALCOSet, CTarget: gate.G,
+			})
+		})
+	}
+	return gate
+}
+
+// sendRangeVia forwards a subtree range with an explicit node action.
+func (o *Ops) sendRangeVia(c *runtime.Ctx, act parcel.ActionID, lo, hi uint32, orig []byte) {
+	if lo >= hi {
+		return
+	}
+	p := append([]byte(nil), orig...)
+	copy(p[0:], parcel.PutU32(nil, lo))
+	copy(p[4:], parcel.PutU32(nil, hi))
+	c.Call(o.w.LocalityGVA(int(lo)), act, p)
+}

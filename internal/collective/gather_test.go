@@ -1,0 +1,142 @@
+package collective
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"nmvgas/internal/parcel"
+	"nmvgas/internal/runtime"
+)
+
+func TestGatherCollectsPerRankValues(t *testing.T) {
+	matrix(t, 6, func(t *testing.T, w *runtime.World, o *Ops) {
+		give := w.Register("give", func(c *runtime.Ctx) {
+			c.Continue([]byte{byte(c.Rank()), byte(c.Rank() * 2)})
+		})
+		w.Start()
+		v := w.MustWait(o.Gather(2, give, nil))
+		got := ParseGather(v)
+		if len(got) != 6 {
+			t.Fatalf("gathered %d ranks: %v", len(got), GatherRanks(got))
+		}
+		for r, data := range got {
+			want := []byte{byte(r), byte(r * 2)}
+			if !bytes.Equal(data, want) {
+				t.Fatalf("rank %d contributed %v, want %v", r, data, want)
+			}
+		}
+	})
+}
+
+func TestGatherEmptyContributions(t *testing.T) {
+	matrix(t, 3, func(t *testing.T, w *runtime.World, o *Ops) {
+		give := w.Register("give", func(c *runtime.Ctx) { c.Continue(nil) })
+		w.Start()
+		v := w.MustWait(o.Gather(0, give, nil))
+		got := ParseGather(v)
+		if len(got) != 3 {
+			t.Fatalf("gathered %d ranks", len(got))
+		}
+		for r, data := range got {
+			if len(data) != 0 {
+				t.Fatalf("rank %d contributed %v, want empty", r, data)
+			}
+		}
+	})
+}
+
+func TestAllGatherDeliversEverywhere(t *testing.T) {
+	matrix(t, 4, func(t *testing.T, w *runtime.World, o *Ops) {
+		give := w.Register("give", func(c *runtime.Ctx) {
+			c.Continue([]byte{byte(c.Rank() + 10)})
+		})
+		w.Start()
+		futs := o.AllGather(1, give, nil)
+		for r, f := range futs {
+			got := ParseGather(w.MustWait(f))
+			if len(got) != 4 {
+				t.Fatalf("rank %d sees %d contributions", r, len(got))
+			}
+			for cr, data := range got {
+				if data[0] != byte(cr+10) {
+					t.Fatalf("rank %d sees wrong value for %d", r, cr)
+				}
+			}
+		}
+	})
+}
+
+func TestScatterDeliversChunks(t *testing.T) {
+	matrix(t, 5, func(t *testing.T, w *runtime.World, o *Ops) {
+		var mu sync.Mutex
+		got := make(map[int][]byte)
+		sink := w.Register("sink", func(c *runtime.Ctx) {
+			mu.Lock()
+			got[c.Rank()] = append([]byte(nil), c.P.Payload...)
+			mu.Unlock()
+			c.Continue(nil)
+		})
+		w.Start()
+		chunks := make([][]byte, 5)
+		for r := range chunks {
+			chunks[r] = []byte{byte(100 + r), byte(r)}
+		}
+		w.MustWait(o.Scatter(2, sink, chunks))
+		mu.Lock()
+		defer mu.Unlock()
+		for r := 0; r < 5; r++ {
+			if !bytes.Equal(got[r], chunks[r]) {
+				t.Fatalf("rank %d got %v, want %v", r, got[r], chunks[r])
+			}
+		}
+	})
+}
+
+func TestScatterValidatesChunkCount(t *testing.T) {
+	w, err := runtime.NewWorld(runtime.Config{Ranks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Stop)
+	o := New(w)
+	w.Start()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	o.Scatter(0, runtime.ANop, [][]byte{{1}})
+}
+
+func TestGatherPayloadReachesLeaves(t *testing.T) {
+	matrix(t, 4, func(t *testing.T, w *runtime.World, o *Ops) {
+		echoPay := w.Register("echoPay", func(c *runtime.Ctx) {
+			c.Continue(append([]byte{byte(c.Rank())}, c.P.Payload...))
+		})
+		w.Start()
+		v := w.MustWait(o.Gather(0, echoPay, []byte{0xAB}))
+		got := ParseGather(v)
+		for r, data := range got {
+			if len(data) != 2 || data[0] != byte(r) || data[1] != 0xAB {
+				t.Fatalf("rank %d entry %v", r, data)
+			}
+		}
+	})
+}
+
+func TestParseGatherRoundTrip(t *testing.T) {
+	blob := parcel.PutU32(nil, 3)
+	blob = parcel.PutU32(blob, 2)
+	blob = append(blob, 7, 8)
+	blob = parcel.PutU32(blob, 0)
+	blob = parcel.PutU32(blob, 0)
+	got := ParseGather(blob)
+	if !bytes.Equal(got[3], []byte{7, 8}) || len(got[0]) != 0 {
+		t.Fatalf("parse %v", got)
+	}
+	ranks := GatherRanks(got)
+	if len(ranks) != 2 || ranks[0] != 0 || ranks[1] != 3 {
+		t.Fatalf("ranks %v", ranks)
+	}
+}

@@ -1,0 +1,230 @@
+package exp
+
+import (
+	"nmvgas/internal/collective"
+	"nmvgas/internal/gas"
+	"nmvgas/internal/loadbal"
+	"nmvgas/internal/netsim"
+	"nmvgas/internal/runtime"
+	"nmvgas/internal/stats"
+	"nmvgas/internal/workloads"
+)
+
+func init() {
+	register("F5", "Fig. 5: GUPS random-update throughput vs localities", f5GUPS)
+	register("F6", "Fig. 6: pointer-chase latency, scattered vs consolidated", f6Chase)
+	register("F7", "Fig. 7: BFS traversal rate, static vs rebalanced", f7BFS)
+	register("F8", "Fig. 8: stencil under node imbalance, static vs adaptive", f8Stencil)
+	register("F10", "Fig. 10: skewed histogram, before/after heat-driven placement", f10Histogram)
+}
+
+// f5GUPS sweeps locality counts: the per-update translation overhead
+// separates the modes, and the gap persists with scale.
+func f5GUPS(o Options) *stats.Table {
+	tb := stats.NewTable("Fig. 5: GUPS (Kups/s) vs localities",
+		"ranks", "pgas_Kups", "agas_sw_Kups", "agas_nm_Kups")
+	rankSweep := []int{2, 4, 8, 16, 32}
+	perRank := 300
+	if o.Quick {
+		rankSweep = []int{2, 8}
+		perRank = 80
+	}
+	for _, ranks := range rankSweep {
+		row := make([]float64, len(modes))
+		for mi, mode := range modes {
+			w := newWorld(mode, ranks)
+			g := workloads.NewGUPS(w, "gups")
+			w.Start()
+			if err := g.Setup(1024, uint32(4*ranks), workloads.KeysUniform, o.Seed); err != nil {
+				panic(err)
+			}
+			start := w.Now()
+			n, err := g.Run(perRank, 8)
+			if err != nil {
+				panic(err)
+			}
+			elapsed := w.Now() - start
+			row[mi] = float64(n) / (float64(elapsed) / 1e9) / 1e3
+			w.Stop()
+		}
+		tb.AddRow(ranks, row[0], row[1], row[2])
+	}
+	return tb
+}
+
+// f6Chase measures per-hop cost of a scattered linked ring, then
+// consolidates it with migration (AGAS modes only) and re-measures.
+func f6Chase(o Options) *stats.Table {
+	tb := stats.NewTable("Fig. 6: pointer-chase per-hop latency (µs)",
+		"mode", "scattered_us_per_hop", "consolidated_us_per_hop", "speedup")
+	const ranks = 8
+	nodes, hops := uint32(64), uint64(256)
+	if o.Quick {
+		nodes, hops = 32, 96
+	}
+	for _, mode := range modes {
+		w := newWorld(mode, ranks)
+		c := workloads.NewChase(w, "chase")
+		w.Start()
+		if err := c.Setup(nodes, o.Seed); err != nil {
+			panic(err)
+		}
+		measure := func() float64 {
+			start := w.Now()
+			if _, err := c.Run(0, hops); err != nil {
+				panic(err)
+			}
+			return (w.Now() - start).Micros() / float64(hops)
+		}
+		scattered := measure()
+		consolidated := scattered
+		if mode != runtime.PGAS {
+			if err := loadbal.Consolidate(w, 0, c.Layout(), 0); err != nil {
+				panic(err)
+			}
+			consolidated = measure()
+		}
+		tb.AddRow(mode.String(), scattered, consolidated, scattered/consolidated)
+		w.Stop()
+	}
+	return tb
+}
+
+// f7BFS starts from a pathological placement (every distance block on
+// rank 0), measures BFS, rebalances by observed heat, and measures two
+// more traversals: the *cold* one pays each mode's stale-translation
+// repair for the mass migration (SW: home host forwarding storm; NM:
+// in-network forwards), the *warm* one shows the steady state.
+func f7BFS(o Options) *stats.Table {
+	tb := stats.NewTable("Fig. 7: BFS traversal rate (KTEPS), blocks start on rank 0",
+		"mode", "static_KTEPS", "rebal_cold_KTEPS", "rebal_warm_KTEPS", "moved_blocks")
+	const ranks = 8
+	n, deg := uint32(2000), 8
+	if o.Quick {
+		n, deg = 400, 4
+	}
+	for _, mode := range modes {
+		w := newWorld(mode, ranks)
+		ops := collective.New(w)
+		tr := loadbal.Attach(w)
+		b := workloads.NewBFS(w, ops, "bfs")
+		w.Start()
+		g := workloads.GenGraph(n, deg, o.Seed)
+		if err := b.Setup(g, 32, gas.DistLocal); err != nil {
+			panic(err)
+		}
+		teps := func() float64 {
+			start := w.Now()
+			edges, _, err := b.Run(0)
+			if err != nil {
+				panic(err)
+			}
+			return float64(edges) / (float64(w.Now()-start) / 1e9) / 1e3
+		}
+		static := teps()
+		cold, warm := static, static
+		moved := 0
+		if mode != runtime.PGAS {
+			var err error
+			moved, err = loadbal.Rebalance(w, 0, b.Layout(), tr)
+			if err != nil {
+				panic(err)
+			}
+			cold = teps()
+			warm = teps()
+		}
+		tb.AddRow(mode.String(), static, cold, warm, moved)
+		w.Stop()
+	}
+	return tb
+}
+
+// f8Stencil injects node heterogeneity (one slow rank) and compares the
+// static blocked partition against adaptive repartitioning by migration.
+func f8Stencil(o Options) *stats.Table {
+	tb := stats.NewTable("Fig. 8: stencil time per step (µs), one 8x-slow rank",
+		"mode", "static_us_per_step", "adaptive_us_per_step", "speedup")
+	const ranks = 8
+	steps := 6
+	perBlock, nblocks := uint32(128), uint32(32)
+	cellCost := 200 * netsim.Nanosecond
+	if o.Quick {
+		steps, perBlock, nblocks = 3, 64, 16
+	}
+	slow := make([]float64, ranks)
+	for i := range slow {
+		slow[i] = 1
+	}
+	slow[0] = 8
+	for _, mode := range modes {
+		run := func(adapt bool) float64 {
+			w := newWorld(mode, ranks)
+			s := workloads.NewStencil(w, "st")
+			w.Start()
+			defer w.Stop()
+			if err := s.Setup(perBlock, nblocks, slow, cellCost); err != nil {
+				panic(err)
+			}
+			if adapt {
+				if err := s.AdaptPartition(0); err != nil {
+					panic(err)
+				}
+			}
+			start := w.Now()
+			if err := s.Run(steps); err != nil {
+				panic(err)
+			}
+			return (w.Now() - start).Micros() / float64(steps)
+		}
+		static := run(false)
+		adaptive := static
+		if mode != runtime.PGAS {
+			adaptive = run(true)
+		}
+		tb.AddRow(mode.String(), static, adaptive, static/adaptive)
+	}
+	return tb
+}
+
+// f10Histogram drives a Zipf-skewed increment stream, then moves the hot
+// bins to the ranks that hammer them.
+func f10Histogram(o Options) *stats.Table {
+	tb := stats.NewTable("Fig. 10: skewed histogram throughput (Kops/s)",
+		"mode", "static_Kops", "placed_Kops", "moved_blocks")
+	const ranks = 8
+	perRank := 300
+	if o.Quick {
+		perRank = 80
+	}
+	for _, mode := range modes {
+		w := newWorld(mode, ranks)
+		tr := loadbal.Attach(w)
+		h := workloads.NewHistogram(w, "hist")
+		w.Start()
+		if err := h.Setup(64, 32, 1.4, o.Seed); err != nil {
+			panic(err)
+		}
+		rate := func() float64 {
+			start := w.Now()
+			n, err := h.Run(perRank, 8)
+			if err != nil {
+				panic(err)
+			}
+			return float64(n) / (float64(w.Now()-start) / 1e9) / 1e3
+		}
+		static := rate()
+		placed := static
+		moved := 0
+		if mode != runtime.PGAS {
+			var err error
+			moved, err = loadbal.Rebalance(w, 0, h.Layout(), tr)
+			if err != nil {
+				panic(err)
+			}
+			placed = rate()
+		}
+		tb.AddRow(mode.String(), static, placed, moved)
+		w.Stop()
+	}
+	return tb
+}

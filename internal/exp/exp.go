@@ -1,0 +1,163 @@
+// Package exp is the experiment harness: one driver per table and figure
+// of the reconstructed evaluation (see DESIGN.md §4 for the index and
+// EXPERIMENTS.md for expected-vs-measured). Every experiment runs on the
+// deterministic discrete-event engine, so its numbers are exactly
+// reproducible and immune to Go GC jitter.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"nmvgas/internal/gas"
+	"nmvgas/internal/netsim"
+	"nmvgas/internal/parcel"
+	"nmvgas/internal/runtime"
+	"nmvgas/internal/stats"
+)
+
+// Options tune experiment scale.
+type Options struct {
+	// Quick shrinks sweeps for CI and unit tests.
+	Quick bool
+	// Seed feeds the deterministic workload generators.
+	Seed int64
+}
+
+// DefaultOptions returns full-scale settings with a fixed seed.
+func DefaultOptions() Options { return Options{Seed: 42} }
+
+// Experiment is one reproducible table or figure.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Options) *stats.Table
+}
+
+// Registry lists every experiment in paper order. Filled by init
+// functions across this package's files.
+var Registry []Experiment
+
+func register(id, title string, run func(Options) *stats.Table) {
+	Registry = append(Registry, Experiment{ID: id, Title: title, Run: run})
+}
+
+// Find returns the experiment with the given ID.
+func Find(id string) (Experiment, bool) {
+	for _, e := range Registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// IDs returns all experiment IDs in registration order.
+func IDs() []string {
+	out := make([]string, len(Registry))
+	for i, e := range Registry {
+		out[i] = e.ID
+	}
+	return out
+}
+
+// RunAll executes every experiment and writes the tables to w.
+func RunAll(o Options, out io.Writer) error {
+	for _, e := range Registry {
+		t := e.Run(o)
+		if err := t.Fprint(out); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+	return nil
+}
+
+// modes is the sweep order used in every table.
+var modes = []runtime.Mode{runtime.PGAS, runtime.AGASSW, runtime.AGASNM}
+
+// newWorld builds a DES world for an experiment run.
+func newWorld(mode runtime.Mode, ranks int, mutate ...func(*runtime.Config)) *runtime.World {
+	cfg := runtime.Config{Ranks: ranks, Mode: mode, Engine: runtime.EngineDES}
+	for _, m := range mutate {
+		m(&cfg)
+	}
+	w, err := runtime.NewWorld(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("exp: world construction: %v", err))
+	}
+	return w
+}
+
+// timeOp measures the simulated duration of one driver-visible operation.
+func timeOp(w *runtime.World, op func() *runtime.LCORef) netsim.VTime {
+	start := w.Now()
+	w.MustWait(op())
+	return w.Now() - start
+}
+
+// meanMicros averages a sample set in microseconds.
+func meanMicros(samples []netsim.VTime) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	var sum netsim.VTime
+	for _, s := range samples {
+		sum += s
+	}
+	return (sum / netsim.VTime(len(samples))).Micros()
+}
+
+// medianMicros returns the median in microseconds.
+func medianMicros(samples []netsim.VTime) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := append([]netsim.VTime(nil), samples...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[len(s)/2].Micros()
+}
+
+// sizesFor returns the message-size sweep.
+func sizesFor(o Options) []int {
+	if o.Quick {
+		return []int{8, 512, 8192}
+	}
+	return []int{8, 64, 512, 4096, 16384, 65536}
+}
+
+// putStream issues n one-sided writes from rank `from`, keeping `window`
+// outstanding, targets chosen by targetOf(seq). It returns the simulated
+// makespan.
+func putStream(w *runtime.World, from, n, window, size int, targetOf func(seq int) gas.GVA) netsim.VTime {
+	gate := w.NewAndGate(from, 1)
+	loc := w.Locality(from)
+	buf := make([]byte, size)
+	issued, completed := 0, 0
+	var issue func()
+	issue = func() {
+		seq := issued
+		issued++
+		loc.PutAsync(targetOf(seq), buf, func() {
+			completed++
+			if issued < n {
+				issue()
+			} else if completed == n {
+				loc.SendParcel(&parcel.Parcel{Action: runtime.ALCOSet, Target: gate.G})
+			}
+		})
+	}
+	start := w.Now()
+	w.Proc(from).Run(func() {
+		prime := window
+		if prime > n {
+			prime = n
+		}
+		for i := 0; i < prime; i++ {
+			issue()
+		}
+	})
+	w.MustWait(gate)
+	return w.Now() - start
+}

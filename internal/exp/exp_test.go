@@ -1,0 +1,357 @@
+package exp
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"nmvgas/internal/stats"
+)
+
+func quick() Options { return Options{Quick: true, Seed: 42} }
+
+// cell parses a table cell as float.
+func cell(t *testing.T, tb interface{ Rows() [][]string }, row, col int) float64 {
+	t.Helper()
+	s := tb.Rows()[row][col]
+	s = strings.TrimSuffix(s, "x")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell [%d][%d] = %q not numeric: %v", row, col, s, err)
+	}
+	return v
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"T1", "T2", "T3", "T4", "T5", "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9", "F10", "F11", "F12", "F13", "F14", "A1", "A2"}
+	for _, id := range want {
+		if _, ok := Find(id); !ok {
+			t.Errorf("experiment %s missing from registry", id)
+		}
+	}
+	if len(IDs()) < len(want) {
+		t.Fatalf("registry has %d experiments, want >= %d", len(IDs()), len(want))
+	}
+	if _, ok := Find("nope"); ok {
+		t.Fatal("Find accepted unknown id")
+	}
+}
+
+func TestT1LatencyShape(t *testing.T) {
+	tb := mustRun(t, "T1")
+	last := tb.NumRows() - 1
+	// NM within 20% of PGAS at the smallest size; SW strictly slower
+	// than NM there.
+	pg, sw, nm := cell(t, tb, 0, 1), cell(t, tb, 0, 2), cell(t, tb, 0, 3)
+	if nm < pg {
+		t.Fatalf("NM %v beat PGAS %v", nm, pg)
+	}
+	if nm > 1.2*pg {
+		t.Fatalf("NM %v more than 20%% over PGAS %v", nm, pg)
+	}
+	if sw <= nm {
+		t.Fatalf("SW %v not slower than NM %v at 8B", sw, nm)
+	}
+	// Large transfers converge: SW/NM ratio shrinks with size.
+	swL, nmL := cell(t, tb, last, 2), cell(t, tb, last, 3)
+	if (sw/nm)/(swL/nmL) < 1.0 {
+		t.Fatalf("SW overhead did not shrink with size: small ratio %v, large ratio %v", sw/nm, swL/nmL)
+	}
+	// Latency grows with size.
+	if cell(t, tb, last, 1) <= pg {
+		t.Fatal("latency did not grow with size")
+	}
+}
+
+func TestT2GetShape(t *testing.T) {
+	tb := mustRun(t, "T2")
+	pg, sw, nm := cell(t, tb, 0, 1), cell(t, tb, 0, 2), cell(t, tb, 0, 3)
+	if !(pg <= nm && nm < sw) {
+		t.Fatalf("get ordering broken: pgas=%v nm=%v sw=%v", pg, nm, sw)
+	}
+}
+
+func TestF1ThroughputShape(t *testing.T) {
+	tb := mustRun(t, "F1")
+	last := tb.NumRows() - 1
+	// Throughput rises with size and converges across modes at large
+	// sizes (wire-limited).
+	if cell(t, tb, last, 1) <= cell(t, tb, 0, 1) {
+		t.Fatal("throughput did not rise with size")
+	}
+	pgL, swL := cell(t, tb, last, 1), cell(t, tb, last, 2)
+	if swL < 0.8*pgL {
+		t.Fatalf("SW large-message throughput %v too far under PGAS %v", swL, pgL)
+	}
+}
+
+func TestF2RTTShape(t *testing.T) {
+	tb := mustRun(t, "F2")
+	pg, sw, nm := cell(t, tb, 0, 1), cell(t, tb, 0, 2), cell(t, tb, 0, 3)
+	if !(pg <= nm && nm < sw) {
+		t.Fatalf("rtt ordering broken: pgas=%v nm=%v sw=%v", pg, nm, sw)
+	}
+}
+
+func TestF3CapacityCliff(t *testing.T) {
+	tb := mustRun(t, "F3")
+	// First row: working set fits (hit rate high). Last row: working set
+	// 2x+ the table (hit rate collapses). SW unbounded cache stays hot.
+	first, last := 0, tb.NumRows()-1
+	if hr := cell(t, tb, first, 1); hr < 0.9 {
+		t.Fatalf("NM hit rate %v with fitting working set", hr)
+	}
+	if hr := cell(t, tb, last, 1); hr > 0.5 {
+		t.Fatalf("NM hit rate %v beyond capacity — no cliff", hr)
+	}
+	if hr := cell(t, tb, last, 3); hr < 0.9 {
+		t.Fatalf("SW unbounded cache hit rate %v", hr)
+	}
+	// Latency rises across the cliff.
+	if cell(t, tb, last, 2) <= cell(t, tb, first, 2) {
+		t.Fatal("NM latency did not rise past the capacity cliff")
+	}
+}
+
+func TestF4MigrationShape(t *testing.T) {
+	tb := mustRun(t, "F4")
+	last := tb.NumRows() - 1
+	// Migration cost grows with block size.
+	if cell(t, tb, last, 1) <= cell(t, tb, 0, 1) {
+		t.Fatal("SW migration cost flat in size")
+	}
+	if cell(t, tb, last, 2) <= cell(t, tb, 0, 2) {
+		t.Fatal("NM migration cost flat in size")
+	}
+}
+
+func TestF5GUPSShape(t *testing.T) {
+	tb := mustRun(t, "F5")
+	for r := 0; r < tb.NumRows(); r++ {
+		pg, sw, nm := cell(t, tb, r, 1), cell(t, tb, r, 2), cell(t, tb, r, 3)
+		if sw >= nm {
+			t.Fatalf("row %d: SW GUPS %v not slower than NM %v", r, sw, nm)
+		}
+		if nm > 1.35*pg {
+			t.Fatalf("row %d: NM %v too far over PGAS %v", r, nm, pg)
+		}
+	}
+}
+
+func TestF6ChaseShape(t *testing.T) {
+	tb := mustRun(t, "F6")
+	// Rows: pgas, agas-sw, agas-nm. PGAS cannot improve; AGAS modes must
+	// speed up by consolidation.
+	if sp := cell(t, tb, 0, 3); sp != 1 {
+		t.Fatalf("PGAS chase speedup %v, want 1 (cannot migrate)", sp)
+	}
+	for r := 1; r <= 2; r++ {
+		if sp := cell(t, tb, r, 3); sp < 2 {
+			t.Fatalf("row %d consolidation speedup %v < 2", r, sp)
+		}
+	}
+}
+
+func TestF8StencilShape(t *testing.T) {
+	tb := mustRun(t, "F8")
+	if sp := cell(t, tb, 0, 3); sp != 1 {
+		t.Fatalf("PGAS stencil speedup %v", sp)
+	}
+	for r := 1; r <= 2; r++ {
+		if sp := cell(t, tb, r, 3); sp <= 1.5 {
+			t.Fatalf("row %d adaptive speedup %v <= 1.5", r, sp)
+		}
+	}
+}
+
+func TestF9ChurnShape(t *testing.T) {
+	tb := mustRun(t, "F9")
+	last := tb.NumRows() - 1
+	// Under churn, NM throughput must exceed both SW policies.
+	sw, swInv, nm := cell(t, tb, last, 1), cell(t, tb, last, 2), cell(t, tb, last, 3)
+	if nm <= sw || nm <= swInv {
+		t.Fatalf("NM %v not ahead under churn (sw=%v swInv=%v)", nm, sw, swInv)
+	}
+}
+
+func TestT3ScalingShape(t *testing.T) {
+	tb := mustRun(t, "T3")
+	// Put latency roughly flat across scales; barrier grows.
+	first, last := 0, tb.NumRows()-1
+	if p0, pl := cell(t, tb, first, 3), cell(t, tb, last, 3); pl > 1.5*p0 {
+		t.Fatalf("NM put latency not flat: %v → %v", p0, pl)
+	}
+	if cell(t, tb, last, 4) <= cell(t, tb, first, 4) {
+		t.Fatal("barrier time did not grow with ranks")
+	}
+}
+
+func TestT4BreakdownSums(t *testing.T) {
+	tb := mustRun(t, "T4")
+	for r := 0; r < tb.NumRows(); r++ {
+		sum := cell(t, tb, r, 1) + cell(t, tb, r, 2) + cell(t, tb, r, 3) + cell(t, tb, r, 4)
+		measured := cell(t, tb, r, 5)
+		// The component model must explain the measured one-way time to
+		// within 25% (scheduling residue accounts for the rest).
+		if measured < 0.75*sum || measured > 1.25*sum {
+			t.Fatalf("row %d: components %v vs measured %v", r, sum, measured)
+		}
+	}
+}
+
+func TestA1ForwardingShape(t *testing.T) {
+	tb := mustRun(t, "A1")
+	// forward+push first access beats nack first access.
+	fw, nack := cell(t, tb, 0, 1), cell(t, tb, 2, 1)
+	if fw >= nack {
+		t.Fatalf("forwarding first access %v not faster than NACK %v", fw, nack)
+	}
+	if n := cell(t, tb, 2, 3); n == 0 {
+		t.Fatal("NACK policy recorded no NACKs")
+	}
+}
+
+func TestA2UpdatePolicyShape(t *testing.T) {
+	tb := mustRun(t, "A2")
+	lazyFirst, lazyCtrl := cell(t, tb, 0, 1), cell(t, tb, 0, 2)
+	eagerFirst, eagerCtrl := cell(t, tb, 1, 1), cell(t, tb, 1, 2)
+	if eagerFirst >= lazyFirst {
+		t.Fatalf("eager first access %v not faster than lazy %v", eagerFirst, lazyFirst)
+	}
+	if eagerCtrl <= lazyCtrl {
+		t.Fatalf("eager control traffic %v not higher than lazy %v", eagerCtrl, lazyCtrl)
+	}
+}
+
+func TestF7BFSRebalanceShape(t *testing.T) {
+	tb := mustRun(t, "F7")
+	// Rows: pgas, agas-sw, agas-nm. Columns: static, cold, warm, moved.
+	for r := 1; r <= 2; r++ {
+		static, warm := cell(t, tb, r, 1), cell(t, tb, r, 3)
+		if warm <= static {
+			t.Fatalf("row %d: warm rebalanced %v not faster than pathological static %v", r, warm, static)
+		}
+		if moved := cell(t, tb, r, 4); moved == 0 {
+			t.Fatalf("row %d: nothing migrated", r)
+		}
+	}
+	// NM absorbs the mass migration in the network: its cold run is
+	// within a few percent of warm. SW pays a visible host repair storm.
+	nmCold, nmWarm := cell(t, tb, 2, 2), cell(t, tb, 2, 3)
+	if nmCold < 0.95*nmWarm {
+		t.Fatalf("NM cold %v far below warm %v", nmCold, nmWarm)
+	}
+	swCold, swWarm := cell(t, tb, 1, 2), cell(t, tb, 1, 3)
+	if swCold >= swWarm {
+		t.Fatalf("SW cold %v not slower than warm %v (no repair storm visible)", swCold, swWarm)
+	}
+	if nmWarm <= swWarm {
+		t.Fatalf("NM warm %v not ahead of SW warm %v", nmWarm, swWarm)
+	}
+}
+
+func TestF10HistogramShape(t *testing.T) {
+	tb := mustRun(t, "F10")
+	for r := 1; r <= 2; r++ {
+		static, after := cell(t, tb, r, 1), cell(t, tb, r, 2)
+		if after < 0.9*static {
+			t.Fatalf("row %d: placement regressed %v → %v", r, static, after)
+		}
+	}
+}
+
+func TestF11SSSPShape(t *testing.T) {
+	tb := mustRun(t, "F11")
+	// Balanced placement beats serialized for every mode (SSSP is
+	// parallel); on the balanced run nm ≈ pgas < sw.
+	for r := 0; r < tb.NumRows(); r++ {
+		if cell(t, tb, r, 1) >= cell(t, tb, r, 2) {
+			t.Fatalf("row %d: cyclic not faster than serialized", r)
+		}
+	}
+	pg, sw, nm := cell(t, tb, 0, 1), cell(t, tb, 1, 1), cell(t, tb, 2, 1)
+	if sw <= nm {
+		t.Fatalf("SW SSSP %v not slower than NM %v", sw, nm)
+	}
+	if nm > 1.15*pg {
+		t.Fatalf("NM SSSP %v too far over PGAS %v", nm, pg)
+	}
+	// All modes reach the same vertex count.
+	for r := 1; r < tb.NumRows(); r++ {
+		if cell(t, tb, r, 3) != cell(t, tb, 0, 3) {
+			t.Fatal("reached counts differ across modes")
+		}
+	}
+}
+
+func TestF12TopologyShape(t *testing.T) {
+	tb := mustRun(t, "F12")
+	// Inter-pod put ordering survives oversubscription: pgas <= nm < sw.
+	pg, sw, nm := cell(t, tb, 0, 1), cell(t, tb, 0, 2), cell(t, tb, 0, 3)
+	if !(pg <= nm && nm < sw) {
+		t.Fatalf("interpod put ordering broken: pgas=%v sw=%v nm=%v", pg, sw, nm)
+	}
+	// Post-migration steady state: nm <= sw on the two-tier fabric too.
+	if swRTT, nmRTT := cell(t, tb, 1, 2), cell(t, tb, 1, 3); nmRTT > swRTT {
+		t.Fatalf("post-migration NM %v behind SW %v under oversubscription", nmRTT, swRTT)
+	}
+}
+
+func TestT5AllToAllShape(t *testing.T) {
+	tb := mustRun(t, "T5")
+	last := tb.NumRows() - 1
+	// Aggregate bandwidth rises with chunk size; SW trails at small
+	// chunks and converges at large ones.
+	if cell(t, tb, last, 1) <= cell(t, tb, 0, 1) {
+		t.Fatal("all-to-all bandwidth flat in size")
+	}
+	if sw, nm := cell(t, tb, 0, 2), cell(t, tb, 0, 3); sw >= nm {
+		t.Fatalf("small-chunk SW %v not behind NM %v", sw, nm)
+	}
+	if sw, nm := cell(t, tb, last, 2), cell(t, tb, last, 3); sw < 0.9*nm {
+		t.Fatalf("large-chunk SW %v did not converge to NM %v", sw, nm)
+	}
+}
+
+func TestF13CoalesceShape(t *testing.T) {
+	tb := mustRun(t, "F13")
+	last := tb.NumRows() - 1
+	// Batching cuts wire messages and raises lone-parcel latency.
+	if cell(t, tb, last, 2) >= cell(t, tb, 0, 2) {
+		t.Fatal("coalescing did not reduce wire messages")
+	}
+	if cell(t, tb, last, 3) <= cell(t, tb, 0, 3) {
+		t.Fatal("coalescing did not penalize lone parcels")
+	}
+	// Throughput must not collapse.
+	if cell(t, tb, last, 1) < 0.8*cell(t, tb, 0, 1) {
+		t.Fatal("coalescing destroyed throughput")
+	}
+}
+
+func TestF14ReplicationShape(t *testing.T) {
+	tb := mustRun(t, "F14")
+	for r := 0; r < tb.NumRows(); r++ {
+		if sp := cell(t, tb, r, 3); sp < 5 {
+			t.Fatalf("row %d: replication speedup %v < 5", r, sp)
+		}
+	}
+	// Replicated reads are translation-free: all modes converge.
+	a, b, c := cell(t, tb, 0, 2), cell(t, tb, 1, 2), cell(t, tb, 2, 2)
+	if a != b || b != c {
+		t.Fatalf("replicated read costs differ across modes: %v %v %v", a, b, c)
+	}
+}
+
+func mustRun(t *testing.T, id string) *stats.Table {
+	t.Helper()
+	e, ok := Find(id)
+	if !ok {
+		t.Fatalf("experiment %s not registered", id)
+	}
+	tb := e.Run(quick())
+	if tb.NumRows() == 0 {
+		t.Fatalf("%s produced no rows", id)
+	}
+	return tb
+}

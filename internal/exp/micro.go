@@ -1,0 +1,168 @@
+package exp
+
+import (
+	"fmt"
+
+	"nmvgas/internal/gas"
+	"nmvgas/internal/netsim"
+	"nmvgas/internal/runtime"
+	"nmvgas/internal/stats"
+)
+
+func init() {
+	register("T1", "Table 1: one-sided put latency (µs) vs size", t1PutLatency)
+	register("T2", "Table 2: one-sided get latency (µs) vs size", t2GetLatency)
+	register("F1", "Fig. 1: put throughput (MB/s) vs size", f1PutThroughput)
+	register("F2", "Fig. 2: parcel round-trip latency (µs) vs payload", f2ParcelRTT)
+	register("T4", "Table 4: per-parcel overhead breakdown (ns, 8B payload)", t4Breakdown)
+}
+
+const microRanks = 8
+
+// oneSidedLatency sweeps sizes × modes for put or get.
+func oneSidedLatency(o Options, title string, get bool) *stats.Table {
+	tb := stats.NewTable(title, "size_B", "pgas_us", "agas_sw_us", "agas_nm_us", "nm_vs_pgas")
+	reps := 20
+	if o.Quick {
+		reps = 5
+	}
+	for _, size := range sizesFor(o) {
+		row := make([]float64, len(modes))
+		for mi, mode := range modes {
+			w := newWorld(mode, microRanks)
+			w.Start()
+			lay, err := w.AllocCyclic(0, 1<<17, microRanks)
+			if err != nil {
+				panic(err)
+			}
+			g := lay.BlockAt(1) // remote from rank 0
+			buf := make([]byte, size)
+			// Warm: first touch primes caches and tables in every mode.
+			w.MustWait(w.Proc(0).Put(g, buf))
+			var samples []netsim.VTime
+			for i := 0; i < reps; i++ {
+				if get {
+					samples = append(samples, timeOp(w, func() *runtime.LCORef {
+						return w.Proc(0).Get(g, uint32(size))
+					}))
+				} else {
+					samples = append(samples, timeOp(w, func() *runtime.LCORef {
+						return w.Proc(0).Put(g, buf)
+					}))
+				}
+			}
+			row[mi] = medianMicros(samples)
+			w.Stop()
+		}
+		tb.AddRow(size, row[0], row[1], row[2], fmt.Sprintf("%.3fx", row[2]/row[0]))
+	}
+	return tb
+}
+
+func t1PutLatency(o Options) *stats.Table {
+	return oneSidedLatency(o, "Table 1: one-sided put latency (µs)", false)
+}
+
+func t2GetLatency(o Options) *stats.Table {
+	return oneSidedLatency(o, "Table 2: one-sided get latency (µs)", true)
+}
+
+func f1PutThroughput(o Options) *stats.Table {
+	tb := stats.NewTable("Fig. 1: put throughput (MB/s) vs size",
+		"size_B", "pgas_MBs", "agas_sw_MBs", "agas_nm_MBs")
+	n, window := 400, 16
+	if o.Quick {
+		n = 60
+	}
+	for _, size := range sizesFor(o) {
+		row := make([]float64, len(modes))
+		for mi, mode := range modes {
+			w := newWorld(mode, 2)
+			w.Start()
+			lay, err := w.AllocLocal(1, 1<<18, 4)
+			if err != nil {
+				panic(err)
+			}
+			elapsed := putStream(w, 0, n, window, size, func(seq int) gas.GVA {
+				return lay.BlockAt(uint32(seq % 4))
+			})
+			mb := float64(n) * float64(size) / 1e6
+			row[mi] = mb / (float64(elapsed) / 1e9)
+			w.Stop()
+		}
+		tb.AddRow(size, row[0], row[1], row[2])
+	}
+	return tb
+}
+
+func f2ParcelRTT(o Options) *stats.Table {
+	tb := stats.NewTable("Fig. 2: parcel round-trip latency (µs) vs payload",
+		"payload_B", "pgas_us", "agas_sw_us", "agas_nm_us")
+	reps := 20
+	if o.Quick {
+		reps = 5
+	}
+	for _, size := range sizesFor(o) {
+		row := make([]float64, len(modes))
+		for mi, mode := range modes {
+			w := newWorld(mode, 2)
+			echo := w.Register("echo", func(c *runtime.Ctx) { c.Continue(c.P.Payload) })
+			w.Start()
+			lay, err := w.AllocLocal(1, 1<<17, 1)
+			if err != nil {
+				panic(err)
+			}
+			payload := make([]byte, size)
+			w.MustWait(w.Proc(0).Call(lay.BlockAt(0), echo, payload)) // warm
+			var samples []netsim.VTime
+			for i := 0; i < reps; i++ {
+				samples = append(samples, timeOp(w, func() *runtime.LCORef {
+					return w.Proc(0).Call(lay.BlockAt(0), echo, payload)
+				}))
+			}
+			row[mi] = medianMicros(samples)
+			w.Stop()
+		}
+		tb.AddRow(size, row[0], row[1], row[2])
+	}
+	return tb
+}
+
+// t4Breakdown decomposes a small remote parcel's cost per mode: model
+// components plus the measured end-to-end one-way time.
+func t4Breakdown(o Options) *stats.Table {
+	tb := stats.NewTable("Table 4: per-parcel cost breakdown (ns, 8B payload, one-way)",
+		"mode", "translate", "inject", "wire", "deliver", "measured_total")
+	model := netsim.DefaultModel()
+	wire := int64(model.TxTime(8+70) + model.Latency) // payload + parcel/wire header
+	deliver := int64(model.ORecv + model.HandlerDispatch)
+	inject := int64(model.OSend)
+	for _, mode := range modes {
+		var translate int64
+		switch mode {
+		case runtime.PGAS:
+			translate = 0
+		case runtime.AGASSW:
+			translate = int64(model.SWLookup)
+		case runtime.AGASNM:
+			translate = int64(model.NICLookup)
+		}
+		w := newWorld(mode, 2)
+		mark := w.Register("mark", func(c *runtime.Ctx) { c.Continue(nil) })
+		w.Start()
+		lay, err := w.AllocLocal(1, 4096, 1)
+		if err != nil {
+			panic(err)
+		}
+		// One-way: measure arrival by when the remote action runs; the
+		// sink continuation adds a return trip, so use half of a
+		// warm RTT as the measured one-way figure.
+		w.MustWait(w.Proc(0).Call(lay.BlockAt(0), mark, make([]byte, 8)))
+		rtt := timeOp(w, func() *runtime.LCORef {
+			return w.Proc(0).Call(lay.BlockAt(0), mark, make([]byte, 8))
+		})
+		w.Stop()
+		tb.AddRow(mode.String(), translate, inject, wire, deliver, int64(rtt)/2)
+	}
+	return tb
+}

@@ -1,0 +1,160 @@
+package exp
+
+import (
+	"nmvgas/internal/gas"
+	"nmvgas/internal/netsim"
+	"nmvgas/internal/parcel"
+	"nmvgas/internal/runtime"
+	"nmvgas/internal/stats"
+	"nmvgas/internal/workloads"
+)
+
+func init() {
+	register("F11", "Fig. 11: chaotic-relaxation SSSP across modes", f11SSSP)
+	register("F12", "Fig. 12: key results under an oversubscribed two-tier fabric", f12Topology)
+	register("T5", "Table 5: all-to-all exchange, aggregate bandwidth", t5AllToAll)
+}
+
+// f11SSSP runs the asynchronous single-source shortest-path workload —
+// unordered, termination-detected, migration-tolerant — across modes and
+// placements. SSSP is parcel-dominated (every relax is a small message),
+// so it amplifies per-message translation overhead.
+func f11SSSP(o Options) *stats.Table {
+	tb := stats.NewTable("Fig. 11: SSSP time (ms), balanced vs serialized placement",
+		"mode", "cyclic_ms", "serialized_ms", "reached")
+	const ranks = 8
+	n, deg := uint32(1500), 6
+	if o.Quick {
+		n, deg = 300, 4
+	}
+	for _, mode := range modes {
+		run := func(dist gas.Dist) (float64, int) {
+			w := newWorld(mode, ranks)
+			s := workloads.NewSSSP(w, "sssp")
+			w.Start()
+			defer w.Stop()
+			g := workloads.GenGraph(n, deg, o.Seed)
+			if err := s.Setup(g, 32, dist); err != nil {
+				panic(err)
+			}
+			start := w.Now()
+			reached, err := s.Run(0)
+			if err != nil {
+				panic(err)
+			}
+			return (w.Now() - start).Micros() / 1e3, reached
+		}
+		cyc, reached := run(gas.DistCyclic)
+		ser, _ := run(gas.DistLocal)
+		tb.AddRow(mode.String(), cyc, ser, reached)
+	}
+	return tb
+}
+
+// f12Topology re-checks the two headline orderings — put latency and
+// post-migration steady state — on an oversubscribed two-tier fabric
+// where in-network forwarding crosses the spine. The paper's conclusion
+// must not be a crossbar artifact.
+func f12Topology(o Options) *stats.Table {
+	tb := stats.NewTable("Fig. 12: two-tier fabric (pods of 4, 2x oversubscribed), inter-pod ops",
+		"metric", "pgas_us", "agas_sw_us", "agas_nm_us")
+	topo := netsim.NewTwoTier(4, 2.0)
+	mk := func(mode runtime.Mode) *runtime.World {
+		return newWorld(mode, 8, func(c *runtime.Config) { c.Topology = topo })
+	}
+	// Inter-pod put latency (rank 0 → block homed on rank 7).
+	var put [3]float64
+	for mi, mode := range modes {
+		w := mk(mode)
+		w.Start()
+		lay, err := w.AllocCyclic(0, 4096, 8)
+		if err != nil {
+			panic(err)
+		}
+		g := lay.BlockAt(7)
+		buf := make([]byte, 64)
+		w.MustWait(w.Proc(0).Put(g, buf))
+		put[mi] = timeOp(w, func() *runtime.LCORef { return w.Proc(0).Put(g, buf) }).Micros()
+		w.Stop()
+	}
+	tb.AddRow("interpod_put", put[0], put[1], put[2])
+
+	// Post-migration steady state: block homed in pod 0 migrated within
+	// pod 1; sender in pod 0.
+	var steady [3]float64
+	for mi, mode := range modes {
+		w := mk(mode)
+		echo := w.Register("echo", func(c *runtime.Ctx) { c.Continue(nil) })
+		w.Start()
+		lay, err := w.AllocLocal(1, 256, 1)
+		if err != nil {
+			panic(err)
+		}
+		g := lay.BlockAt(0)
+		if mode != runtime.PGAS {
+			w.MustWait(w.Proc(0).Migrate(g, 6))
+		}
+		w.MustWait(w.Proc(2).Call(g, echo, nil)) // corrective round
+		steady[mi] = timeOp(w, func() *runtime.LCORef {
+			return w.Proc(2).Call(g, echo, nil)
+		}).Micros()
+		w.Stop()
+	}
+	tb.AddRow("postmigration_rtt", steady[0], steady[1], steady[2])
+	return tb
+}
+
+// t5AllToAll measures a full personalized exchange: every rank puts one
+// chunk into every other rank's block simultaneously — the incast-heavy
+// pattern that stresses rx-link modeling and per-message overheads.
+func t5AllToAll(o Options) *stats.Table {
+	tb := stats.NewTable("Table 5: all-to-all exchange, aggregate bandwidth (MB/s)",
+		"chunk_B", "pgas_MBs", "agas_sw_MBs", "agas_nm_MBs")
+	const ranks = 8
+	sizes := []int{512, 4096, 32768}
+	if o.Quick {
+		sizes = []int{512, 8192}
+	}
+	for _, size := range sizes {
+		row := make([]float64, len(modes))
+		for mi, mode := range modes {
+			w := newWorld(mode, ranks)
+			w.Start()
+			// One block per (src,dst) pair, homed at dst.
+			lay, err := w.AllocCyclic(0, uint32(size), ranks*ranks)
+			if err != nil {
+				panic(err)
+			}
+			gate := w.NewAndGate(0, ranks*(ranks-1))
+			buf := make([]byte, size)
+			start := w.Now()
+			for src := 0; src < ranks; src++ {
+				src := src
+				w.Proc(src).Run(func() {
+					loc := w.Locality(src)
+					for dst := 0; dst < ranks; dst++ {
+						if dst == src {
+							continue
+						}
+						// Block index chosen so HomeOf == dst under the
+						// cyclic layout.
+						d := uint32(src*ranks + dst)
+						for lay.HomeOf(d%uint32(ranks*ranks)) != dst {
+							d++
+						}
+						loc.PutAsync(lay.BlockAt(d%uint32(ranks*ranks)), buf, func() {
+							loc.SendParcel(&parcel.Parcel{Action: runtime.ALCOSet, Target: gate.G})
+						})
+					}
+				})
+			}
+			w.MustWait(gate)
+			elapsed := w.Now() - start
+			totalMB := float64(ranks*(ranks-1)) * float64(size) / 1e6
+			row[mi] = totalMB / (float64(elapsed) / 1e9)
+			w.Stop()
+		}
+		tb.AddRow(size, row[0], row[1], row[2])
+	}
+	return tb
+}

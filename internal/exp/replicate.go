@@ -1,0 +1,52 @@
+package exp
+
+import (
+	"math/rand"
+
+	"nmvgas/internal/stats"
+)
+
+func init() {
+	register("F14", "Fig. 14: read-mostly data — remote gets vs read-only replication", f14Replication)
+}
+
+// f14Replication measures a read-dominated access pattern (random gets
+// over a lookup-table layout) before and after freezing + replicating the
+// table. Replication turns every get into a local copy, so the win is the
+// full wire round-trip — and it is mode-independent, because reads of
+// frozen data never touch translation at all.
+func f14Replication(o Options) *stats.Table {
+	tb := stats.NewTable("Fig. 14: random 64B gets over a lookup table (µs/op)",
+		"mode", "remote_us", "replicated_us", "speedup")
+	const ranks = 8
+	reads := 200
+	if o.Quick {
+		reads = 60
+	}
+	for _, mode := range modes {
+		w := newWorld(mode, ranks)
+		w.Start()
+		lay, err := w.AllocCyclic(0, 4096, 16)
+		if err != nil {
+			panic(err)
+		}
+		rng := rand.New(rand.NewSource(o.Seed))
+		measure := func() float64 {
+			start := w.Now()
+			for i := 0; i < reads; i++ {
+				d := uint32(rng.Intn(16))
+				off := uint32(rng.Intn(4096 - 64))
+				w.MustWait(w.Proc(rng.Intn(ranks)).Get(lay.BlockAt(d).WithOffset(off), 64))
+			}
+			return (w.Now() - start).Micros() / float64(reads)
+		}
+		remote := measure()
+		if err := w.Replicate(lay); err != nil {
+			panic(err)
+		}
+		replicated := measure()
+		tb.AddRow(mode.String(), remote, replicated, remote/replicated)
+		w.Stop()
+	}
+	return tb
+}

@@ -1,0 +1,53 @@
+package exp
+
+import (
+	"nmvgas/internal/collective"
+	"nmvgas/internal/runtime"
+	"nmvgas/internal/stats"
+)
+
+func init() {
+	register("T3", "Table 3: scaling of put latency and barrier time", t3Scaling)
+}
+
+// t3Scaling sweeps the world size: remote put latency should stay flat
+// (crossbar fabric) while tree-barrier time grows logarithmically; the
+// translation overhead gap between modes must persist at every scale.
+func t3Scaling(o Options) *stats.Table {
+	tb := stats.NewTable("Table 3: scaling, 2–64 localities",
+		"ranks", "pgas_put_us", "sw_put_us", "nm_put_us", "nm_barrier_us")
+	sweep := []int{2, 4, 8, 16, 32, 64}
+	if o.Quick {
+		sweep = []int{2, 8, 32}
+	}
+	for _, ranks := range sweep {
+		put := make([]float64, len(modes))
+		var barrier float64
+		for mi, mode := range modes {
+			w := newWorld(mode, ranks)
+			var ops *collective.Ops
+			if mode == runtime.AGASNM {
+				ops = collective.New(w)
+			}
+			w.Start()
+			lay, err := w.AllocCyclic(0, 4096, uint32(ranks))
+			if err != nil {
+				panic(err)
+			}
+			g := lay.BlockAt(uint32(ranks - 1))
+			buf := make([]byte, 64)
+			w.MustWait(w.Proc(0).Put(g, buf)) // warm
+			put[mi] = timeOp(w, func() *runtime.LCORef {
+				return w.Proc(0).Put(g, buf)
+			}).Micros()
+			if ops != nil {
+				barrier = timeOp(w, func() *runtime.LCORef {
+					return ops.Barrier(0)
+				}).Micros()
+			}
+			w.Stop()
+		}
+		tb.AddRow(ranks, put[0], put[1], put[2], barrier)
+	}
+	return tb
+}

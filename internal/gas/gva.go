@@ -1,0 +1,102 @@
+// Package gas implements the global address space substrate: 64-bit global
+// virtual addresses (GVAs), fixed-size blocks, distribution layouts, and the
+// per-locality block store that backs them.
+//
+// A GVA names a byte inside a block. The encoding is
+//
+//	bits 63..52  home locality (12 bits, up to 4096 localities)
+//	bits 51..20  block number  (32 bits, globally unique)
+//	bits 19..0   offset        (20 bits, blocks up to 1 MiB)
+//
+// The "home" field is a *hint*: it names the locality whose directory is
+// authoritative for the block, which is also where the block's data starts
+// out. Under AGAS the data may migrate away from home; the GVA does not
+// change when it does.
+package gas
+
+import (
+	"errors"
+	"fmt"
+)
+
+// GVA is a 64-bit global virtual address. The zero value is the null
+// address, which never names valid memory.
+type GVA uint64
+
+// Field widths and shifts of the GVA encoding.
+const (
+	HomeBits   = 12
+	BlockBits  = 32
+	OffsetBits = 20
+
+	offsetShift = 0
+	blockShift  = OffsetBits
+	homeShift   = OffsetBits + BlockBits
+
+	// MaxHome is the largest encodable home locality rank.
+	MaxHome = 1<<HomeBits - 1
+	// MaxBlock is the largest encodable block number.
+	MaxBlock = 1<<BlockBits - 1
+	// MaxBlockSize is the largest supported block size in bytes (the
+	// offset field must be able to address every byte of a block).
+	MaxBlockSize = 1 << OffsetBits
+
+	offsetMask = 1<<OffsetBits - 1
+	blockMask  = 1<<BlockBits - 1
+	homeMask   = 1<<HomeBits - 1
+)
+
+// Null is the invalid address.
+const Null GVA = 0
+
+// ErrBadAddress reports a malformed or out-of-range global address.
+var ErrBadAddress = errors.New("gas: bad global address")
+
+// New assembles a GVA from its fields. It panics if a field is out of
+// range; callers construct addresses from allocator-issued block numbers,
+// so an out-of-range field is a programming error, not an input error.
+func New(home int, block BlockID, offset uint32) GVA {
+	if home < 0 || home > MaxHome {
+		panic(fmt.Sprintf("gas.New: home %d out of range", home))
+	}
+	if offset >= MaxBlockSize {
+		panic(fmt.Sprintf("gas.New: offset %d out of range", offset))
+	}
+	return GVA(uint64(home)<<homeShift | uint64(block)<<blockShift | uint64(offset))
+}
+
+// Home returns the home locality encoded in the address.
+func (g GVA) Home() int { return int(uint64(g) >> homeShift & homeMask) }
+
+// Block returns the block number encoded in the address.
+func (g GVA) Block() BlockID { return BlockID(uint64(g) >> blockShift & blockMask) }
+
+// Offset returns the byte offset within the block.
+func (g GVA) Offset() uint32 { return uint32(uint64(g) >> offsetShift & offsetMask) }
+
+// IsNull reports whether g is the null address.
+func (g GVA) IsNull() bool { return g == Null }
+
+// Base returns the address of byte 0 of g's block.
+func (g GVA) Base() GVA { return g &^ GVA(offsetMask) }
+
+// WithOffset returns an address in the same block at the given offset.
+func (g GVA) WithOffset(offset uint32) GVA {
+	if offset >= MaxBlockSize {
+		panic(fmt.Sprintf("gas: WithOffset %d out of range", offset))
+	}
+	return g.Base() | GVA(offset)
+}
+
+// String formats the address as home/block+offset for logs and tests.
+func (g GVA) String() string {
+	if g.IsNull() {
+		return "gva(null)"
+	}
+	return fmt.Sprintf("gva(%d/%d+%d)", g.Home(), g.Block(), g.Offset())
+}
+
+// BlockID is a globally unique block number. Block numbers are issued by a
+// single global sequence (see Sequence) so that a block can be identified
+// without reference to its current owner.
+type BlockID uint32

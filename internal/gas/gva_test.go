@@ -1,0 +1,115 @@
+package gas
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGVARoundTrip(t *testing.T) {
+	cases := []struct {
+		home   int
+		block  BlockID
+		offset uint32
+	}{
+		{0, 1, 0},
+		{1, 2, 3},
+		{MaxHome, MaxBlock, MaxBlockSize - 1},
+		{7, 123456, 4095},
+		{4095, 1, 1},
+	}
+	for _, c := range cases {
+		g := New(c.home, c.block, c.offset)
+		if g.Home() != c.home || g.Block() != c.block || g.Offset() != c.offset {
+			t.Errorf("New(%d,%d,%d) round-tripped to (%d,%d,%d)",
+				c.home, c.block, c.offset, g.Home(), g.Block(), g.Offset())
+		}
+	}
+}
+
+func TestGVARoundTripProperty(t *testing.T) {
+	f := func(home uint16, block uint32, offset uint32) bool {
+		h := int(home) & MaxHome
+		o := offset & (MaxBlockSize - 1)
+		g := New(h, BlockID(block), o)
+		return g.Home() == h && g.Block() == BlockID(block) && g.Offset() == o
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGVADistinctFieldsDistinctAddresses(t *testing.T) {
+	f := func(b1, b2 uint32, o1, o2 uint32) bool {
+		a := New(3, BlockID(b1), o1&(MaxBlockSize-1))
+		b := New(3, BlockID(b2), o2&(MaxBlockSize-1))
+		same := b1 == b2 && o1&(MaxBlockSize-1) == o2&(MaxBlockSize-1)
+		return (a == b) == same
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGVANull(t *testing.T) {
+	if !Null.IsNull() {
+		t.Fatal("Null must report IsNull")
+	}
+	if g := New(1, 1, 0); g.IsNull() {
+		t.Fatalf("%v must not be null", g)
+	}
+	if Null.String() != "gva(null)" {
+		t.Fatalf("null string = %q", Null.String())
+	}
+}
+
+func TestGVABaseAndWithOffset(t *testing.T) {
+	g := New(5, 77, 100)
+	if got := g.Base(); got.Offset() != 0 || got.Block() != 77 || got.Home() != 5 {
+		t.Fatalf("Base() = %v", got)
+	}
+	w := g.WithOffset(200)
+	if w.Offset() != 200 || w.Block() != 77 || w.Home() != 5 {
+		t.Fatalf("WithOffset = %v", w)
+	}
+}
+
+func TestNewPanicsOnBadFields(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("home too big", func() { New(MaxHome+1, 1, 0) })
+	mustPanic("negative home", func() { New(-1, 1, 0) })
+	mustPanic("offset too big", func() { New(0, 1, MaxBlockSize) })
+	mustPanic("WithOffset too big", func() { New(0, 1, 0).WithOffset(MaxBlockSize) })
+}
+
+func TestGVAString(t *testing.T) {
+	g := New(2, 9, 16)
+	if got, want := g.String(), "gva(2/9+16)"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestGVACompositionProperties(t *testing.T) {
+	f := func(home uint16, block uint32, o1, o2 uint32) bool {
+		h := int(home) & MaxHome
+		a := o1 & (MaxBlockSize - 1)
+		b := o2 & (MaxBlockSize - 1)
+		g := New(h, BlockID(block), a)
+		// Base is idempotent and WithOffset composes.
+		if g.Base() != g.Base().Base() {
+			return false
+		}
+		w := g.WithOffset(b)
+		return w.WithOffset(a) == g && w.Base() == g.Base()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

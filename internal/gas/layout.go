@@ -1,0 +1,91 @@
+package gas
+
+import "fmt"
+
+// Dist selects how an allocation's blocks are spread over localities.
+type Dist uint8
+
+const (
+	// DistLocal places every block on the allocating locality.
+	DistLocal Dist = iota
+	// DistCyclic places block i on locality (home+i) mod ranks.
+	DistCyclic
+	// DistBlocked places contiguous runs of ceil(n/ranks) blocks per
+	// locality, starting at the allocation's home.
+	DistBlocked
+)
+
+func (d Dist) String() string {
+	switch d {
+	case DistLocal:
+		return "local"
+	case DistCyclic:
+		return "cyclic"
+	case DistBlocked:
+		return "blocked"
+	}
+	return fmt.Sprintf("dist(%d)", uint8(d))
+}
+
+// Layout describes one allocation: a run of NBlocks consecutive block
+// numbers of BSize bytes each, distributed over Ranks localities starting
+// at the home encoded in Base. Layout is a value type; it is cheap to copy
+// and is replicated to every locality that touches the allocation.
+type Layout struct {
+	Base    GVA    // block 0, offset 0
+	BSize   uint32 // bytes per block
+	NBlocks uint32 // number of blocks
+	Ranks   int    // localities cycled over (>=1)
+	Dist    Dist
+}
+
+// Bytes returns the total size of the allocation in bytes.
+func (l Layout) Bytes() uint64 { return uint64(l.BSize) * uint64(l.NBlocks) }
+
+// At returns the address of global byte index i within the allocation.
+// It panics if i is out of range: workloads index with computed bounds,
+// so a bad index is a bug, not an input error.
+func (l Layout) At(i uint64) GVA {
+	if i >= l.Bytes() {
+		panic(fmt.Sprintf("gas: Layout.At(%d) out of range (%d bytes)", i, l.Bytes()))
+	}
+	d := uint32(i / uint64(l.BSize))
+	off := uint32(i % uint64(l.BSize))
+	return New(l.HomeOf(d), l.Base.Block()+BlockID(d), off)
+}
+
+// BlockAt returns the address of byte 0 of the allocation's d-th block.
+func (l Layout) BlockAt(d uint32) GVA {
+	if d >= l.NBlocks {
+		panic(fmt.Sprintf("gas: Layout.BlockAt(%d) out of range (%d blocks)", d, l.NBlocks))
+	}
+	return New(l.HomeOf(d), l.Base.Block()+BlockID(d), 0)
+}
+
+// HomeOf returns the home locality of the allocation's d-th block under
+// the layout's distribution.
+func (l Layout) HomeOf(d uint32) int {
+	base := l.Base.Home()
+	switch l.Dist {
+	case DistLocal:
+		return base
+	case DistCyclic:
+		return (base + int(d)) % l.Ranks
+	case DistBlocked:
+		per := (l.NBlocks + uint32(l.Ranks) - 1) / uint32(l.Ranks)
+		return (base + int(d/per)) % l.Ranks
+	}
+	panic("gas: unknown distribution")
+}
+
+// Index is the inverse of At for block-aligned addresses: it returns the
+// global byte index of g within the allocation, and false if g does not
+// belong to the allocation.
+func (l Layout) Index(g GVA) (uint64, bool) {
+	b := g.Block()
+	if b < l.Base.Block() || uint32(b-l.Base.Block()) >= l.NBlocks {
+		return 0, false
+	}
+	d := uint32(b - l.Base.Block())
+	return uint64(d)*uint64(l.BSize) + uint64(g.Offset()), true
+}

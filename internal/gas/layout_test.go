@@ -1,0 +1,143 @@
+package gas
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mkLayout(dist Dist, home int, base BlockID, bsize, nblocks uint32, ranks int) Layout {
+	return Layout{
+		Base:    New(home, base, 0),
+		BSize:   bsize,
+		NBlocks: nblocks,
+		Ranks:   ranks,
+		Dist:    dist,
+	}
+}
+
+func TestLayoutCyclicHomes(t *testing.T) {
+	l := mkLayout(DistCyclic, 1, 10, 64, 8, 4)
+	want := []int{1, 2, 3, 0, 1, 2, 3, 0}
+	for d, w := range want {
+		if got := l.HomeOf(uint32(d)); got != w {
+			t.Errorf("HomeOf(%d) = %d, want %d", d, got, w)
+		}
+	}
+}
+
+func TestLayoutBlockedHomes(t *testing.T) {
+	// 10 blocks over 4 ranks: per = ceil(10/4) = 3 -> ranks 0,0,0,1,1,1,2,2,2,3
+	l := mkLayout(DistBlocked, 0, 10, 64, 10, 4)
+	want := []int{0, 0, 0, 1, 1, 1, 2, 2, 2, 3}
+	for d, w := range want {
+		if got := l.HomeOf(uint32(d)); got != w {
+			t.Errorf("HomeOf(%d) = %d, want %d", d, got, w)
+		}
+	}
+}
+
+func TestLayoutLocalHomes(t *testing.T) {
+	l := mkLayout(DistLocal, 3, 10, 64, 5, 8)
+	for d := uint32(0); d < 5; d++ {
+		if got := l.HomeOf(d); got != 3 {
+			t.Errorf("HomeOf(%d) = %d, want 3", d, got)
+		}
+	}
+}
+
+func TestLayoutAtAddressing(t *testing.T) {
+	l := mkLayout(DistCyclic, 0, 100, 32, 4, 2)
+	g := l.At(0)
+	if g.Block() != 100 || g.Offset() != 0 || g.Home() != 0 {
+		t.Fatalf("At(0) = %v", g)
+	}
+	g = l.At(33) // second block, offset 1
+	if g.Block() != 101 || g.Offset() != 1 || g.Home() != 1 {
+		t.Fatalf("At(33) = %v", g)
+	}
+	g = l.At(127) // last byte
+	if g.Block() != 103 || g.Offset() != 31 || g.Home() != 1 {
+		t.Fatalf("At(127) = %v", g)
+	}
+}
+
+func TestLayoutAtOutOfRangePanics(t *testing.T) {
+	l := mkLayout(DistCyclic, 0, 100, 32, 4, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	l.At(l.Bytes())
+}
+
+func TestLayoutIndexInvertsAt(t *testing.T) {
+	f := func(rawIdx uint32, ranksRaw uint8, distRaw uint8) bool {
+		ranks := int(ranksRaw%7) + 1
+		dist := Dist(distRaw % 3)
+		l := mkLayout(dist, 0, 50, 128, 64, ranks)
+		i := uint64(rawIdx) % l.Bytes()
+		g := l.At(i)
+		got, ok := l.Index(g)
+		return ok && got == i
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLayoutIndexRejectsForeignBlocks(t *testing.T) {
+	l := mkLayout(DistCyclic, 0, 50, 128, 4, 2)
+	if _, ok := l.Index(New(0, 49, 0)); ok {
+		t.Error("block below range accepted")
+	}
+	if _, ok := l.Index(New(0, 54, 0)); ok {
+		t.Error("block above range accepted")
+	}
+}
+
+func TestLayoutCyclicCoversAllRanksEvenly(t *testing.T) {
+	// Property: a cyclic allocation of k*R blocks puts exactly k blocks
+	// on each rank.
+	f := func(kRaw, ranksRaw uint8) bool {
+		k := int(kRaw%5) + 1
+		r := int(ranksRaw%8) + 1
+		l := mkLayout(DistCyclic, 0, 10, 8, uint32(k*r), r)
+		counts := make([]int, r)
+		for d := uint32(0); d < l.NBlocks; d++ {
+			counts[l.HomeOf(d)]++
+		}
+		for _, c := range counts {
+			if c != k {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLayoutBlockAt(t *testing.T) {
+	l := mkLayout(DistCyclic, 1, 20, 16, 3, 4)
+	g := l.BlockAt(2)
+	if g.Block() != 22 || g.Offset() != 0 || g.Home() != 3 {
+		t.Fatalf("BlockAt(2) = %v", g)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range block")
+		}
+	}()
+	l.BlockAt(3)
+}
+
+func TestDistString(t *testing.T) {
+	if DistLocal.String() != "local" || DistCyclic.String() != "cyclic" || DistBlocked.String() != "blocked" {
+		t.Error("Dist.String mismatch")
+	}
+	if Dist(99).String() != "dist(99)" {
+		t.Error("unknown Dist.String mismatch")
+	}
+}

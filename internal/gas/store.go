@@ -1,0 +1,152 @@
+package gas
+
+import (
+	"fmt"
+	"sync"
+)
+
+// BlockKind distinguishes plain data blocks from LCO control blocks. LCOs
+// live in the global address space too (a parcel can target an LCO's GVA),
+// but their payload is interpreted by the LCO layer rather than read as
+// raw bytes.
+type BlockKind uint8
+
+const (
+	KindData BlockKind = iota
+	KindLCO
+)
+
+// Block is one unit of globally addressable memory resident on a locality.
+type Block struct {
+	ID    BlockID
+	Kind  BlockKind
+	BSize uint32
+	Data  []byte
+	// Pinned blocks (LCOs, per-locality infrastructure) refuse to
+	// migrate.
+	Pinned bool
+	// Frozen marks a read-only master: writes and migration are
+	// rejected (the block has replicas elsewhere).
+	Frozen bool
+	// Replica marks a read-only copy of a frozen master living on a
+	// non-owner locality. Replicas serve local reads only; they are
+	// invisible to ownership routing.
+	Replica bool
+	// Ctl holds the LCO object for KindLCO blocks; the concrete type is
+	// owned by the lco package. Keeping it as any avoids an import cycle.
+	Ctl any
+}
+
+// Store is a locality's table of resident blocks. It is safe for
+// concurrent use: the goroutine engine reaches into stores from multiple
+// locality actors, and the DES engine is single-threaded but shares the
+// same code path.
+type Store struct {
+	mu     sync.RWMutex
+	blocks map[BlockID]*Block
+}
+
+// NewStore returns an empty block store.
+func NewStore() *Store {
+	return &Store{blocks: make(map[BlockID]*Block)}
+}
+
+// Insert makes a block resident. It returns an error if the block is
+// already resident: double-insertion indicates a broken migration or
+// allocation protocol and must surface loudly in tests.
+func (s *Store) Insert(b *Block) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.blocks[b.ID]; ok {
+		return fmt.Errorf("gas: block %d already resident", b.ID)
+	}
+	s.blocks[b.ID] = b
+	return nil
+}
+
+// Create allocates and inserts a zeroed data block.
+func (s *Store) Create(id BlockID, bsize uint32) (*Block, error) {
+	if bsize == 0 || bsize > MaxBlockSize {
+		return nil, fmt.Errorf("gas: block size %d out of range: %w", bsize, ErrBadAddress)
+	}
+	b := &Block{ID: id, Kind: KindData, BSize: bsize, Data: make([]byte, bsize)}
+	if err := s.Insert(b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// Get returns the resident block with the given id, or false if the block
+// is not resident here (it may live on another locality).
+func (s *Store) Get(id BlockID) (*Block, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	b, ok := s.blocks[id]
+	return b, ok
+}
+
+// Remove evicts a block, returning it so a migration can ship its bytes.
+func (s *Store) Remove(id BlockID) (*Block, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.blocks[id]
+	if ok {
+		delete(s.blocks, id)
+	}
+	return b, ok
+}
+
+// Len returns the number of resident blocks.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.blocks)
+}
+
+// Range calls fn for every resident block until fn returns false. The
+// store lock is held during the walk; fn must not call back into the
+// store.
+func (s *Store) Range(fn func(*Block) bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, b := range s.blocks {
+		if !fn(b) {
+			return
+		}
+	}
+}
+
+// ReadAt copies len(dst) bytes from the block at the given offset. It
+// returns an error if the block is not resident or the range is out of
+// bounds.
+func (s *Store) ReadAt(id BlockID, off uint32, dst []byte) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	b, ok := s.blocks[id]
+	if !ok {
+		return fmt.Errorf("gas: read of non-resident block %d", id)
+	}
+	if uint64(off)+uint64(len(dst)) > uint64(len(b.Data)) {
+		return fmt.Errorf("gas: read [%d,%d) beyond block %d size %d: %w",
+			off, uint64(off)+uint64(len(dst)), id, len(b.Data), ErrBadAddress)
+	}
+	copy(dst, b.Data[off:])
+	return nil
+}
+
+// WriteAt copies src into the block at the given offset, with the same
+// error contract as ReadAt.
+func (s *Store) WriteAt(id BlockID, off uint32, src []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.blocks[id]
+	if !ok {
+		return fmt.Errorf("gas: write to non-resident block %d", id)
+	}
+	if uint64(off)+uint64(len(src)) > uint64(len(b.Data)) {
+		return fmt.Errorf("gas: write [%d,%d) beyond block %d size %d: %w",
+			off, uint64(off)+uint64(len(src)), id, len(b.Data), ErrBadAddress)
+	}
+	copy(b.Data[off:], src)
+	return nil
+}

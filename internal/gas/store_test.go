@@ -1,0 +1,170 @@
+package gas
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestStoreCreateGetRemove(t *testing.T) {
+	s := NewStore()
+	b, err := s.Create(7, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.ID != 7 || len(b.Data) != 64 || b.Kind != KindData {
+		t.Fatalf("bad block %+v", b)
+	}
+	got, ok := s.Get(7)
+	if !ok || got != b {
+		t.Fatal("Get after Create failed")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	rb, ok := s.Remove(7)
+	if !ok || rb != b {
+		t.Fatal("Remove failed")
+	}
+	if _, ok := s.Get(7); ok {
+		t.Fatal("block still resident after Remove")
+	}
+	if _, ok := s.Remove(7); ok {
+		t.Fatal("double Remove succeeded")
+	}
+}
+
+func TestStoreDoubleInsertFails(t *testing.T) {
+	s := NewStore()
+	if _, err := s.Create(1, 8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Create(1, 8); err == nil {
+		t.Fatal("double create must fail")
+	}
+}
+
+func TestStoreCreateBadSize(t *testing.T) {
+	s := NewStore()
+	if _, err := s.Create(1, 0); err == nil {
+		t.Fatal("zero-size block accepted")
+	}
+	if _, err := s.Create(2, MaxBlockSize+1); err == nil {
+		t.Fatal("oversized block accepted")
+	}
+	if _, err := s.Create(3, MaxBlockSize); err != nil {
+		t.Fatalf("max-size block rejected: %v", err)
+	}
+}
+
+func TestStoreReadWrite(t *testing.T) {
+	s := NewStore()
+	if _, err := s.Create(9, 32); err != nil {
+		t.Fatal(err)
+	}
+	src := []byte{1, 2, 3, 4}
+	if err := s.WriteAt(9, 10, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, 4)
+	if err := s.ReadAt(9, 10, dst); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(src, dst) {
+		t.Fatalf("read back %v", dst)
+	}
+}
+
+func TestStoreReadWriteBounds(t *testing.T) {
+	s := NewStore()
+	if _, err := s.Create(9, 32); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteAt(9, 30, []byte{1, 2, 3}); err == nil {
+		t.Fatal("out-of-bounds write accepted")
+	}
+	if err := s.ReadAt(9, 31, make([]byte, 2)); err == nil {
+		t.Fatal("out-of-bounds read accepted")
+	}
+	if err := s.ReadAt(8, 0, make([]byte, 1)); err == nil {
+		t.Fatal("read of absent block accepted")
+	}
+	if err := s.WriteAt(8, 0, []byte{1}); err == nil {
+		t.Fatal("write to absent block accepted")
+	}
+}
+
+func TestStoreRange(t *testing.T) {
+	s := NewStore()
+	for i := BlockID(1); i <= 5; i++ {
+		if _, err := s.Create(i, 8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seen := 0
+	s.Range(func(*Block) bool { seen++; return true })
+	if seen != 5 {
+		t.Fatalf("Range visited %d blocks", seen)
+	}
+	seen = 0
+	s.Range(func(*Block) bool { seen++; return false })
+	if seen != 1 {
+		t.Fatalf("early-stop Range visited %d blocks", seen)
+	}
+}
+
+func TestStoreConcurrentAccess(t *testing.T) {
+	// The goroutine engine hits stores from many locality actors at once;
+	// this must be race-free under -race.
+	s := NewStore()
+	const n = 64
+	for i := BlockID(1); i <= n; i++ {
+		if _, err := s.Create(i, 16); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			buf := make([]byte, 8)
+			for i := BlockID(1); i <= n; i++ {
+				if err := s.WriteAt(i, 0, []byte{byte(w), 1, 2, 3, 4, 5, 6, 7}); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := s.ReadAt(i, 0, buf); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestStoreWriteReadRoundTripProperty(t *testing.T) {
+	s := NewStore()
+	if _, err := s.Create(1, 1024); err != nil {
+		t.Fatal(err)
+	}
+	f := func(offRaw uint16, data []byte) bool {
+		if len(data) > 256 {
+			data = data[:256]
+		}
+		off := uint32(offRaw) % (1024 - 256)
+		if err := s.WriteAt(1, off, data); err != nil {
+			return false
+		}
+		got := make([]byte, len(data))
+		if err := s.ReadAt(1, off, got); err != nil {
+			return false
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,106 @@
+package lco
+
+// Combiner folds one contribution into an accumulator and returns the new
+// accumulator. acc is nil for the first contribution.
+type Combiner func(acc, in []byte) []byte
+
+// Reduce accumulates exactly n contributions through a combiner and fires
+// with the final accumulator.
+type Reduce struct {
+	base
+	need    int
+	acc     []byte
+	combine Combiner
+}
+
+// NewReduce returns a reduction over n contributions. n == 0 fires
+// immediately with a nil value.
+func NewReduce(n int, combine Combiner) *Reduce {
+	r := &Reduce{need: n, combine: combine}
+	if n == 0 {
+		r.fired = true
+	}
+	return r
+}
+
+// Set folds data into the accumulator and fires on the n-th contribution.
+func (r *Reduce) Set(data []byte) error {
+	r.mu.Lock()
+	if r.need == 0 {
+		r.mu.Unlock()
+		return ErrOverflow
+	}
+	r.acc = r.combine(r.acc, data)
+	r.need--
+	if r.need > 0 {
+		r.mu.Unlock()
+		return nil
+	}
+	v := r.acc
+	ts := r.fire(v)
+	r.mu.Unlock()
+	runAll(ts, v)
+	return nil
+}
+
+// Int64 reduction helpers used throughout the collectives and workloads.
+
+// SumI64 combines little-endian int64 contributions by addition.
+func SumI64(acc, in []byte) []byte { return foldI64(acc, in, func(a, b int64) int64 { return a + b }) }
+
+// MinI64 combines little-endian int64 contributions by minimum.
+func MinI64(acc, in []byte) []byte {
+	return foldI64(acc, in, func(a, b int64) int64 {
+		if b < a {
+			return b
+		}
+		return a
+	})
+}
+
+// MaxI64 combines little-endian int64 contributions by maximum.
+func MaxI64(acc, in []byte) []byte {
+	return foldI64(acc, in, func(a, b int64) int64 {
+		if b > a {
+			return b
+		}
+		return a
+	})
+}
+
+func foldI64(acc, in []byte, f func(a, b int64) int64) []byte {
+	v := decodeI64(in)
+	if acc == nil {
+		out := make([]byte, 8)
+		encodeI64(out, v)
+		return out
+	}
+	encodeI64(acc, f(decodeI64(acc), v))
+	return acc
+}
+
+func decodeI64(b []byte) int64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return int64(v)
+}
+
+func encodeI64(b []byte, v int64) {
+	u := uint64(v)
+	for i := 0; i < 8; i++ {
+		b[i] = byte(u >> (8 * i))
+	}
+}
+
+// EncodeI64 returns v as the 8-byte little-endian record the int64
+// combiners consume.
+func EncodeI64(v int64) []byte {
+	b := make([]byte, 8)
+	encodeI64(b, v)
+	return b
+}
+
+// DecodeI64 parses an 8-byte little-endian record.
+func DecodeI64(b []byte) int64 { return decodeI64(b) }

@@ -1,0 +1,97 @@
+package lco
+
+import "sync"
+
+// Sema is a counting semaphore with continuation-style acquisition:
+// Acquire registers a trigger that runs as soon as a unit is available.
+// It is not an LCO in the fire-once sense — it never becomes permanently
+// Ready — but it shares the non-blocking discipline.
+type Sema struct {
+	mu      sync.Mutex
+	units   int
+	waiters []Trigger
+}
+
+// NewSema returns a semaphore holding n units.
+func NewSema(n int) *Sema { return &Sema{units: n} }
+
+// Acquire runs t once a unit is available, consuming it. If a unit is
+// free now, t runs before Acquire returns.
+func (s *Sema) Acquire(t Trigger) {
+	s.mu.Lock()
+	if s.units > 0 {
+		s.units--
+		s.mu.Unlock()
+		t(nil)
+		return
+	}
+	s.waiters = append(s.waiters, t)
+	s.mu.Unlock()
+}
+
+// Release returns one unit, running the oldest waiter if any.
+func (s *Sema) Release() {
+	s.mu.Lock()
+	if len(s.waiters) > 0 {
+		t := s.waiters[0]
+		s.waiters = s.waiters[1:]
+		s.mu.Unlock()
+		t(nil)
+		return
+	}
+	s.units++
+	s.mu.Unlock()
+}
+
+// Units returns the currently free units (for tests).
+func (s *Sema) Units() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.units
+}
+
+// GenCount is a generation counter: triggers wait for the counter to
+// reach a specific generation. It models hpx's gencount LCO, used for
+// phased algorithms (e.g. stencil timesteps).
+type GenCount struct {
+	mu      sync.Mutex
+	gen     uint64
+	waiters map[uint64][]Trigger
+}
+
+// NewGenCount returns a counter at generation 0.
+func NewGenCount() *GenCount {
+	return &GenCount{waiters: make(map[uint64][]Trigger)}
+}
+
+// Gen returns the current generation.
+func (g *GenCount) Gen() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.gen
+}
+
+// WaitFor runs t once the counter reaches gen (immediately if it already
+// has).
+func (g *GenCount) WaitFor(gen uint64, t Trigger) {
+	g.mu.Lock()
+	if g.gen >= gen {
+		g.mu.Unlock()
+		t(nil)
+		return
+	}
+	g.waiters[gen] = append(g.waiters[gen], t)
+	g.mu.Unlock()
+}
+
+// Advance increments the generation and releases its waiters.
+func (g *GenCount) Advance() uint64 {
+	g.mu.Lock()
+	g.gen++
+	ts := g.waiters[g.gen]
+	delete(g.waiters, g.gen)
+	gen := g.gen
+	g.mu.Unlock()
+	runAll(ts, nil)
+	return gen
+}

@@ -1,0 +1,188 @@
+// Package loadbal implements migration-based load balancing: a heat
+// tracker fed by the runtime's data-path access hook, and a greedy
+// rebalancer that turns observed imbalance into block migrations. This is
+// the payoff side of the paper's argument — migration only matters if a
+// policy can exploit it — and only the AGAS modes can apply its plans.
+package loadbal
+
+import (
+	"sort"
+	"sync"
+
+	"nmvgas/internal/gas"
+	"nmvgas/internal/runtime"
+)
+
+// Tracker accumulates per-block access counts per owner rank. Install it
+// with Attach before the world starts.
+type Tracker struct {
+	mu    sync.Mutex
+	heat  map[gas.BlockID]uint64
+	byLoc []uint64
+}
+
+// Attach creates a tracker and hooks it into w's data path.
+func Attach(w *runtime.World) *Tracker {
+	t := &Tracker{
+		heat:  make(map[gas.BlockID]uint64),
+		byLoc: make([]uint64, w.Ranks()),
+	}
+	w.SetAccessHook(func(rank int, b gas.BlockID) {
+		t.mu.Lock()
+		t.heat[b]++
+		t.byLoc[rank]++
+		t.mu.Unlock()
+	})
+	return t
+}
+
+// Heat returns the access count recorded for block b.
+func (t *Tracker) Heat(b gas.BlockID) uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.heat[b]
+}
+
+// LoadOf returns the total accesses served by rank r.
+func (t *Tracker) LoadOf(r int) uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.byLoc[r]
+}
+
+// Reset clears all recorded heat (between measurement epochs).
+func (t *Tracker) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.heat = make(map[gas.BlockID]uint64)
+	for i := range t.byLoc {
+		t.byLoc[i] = 0
+	}
+}
+
+// Snapshot returns a copy of the block heat map.
+func (t *Tracker) Snapshot() map[gas.BlockID]uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[gas.BlockID]uint64, len(t.heat))
+	for b, h := range t.heat {
+		out[b] = h
+	}
+	return out
+}
+
+// Move is one planned migration.
+type Move struct {
+	Block gas.GVA
+	To    int
+}
+
+// blockLoad pairs a block of a layout with its heat and current owner.
+type blockLoad struct {
+	d     uint32
+	gva   gas.GVA
+	heat  uint64
+	owner int
+}
+
+// Plan computes a greedy rebalancing of one allocation: blocks are
+// assigned, hottest first, to the currently least-loaded rank, and a move
+// is emitted whenever that differs from the block's present owner. The
+// plan is deterministic for a given heat snapshot.
+func Plan(w *runtime.World, lay gas.Layout, heat map[gas.BlockID]uint64) []Move {
+	ranks := w.Ranks()
+	loads := make([]uint64, ranks)
+	var blocks []blockLoad
+	for d := uint32(0); d < lay.NBlocks; d++ {
+		g := lay.BlockAt(d)
+		b := g.Block()
+		home := lay.HomeOf(d)
+		owner := home
+		if dir := w.Locality(home).Directory(); dir != nil {
+			owner = dir.Resolve(b, home)
+		}
+		blocks = append(blocks, blockLoad{d: d, gva: g, heat: heat[b], owner: owner})
+	}
+	sort.Slice(blocks, func(i, j int) bool {
+		if blocks[i].heat != blocks[j].heat {
+			return blocks[i].heat > blocks[j].heat
+		}
+		return blocks[i].d < blocks[j].d
+	})
+	var moves []Move
+	for _, bl := range blocks {
+		// Least-loaded rank, ties to the current owner then lowest rank.
+		best := bl.owner
+		for r := 0; r < ranks; r++ {
+			if loads[r] < loads[best] {
+				best = r
+			}
+		}
+		loads[best] += bl.heat
+		if best != bl.owner {
+			moves = append(moves, Move{Block: bl.gva, To: best})
+		}
+	}
+	return moves
+}
+
+// Apply issues the planned migrations from rank `from` and returns the
+// futures to wait on.
+func Apply(w *runtime.World, from int, moves []Move) []*runtime.LCORef {
+	futs := make([]*runtime.LCORef, 0, len(moves))
+	for _, mv := range moves {
+		futs = append(futs, w.Proc(from).Migrate(mv.Block, mv.To))
+	}
+	return futs
+}
+
+// Rebalance is Plan + Apply + wait. It returns the number of blocks
+// moved. The error is non-nil if any migration failed.
+func Rebalance(w *runtime.World, from int, lay gas.Layout, t *Tracker) (int, error) {
+	moves := Plan(w, lay, t.Snapshot())
+	futs := Apply(w, from, moves)
+	for _, f := range futs {
+		v, err := w.Wait(f)
+		if err != nil {
+			return 0, err
+		}
+		if runtime.MigrateStatus(v) != runtime.MigrateOK {
+			continue
+		}
+	}
+	return len(moves), nil
+}
+
+// Consolidate moves every block of an allocation to one rank — the
+// pointer-chase experiment's "create locality" step.
+func Consolidate(w *runtime.World, from int, lay gas.Layout, to int) error {
+	var futs []*runtime.LCORef
+	for d := uint32(0); d < lay.NBlocks; d++ {
+		futs = append(futs, w.Proc(from).Migrate(lay.BlockAt(d), to))
+	}
+	for _, f := range futs {
+		if _, err := w.Wait(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Imbalance returns max/mean of per-rank loads (1.0 = perfectly even).
+func Imbalance(loads []uint64) float64 {
+	if len(loads) == 0 {
+		return 1
+	}
+	var sum, max uint64
+	for _, l := range loads {
+		sum += l
+		if l > max {
+			max = l
+		}
+	}
+	if sum == 0 {
+		return 1
+	}
+	mean := float64(sum) / float64(len(loads))
+	return float64(max) / mean
+}

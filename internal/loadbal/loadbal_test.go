@@ -1,0 +1,170 @@
+package loadbal
+
+import (
+	"testing"
+
+	"nmvgas/internal/gas"
+	"nmvgas/internal/runtime"
+)
+
+func newWorld(t *testing.T, mode runtime.Mode) *runtime.World {
+	t.Helper()
+	w, err := runtime.NewWorld(runtime.Config{Ranks: 4, Mode: mode, Engine: runtime.EngineDES})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Stop)
+	return w
+}
+
+func TestTrackerCountsAccesses(t *testing.T) {
+	w := newWorld(t, runtime.AGASNM)
+	tr := Attach(w)
+	touch := w.Register("touch", func(c *runtime.Ctx) { c.Continue(nil) })
+	w.Start()
+	lay, err := w.AllocCyclic(0, 64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		w.MustWait(w.Proc(0).Call(lay.BlockAt(1), touch, nil))
+	}
+	w.MustWait(w.Proc(0).Put(lay.BlockAt(2), []byte{1}))
+
+	if got := tr.Heat(lay.BlockAt(1).Block()); got != 6 {
+		t.Fatalf("heat = %d", got)
+	}
+	if got := tr.Heat(lay.BlockAt(2).Block()); got != 1 {
+		t.Fatalf("put heat = %d", got)
+	}
+	if tr.LoadOf(lay.HomeOf(1)) < 6 {
+		t.Fatalf("rank load = %d", tr.LoadOf(lay.HomeOf(1)))
+	}
+	tr.Reset()
+	if tr.Heat(lay.BlockAt(1).Block()) != 0 {
+		t.Fatal("Reset did not clear heat")
+	}
+}
+
+func TestPlanSpreadsHotBlocks(t *testing.T) {
+	w := newWorld(t, runtime.AGASNM)
+	w.Start()
+	// All 8 blocks on rank 0; make them uniformly hot: a greedy plan
+	// must spread them 2-2-2-2.
+	lay, err := w.AllocLocal(0, 64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heat := make(map[gas.BlockID]uint64)
+	for d := uint32(0); d < 8; d++ {
+		heat[lay.BlockAt(d).Block()] = 100
+	}
+	moves := Plan(w, lay, heat)
+	if len(moves) != 6 {
+		t.Fatalf("planned %d moves, want 6 (keep 2 of 8 local)", len(moves))
+	}
+	dest := map[int]int{0: 2}
+	for _, m := range moves {
+		dest[m.To]++
+	}
+	for r := 0; r < 4; r++ {
+		if dest[r] != 2 {
+			t.Fatalf("rank %d assigned %d blocks: %v", r, dest[r], dest)
+		}
+	}
+}
+
+func TestPlanLeavesColdLayoutAlone(t *testing.T) {
+	w := newWorld(t, runtime.AGASNM)
+	w.Start()
+	lay, err := w.AllocCyclic(0, 64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moves := Plan(w, lay, map[gas.BlockID]uint64{})
+	if len(moves) != 0 {
+		t.Fatalf("zero-heat plan moved %d blocks", len(moves))
+	}
+}
+
+func TestRebalanceEndToEnd(t *testing.T) {
+	for _, mode := range []runtime.Mode{runtime.AGASSW, runtime.AGASNM} {
+		w := newWorld(t, mode)
+		tr := Attach(w)
+		bump := w.Register("bump", func(c *runtime.Ctx) {
+			d := c.Local(c.P.Target)
+			d[0]++
+			c.Continue(nil)
+		})
+		w.Start()
+		lay, err := w.AllocLocal(0, 64, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for d := uint32(0); d < 8; d++ {
+			for i := 0; i < 10; i++ {
+				w.MustWait(w.Proc(1).Call(lay.BlockAt(d), bump, nil))
+			}
+		}
+		moved, err := Rebalance(w, 0, lay, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if moved == 0 {
+			t.Fatal("rebalance moved nothing despite full imbalance")
+		}
+		// Data still correct everywhere after moving.
+		for d := uint32(0); d < 8; d++ {
+			got := w.MustWait(w.Proc(2).Get(lay.BlockAt(d), 1))
+			if got[0] != 10 {
+				t.Fatalf("%s: block %d data = %d after rebalance", mode, d, got[0])
+			}
+		}
+		// Residency matches the plan's effect: no rank holds more than
+		// 2 of the data blocks plus its infrastructure block.
+		base := lay.Base.Block()
+		for r := 0; r < 4; r++ {
+			n := 0
+			for d := uint32(0); d < 8; d++ {
+				if _, ok := w.Locality(r).Store().Get(base + gas.BlockID(d)); ok {
+					n++
+				}
+			}
+			if n > 2 {
+				t.Fatalf("%s: rank %d holds %d blocks after rebalance", mode, r, n)
+			}
+		}
+	}
+}
+
+func TestConsolidate(t *testing.T) {
+	w := newWorld(t, runtime.AGASNM)
+	w.Start()
+	lay, err := w.AllocCyclic(0, 64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Consolidate(w, 0, lay, 3); err != nil {
+		t.Fatal(err)
+	}
+	for d := uint32(0); d < 8; d++ {
+		if _, ok := w.Locality(3).Store().Get(lay.BlockAt(d).Block()); !ok {
+			t.Fatalf("block %d not consolidated to rank 3", d)
+		}
+	}
+}
+
+func TestImbalanceMetric(t *testing.T) {
+	if Imbalance(nil) != 1 {
+		t.Fatal("empty imbalance")
+	}
+	if Imbalance([]uint64{0, 0}) != 1 {
+		t.Fatal("zero imbalance")
+	}
+	if got := Imbalance([]uint64{10, 10, 10, 10}); got != 1 {
+		t.Fatalf("even imbalance = %v", got)
+	}
+	if got := Imbalance([]uint64{40, 0, 0, 0}); got != 4 {
+		t.Fatalf("skewed imbalance = %v", got)
+	}
+}

@@ -1,0 +1,149 @@
+// Package netsim is the simulated network substrate: a deterministic
+// discrete-event engine, a LogGP-style cost model, and a NIC model with an
+// on-NIC translation table.
+//
+// The paper's system ran over RDMA hardware (Photon middleware on
+// InfiniBand / uGNI). This package is the documented substitution: it
+// reproduces the *architectural* properties that matter for the paper's
+// claims — where translation happens (host software vs NIC), how many
+// wire hops and host round-trips each policy costs, NIC occupancy, and
+// translation-table capacity — on a simulated clock that Go's garbage
+// collector cannot perturb.
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// VTime is simulated time in nanoseconds since the start of the run.
+type VTime int64
+
+// Common durations.
+const (
+	Nanosecond  VTime = 1
+	Microsecond VTime = 1000
+	Millisecond VTime = 1000 * 1000
+	Second      VTime = 1000 * 1000 * 1000
+)
+
+func (t VTime) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", float64(t)/float64(Second))
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fµs", float64(t)/float64(Microsecond))
+	}
+	return fmt.Sprintf("%dns", int64(t))
+}
+
+// Micros returns t in microseconds as a float, for table output.
+func (t VTime) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+type event struct {
+	at  VTime
+	seq uint64 // tie-break so equal-time events run in schedule order
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peek() event   { return h[0] }
+
+// Engine is a single-threaded discrete-event simulator. All simulated
+// work — NIC activity, host handlers, runtime actions — runs as events on
+// one goroutine, which makes every run bit-for-bit deterministic.
+type Engine struct {
+	heap eventHeap
+	now  VTime
+	seq  uint64
+	// processed counts executed events, exposed for sanity checks and the
+	// engine-overhead ablation.
+	processed uint64
+}
+
+// NewEngine returns an engine at simulated time zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulated time.
+func (e *Engine) Now() VTime { return e.now }
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Pending returns the number of scheduled-but-unexecuted events.
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// At schedules fn to run at absolute simulated time t. Scheduling in the
+// past is a protocol bug and panics.
+func (e *Engine) At(t VTime, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("netsim: scheduling at %v before now %v", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.heap, event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current simulated time.
+func (e *Engine) After(d VTime, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("netsim: negative delay %v", d))
+	}
+	e.At(e.now+d, fn)
+}
+
+// Step executes the next event, returning false when the queue is empty.
+func (e *Engine) Step() bool {
+	if len(e.heap) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.heap).(event)
+	e.now = ev.at
+	e.processed++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue drains.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events until done reports true or the queue drains.
+// It returns whether done was satisfied. The predicate is evaluated after
+// every event.
+func (e *Engine) RunUntil(done func() bool) bool {
+	if done() {
+		return true
+	}
+	for e.Step() {
+		if done() {
+			return true
+		}
+	}
+	return done()
+}
+
+// RunFor executes events with timestamps up to and including deadline.
+func (e *Engine) RunFor(d VTime) {
+	deadline := e.now + d
+	for len(e.heap) > 0 && e.heap.peek().at <= deadline {
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}

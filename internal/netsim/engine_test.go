@@ -1,0 +1,162 @@
+package netsim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.At(30, func() { got = append(got, 3) })
+	e.At(10, func() { got = append(got, 1) })
+	e.At(20, func() { got = append(got, 2) })
+	e.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("execution order %v", got)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("Now = %v", e.Now())
+	}
+}
+
+func TestEngineFIFOAtEqualTimes(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("equal-time events ran out of order: %v", got)
+		}
+	}
+}
+
+func TestEngineAfterNesting(t *testing.T) {
+	e := NewEngine()
+	var fired []VTime
+	e.At(10, func() {
+		e.After(5, func() { fired = append(fired, e.Now()) })
+	})
+	e.Run()
+	if len(fired) != 1 || fired[0] != 15 {
+		t.Fatalf("nested After fired at %v", fired)
+	}
+}
+
+func TestEngineSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic for past scheduling")
+			}
+		}()
+		e.At(5, func() {})
+	})
+	e.Run()
+}
+
+func TestEngineNegativeDelayPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for negative delay")
+		}
+	}()
+	e.After(-1, func() {})
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	for i := 1; i <= 10; i++ {
+		e.At(VTime(i), func() { n++ })
+	}
+	ok := e.RunUntil(func() bool { return n >= 4 })
+	if !ok || n != 4 {
+		t.Fatalf("RunUntil stopped at n=%d ok=%v", n, ok)
+	}
+	if e.Pending() != 6 {
+		t.Fatalf("Pending = %d", e.Pending())
+	}
+	if ok := e.RunUntil(func() bool { return n >= 100 }); ok {
+		t.Fatal("RunUntil claimed success on unreachable predicate")
+	}
+	if n != 10 {
+		t.Fatalf("queue not drained, n=%d", n)
+	}
+}
+
+func TestEngineRunFor(t *testing.T) {
+	e := NewEngine()
+	var fired []VTime
+	for _, at := range []VTime{5, 10, 15, 20} {
+		at := at
+		e.At(at, func() { fired = append(fired, at) })
+	}
+	e.RunFor(12)
+	if len(fired) != 2 {
+		t.Fatalf("RunFor(12) fired %v", fired)
+	}
+	if e.Now() != 12 {
+		t.Fatalf("Now = %v after RunFor, want 12", e.Now())
+	}
+	e.RunFor(8)
+	if len(fired) != 4 {
+		t.Fatalf("second RunFor fired %v", fired)
+	}
+}
+
+func TestEngineDeterministicUnderRandomInsertion(t *testing.T) {
+	run := func(seed int64) []int {
+		e := NewEngine()
+		rng := rand.New(rand.NewSource(seed))
+		var got []int
+		for i := 0; i < 200; i++ {
+			i := i
+			e.At(VTime(rng.Intn(50)), func() { got = append(got, i) })
+		}
+		e.Run()
+		return got
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different schedules")
+		}
+	}
+	// And timestamps must be non-decreasing.
+	e := NewEngine()
+	rng := rand.New(rand.NewSource(7))
+	var times []VTime
+	for i := 0; i < 100; i++ {
+		e.At(VTime(rng.Intn(1000)), func() { times = append(times, e.Now()) })
+	}
+	e.Run()
+	if !sort.SliceIsSorted(times, func(i, j int) bool { return times[i] < times[j] }) {
+		t.Fatal("event times not monotonic")
+	}
+}
+
+func TestVTimeString(t *testing.T) {
+	cases := map[VTime]string{
+		5:                "5ns",
+		1500:             "1.500µs",
+		2 * Millisecond:  "2.000ms",
+		3 * Second:       "3.000s",
+		42 * Microsecond: "42.000µs",
+	}
+	for v, want := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int64(v), got, want)
+		}
+	}
+	if m := (1500 * Nanosecond).Micros(); m != 1.5 {
+		t.Errorf("Micros = %v", m)
+	}
+}

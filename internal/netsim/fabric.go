@@ -1,0 +1,80 @@
+package netsim
+
+import (
+	"fmt"
+
+	"nmvgas/internal/gas"
+)
+
+// FabricConfig configures a fabric build.
+type FabricConfig struct {
+	Ranks int
+	Model Model
+	// GVARouting enables NIC-side translation on every NIC (the
+	// network-managed mode).
+	GVARouting bool
+	// Policy applies to all NICs when GVARouting is on.
+	Policy Policy
+	// NICTableCap bounds each NIC's translation table (0 = unbounded).
+	// The paper's NIC tables are finite; the capacity cliff is part of
+	// the evaluation.
+	NICTableCap int
+	// Topology defaults to Crossbar when nil.
+	Topology Topology
+}
+
+// Fabric is a full-crossbar network of NICs driven by one discrete-event
+// engine: every pair of localities is directly connected, with per-NIC
+// transmit occupancy and a uniform per-hop wire latency.
+type Fabric struct {
+	Eng   *Engine
+	Model Model
+	Topo  Topology
+	NICs  []*NIC
+}
+
+// NewFabric builds a fabric with cfg.Ranks NICs on the given engine.
+func NewFabric(eng *Engine, cfg FabricConfig) *Fabric {
+	if cfg.Ranks <= 0 {
+		panic(fmt.Sprintf("netsim: fabric with %d ranks", cfg.Ranks))
+	}
+	topo := cfg.Topology
+	if topo == nil {
+		topo = Crossbar{}
+	}
+	f := &Fabric{Eng: eng, Model: cfg.Model, Topo: topo, NICs: make([]*NIC, cfg.Ranks)}
+	for r := range f.NICs {
+		f.NICs[r] = &NIC{
+			Rank:       r,
+			GVARouting: cfg.GVARouting,
+			Policy:     cfg.Policy,
+			Table:      NewTransTable(cfg.NICTableCap),
+			routes:     make(map[gas.BlockID]int),
+			fab:        f,
+		}
+	}
+	return f
+}
+
+// NIC returns the interface of the given rank.
+func (f *Fabric) NIC(rank int) *NIC { return f.NICs[rank] }
+
+// Ranks returns the number of localities on the fabric.
+func (f *Fabric) Ranks() int { return len(f.NICs) }
+
+// TotalStats sums per-NIC counters across the fabric.
+func (f *Fabric) TotalStats() NICStats {
+	var t NICStats
+	for _, n := range f.NICs {
+		t.Sent += n.Stats.Sent
+		t.Received += n.Stats.Received
+		t.BytesTx += n.Stats.BytesTx
+		t.BytesRx += n.Stats.BytesRx
+		t.Forwards += n.Stats.Forwards
+		t.Nacks += n.Stats.Nacks
+		t.TableUpdatesRx += n.Stats.TableUpdatesRx
+		t.DMADelivered += n.Stats.DMADelivered
+		t.HostDelivered += n.Stats.HostDelivered
+	}
+	return t
+}

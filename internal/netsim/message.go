@@ -1,0 +1,70 @@
+package netsim
+
+import "nmvgas/internal/gas"
+
+// ByGVA as a destination asks the source NIC to resolve the destination
+// from the message's Target address (the network-managed path). Explicit
+// ranks mean the host already resolved the destination in software.
+const ByGVA = -1
+
+// Ctl values classify fabric-internal control traffic.
+const (
+	// CtlNone marks ordinary runtime traffic.
+	CtlNone uint8 = iota
+	// CtlTableUpdate is consumed by the receiving NIC: it installs a
+	// block→owner entry pushed by a forwarding NIC. It never reaches the
+	// host.
+	CtlTableUpdate
+	// CtlNack is delivered to the source host after a message arrived
+	// somewhere that could not accept it; the runtime re-resolves and
+	// resends. Owner carries the correct owner when the NACKing side
+	// knew it, else -1.
+	CtlNack
+)
+
+// Message is one unit of fabric traffic. Payload is opaque to the fabric;
+// Wire is the accounted on-the-wire size in bytes (header + payload).
+type Message struct {
+	Kind uint8 // runtime-defined discriminator, opaque here
+	Ctl  uint8 // CtlNone for runtime traffic
+
+	Src int // originating rank
+	Dst int // resolved rank, or ByGVA
+
+	// Target is the global address the message operates on. For
+	// GVA-routed and DMA messages the fabric inspects its block number;
+	// otherwise it is along for the ride.
+	Target gas.GVA
+
+	// DMA marks one-sided traffic: on arrival at the owner the NIC
+	// performs the transfer itself (no host receive overhead). Parcels
+	// are two-sided and always cross the host on delivery.
+	DMA bool
+
+	Payload any
+	Wire    int
+
+	// Hops counts in-network forwards, for stats and loop detection.
+	Hops int
+
+	// Block is the routing key, cached from Target at injection.
+	Block gas.BlockID
+
+	// Owner piggybacks owner information on control messages.
+	Owner int
+
+	// Nacked carries the original message inside a CtlNack so the source
+	// can resend it without reconstructing state.
+	Nacked *Message
+
+	// OpID correlates one-sided operations with their completions; the
+	// fabric carries it opaquely.
+	OpID uint64
+
+	// N is a request length for one-sided reads, carried opaquely.
+	N uint32
+}
+
+// wireHeader approximates the fixed per-message header size the codec and
+// NIC descriptors contribute.
+const wireHeader = 32

@@ -1,0 +1,73 @@
+package netsim
+
+// Model holds the cost parameters of the simulated fabric, in the spirit
+// of LogGP extended with the translation costs the paper's design space
+// exposes. All times are simulated nanoseconds.
+//
+// The defaults are calibrated to the 2015/2016-era RDMA clusters this line
+// of work evaluated on (FDR InfiniBand-class): ~1.2 µs small-message
+// one-way latency, ~5 GB/s per-link bandwidth, sub-100 ns NIC table
+// operations, and host software overheads in the few-hundred-nanosecond
+// range. Absolute values are not the point — the ratios between host
+// software costs, NIC costs, and wire costs are what reproduce the paper's
+// qualitative results.
+type Model struct {
+	// Latency is the wire propagation delay per hop.
+	Latency VTime
+	// OSend is host software overhead to inject a message (descriptor
+	// build + doorbell).
+	OSend VTime
+	// ORecv is host software overhead to receive a delivered message
+	// (completion processing + dispatch into the runtime).
+	ORecv VTime
+	// Gap is the per-message NIC occupancy independent of size.
+	Gap VTime
+	// GByte is the per-byte NIC serialization time in ns/byte
+	// (1 GB/s == 1.0, 5 GB/s == 0.2).
+	GByte float64
+	// NICLookup is the cost of one lookup in a NIC-resident translation
+	// table (the network-managed path).
+	NICLookup VTime
+	// NICUpdate is the cost of installing or changing one NIC table entry.
+	NICUpdate VTime
+	// NICForward is the NIC-side cost of bouncing a message to the
+	// block's current owner without host involvement (the message then
+	// pays transmission + Latency again for the extra hop).
+	NICForward VTime
+	// SWLookup is the cost of one software translation-cache probe on the
+	// host (hash + locking), paid per operation in software-managed AGAS.
+	SWLookup VTime
+	// HandlerDispatch is the fixed cost of running a parcel handler on
+	// the host (scheduler pop + action table dispatch).
+	HandlerDispatch VTime
+	// MemCopyByte is host memcpy cost in ns/byte, charged when block data
+	// is staged (e.g. migration pack/unpack).
+	MemCopyByte float64
+}
+
+// DefaultModel returns the calibrated baseline model described above.
+func DefaultModel() Model {
+	return Model{
+		Latency:         900 * Nanosecond,
+		OSend:           250 * Nanosecond,
+		ORecv:           300 * Nanosecond,
+		Gap:             100 * Nanosecond,
+		GByte:           0.2, // 5 GB/s
+		NICLookup:       60 * Nanosecond,
+		NICUpdate:       90 * Nanosecond,
+		NICForward:      120 * Nanosecond,
+		SWLookup:        350 * Nanosecond,
+		HandlerDispatch: 200 * Nanosecond,
+		MemCopyByte:     0.05, // 20 GB/s host copy
+	}
+}
+
+// TxTime returns the NIC occupancy needed to push n bytes onto the wire.
+func (m Model) TxTime(n int) VTime {
+	return m.Gap + VTime(float64(n)*m.GByte)
+}
+
+// CopyTime returns host memcpy time for n bytes.
+func (m Model) CopyTime(n int) VTime {
+	return VTime(float64(n) * m.MemCopyByte)
+}

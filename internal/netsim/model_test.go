@@ -1,0 +1,49 @@
+package netsim
+
+import "testing"
+
+func TestDefaultModelSane(t *testing.T) {
+	m := DefaultModel()
+	if m.Latency <= 0 || m.OSend <= 0 || m.ORecv <= 0 || m.Gap <= 0 {
+		t.Fatal("default model has non-positive base costs")
+	}
+	// The ratios the experiments depend on: NIC translation must be much
+	// cheaper than software translation, and both far below wire latency.
+	if m.NICLookup >= m.SWLookup {
+		t.Fatal("NIC lookup not cheaper than software lookup")
+	}
+	if m.SWLookup >= m.Latency {
+		t.Fatal("software lookup dwarfs wire latency; model miscalibrated")
+	}
+	if m.GByte <= 0 || m.MemCopyByte <= 0 {
+		t.Fatal("per-byte rates must be positive")
+	}
+	if m.MemCopyByte >= m.GByte {
+		t.Fatal("host copy slower than the wire; model miscalibrated")
+	}
+}
+
+func TestTxTimeScalesWithSize(t *testing.T) {
+	m := DefaultModel()
+	small, big := m.TxTime(64), m.TxTime(64*1024)
+	if big <= small {
+		t.Fatal("TxTime not increasing in size")
+	}
+	if got, want := m.TxTime(0), m.Gap; got != want {
+		t.Fatalf("zero-byte TxTime = %v, want Gap %v", got, want)
+	}
+	// 5 GB/s: 64 KiB serializes in ~13.1 µs plus the gap.
+	if big < 13*Microsecond || big > 14*Microsecond {
+		t.Fatalf("64KiB TxTime = %v, expected ~13.2µs at 5 GB/s", big)
+	}
+}
+
+func TestCopyTime(t *testing.T) {
+	m := DefaultModel()
+	if m.CopyTime(0) != 0 {
+		t.Fatal("zero-byte copy must cost nothing")
+	}
+	if m.CopyTime(1<<20) <= m.CopyTime(1<<10) {
+		t.Fatal("CopyTime not increasing")
+	}
+}

@@ -1,0 +1,316 @@
+package netsim
+
+import (
+	"fmt"
+
+	"nmvgas/internal/gas"
+)
+
+// maxHops bounds in-network forwarding chains; exceeding it means the
+// ownership protocol is broken, which must fail loudly.
+const maxHops = 16
+
+// Policy selects how a GVA-routing NIC reacts to traffic for blocks it
+// does not own. The defaults (both true) are the paper's design; the
+// alternatives exist for the ablation benchmarks.
+type Policy struct {
+	// ForwardInNetwork bounces misdelivered traffic straight to the
+	// current owner at NIC cost. When false, the NIC NACKs to the source
+	// host instead, which must resend (a software round-trip).
+	ForwardInNetwork bool
+	// PushUpdates makes a forwarding NIC push the correct owner to the
+	// source NIC's table so later traffic goes direct.
+	PushUpdates bool
+}
+
+// DefaultPolicy returns the paper's configuration: in-network forwarding
+// with pushed table updates.
+func DefaultPolicy() Policy {
+	return Policy{ForwardInNetwork: true, PushUpdates: true}
+}
+
+// NICStats are cumulative per-NIC counters.
+type NICStats struct {
+	Sent, Received   uint64
+	BytesTx, BytesRx uint64
+	Forwards         uint64
+	Nacks            uint64
+	TableUpdatesRx   uint64
+	DMADelivered     uint64
+	HostDelivered    uint64
+}
+
+// NIC models one locality's network interface. When GVARouting is on (the
+// network-managed mode), the NIC resolves GVA-addressed traffic from its
+// translation table, forwards in-network when a block has moved, and
+// absorbs table-update control messages — all without host involvement.
+// With GVARouting off it is a plain dumb NIC: hosts must resolve
+// destinations in software.
+type NIC struct {
+	Rank       int
+	GVARouting bool
+	Policy     Policy
+
+	// Table is the bounded NIC-resident translation cache consulted at
+	// injection time. Entries installed by forwarding/commit control
+	// traffic land here too.
+	Table *TransTable
+
+	// routes holds entries this NIC is authoritative for: the home
+	// mirror of the directory plus forwarding tombstones left by
+	// migrations away from this locality. Unlike Table it is never
+	// evicted, because losing authoritative state would break routing.
+	routes map[gas.BlockID]int
+
+	// Resident reports whether the host currently holds a block. Set by
+	// the runtime before traffic flows.
+	Resident func(gas.BlockID) bool
+	// HostDeliver hands a message to the host runtime (two-sided
+	// delivery, DMA faults, NACKs). The runtime charges its own host
+	// receive overheads.
+	HostDeliver func(*Message)
+	// DMADeliver performs a one-sided transfer against host memory at
+	// NIC cost. Only called when the block is resident.
+	DMADeliver func(*Message)
+
+	fab    *Fabric
+	txFree VTime
+	rxFree VTime
+	Stats  NICStats
+}
+
+// InstallRoute records authoritative owner knowledge (home mirror entry or
+// forwarding tombstone) at NIC table-update cost. The runtime calls this
+// at migration commit.
+func (n *NIC) InstallRoute(block gas.BlockID, owner int) {
+	n.routes[block] = owner
+}
+
+// DropRoute removes authoritative knowledge for block (used by free).
+func (n *NIC) DropRoute(block gas.BlockID) {
+	delete(n.routes, block)
+}
+
+// Route returns this NIC's authoritative knowledge for block, if any.
+func (n *NIC) Route(block gas.BlockID) (int, bool) {
+	o, ok := n.routes[block]
+	return o, ok
+}
+
+// Send injects a message. The caller has already paid host injection
+// overhead and set m.Src (forwarded and re-sent messages keep their
+// original source so completions and table updates reach the right
+// place); this charges NIC-side costs: source translation (when routing
+// by GVA), transmit occupancy, serialization, and wire latency.
+func (n *NIC) Send(m *Message) {
+	if !m.Target.IsNull() {
+		m.Block = m.Target.Block()
+	}
+	cost := VTime(0)
+	if m.Dst == ByGVA {
+		if !n.GVARouting {
+			panic("netsim: ByGVA send on a NIC without GVA routing")
+		}
+		cost += n.fab.Model.NICLookup
+		if owner, ok := n.Table.Lookup(m.Block); ok {
+			m.Dst = owner
+		} else if owner, ok := n.routes[m.Block]; ok {
+			m.Dst = owner
+		} else {
+			// No local knowledge: route to the home locality, whose NIC
+			// is authoritative.
+			m.Dst = m.Target.Home()
+		}
+	}
+	n.transmit(m, cost)
+}
+
+// transmit charges tx occupancy (scaled by the path's bandwidth taper)
+// and schedules wire arrival at the destination NIC; the receiving NIC's
+// rx link then serializes the bytes before handing the message up, which
+// is what makes incast visible.
+func (n *NIC) transmit(m *Message, extra VTime) {
+	if m.Dst < 0 || m.Dst >= len(n.fab.NICs) {
+		panic(fmt.Sprintf("netsim: transmit to bad rank %d", m.Dst))
+	}
+	eng, model := n.fab.Eng, n.fab.Model
+	wire := m.Wire
+	if wire == 0 {
+		wire = wireHeader
+	}
+	hops := 1
+	bw := 1.0
+	if m.Dst != n.Rank {
+		hops = n.fab.Topo.Hops(n.Rank, m.Dst)
+		bw = n.fab.Topo.BWFactor(n.Rank, m.Dst)
+	}
+	ser := model.Gap + VTime(float64(wire)*model.GByte*bw)
+	start := eng.Now() + extra
+	if n.txFree > start {
+		start = n.txFree
+	}
+	n.txFree = start + ser
+	n.Stats.Sent++
+	n.Stats.BytesTx += uint64(wire)
+	arrive := n.txFree + model.Latency*VTime(hops)
+	dst := n.fab.NICs[m.Dst]
+	eng.At(arrive, func() {
+		// Rx-link occupancy: an isolated arrival delivers immediately
+		// (its serialization was already paid at the sender), but the
+		// receive link drains at link rate, so concurrent senders to one
+		// NIC (incast) queue behind each other.
+		ready := eng.Now()
+		if dst.rxFree > ready {
+			ready = dst.rxFree
+		}
+		dst.rxFree = ready + VTime(float64(wire)*model.GByte*bw)
+		if ready == eng.Now() {
+			dst.receive(m)
+			return
+		}
+		eng.At(ready, func() { dst.receive(m) })
+	})
+}
+
+// receive handles wire arrival: control consumption, ownership checks,
+// in-network forwarding or NACKing, and final delivery.
+func (n *NIC) receive(m *Message) {
+	model := n.fab.Model
+	n.Stats.Received++
+	wire := m.Wire
+	if wire == 0 {
+		wire = wireHeader
+	}
+	n.Stats.BytesRx += uint64(wire)
+
+	switch m.Ctl {
+	case CtlTableUpdate:
+		// Consumed entirely on the NIC.
+		n.Stats.TableUpdatesRx++
+		n.fab.Eng.After(model.NICUpdate, func() {
+			n.Table.Update(m.Block, m.Owner)
+		})
+		return
+	case CtlNack:
+		// NACKs terminate at the source host.
+		n.deliverHost(m)
+		return
+	}
+
+	if m.Target.IsNull() {
+		// Pure rank-addressed traffic (bootstrap, collectives wiring).
+		n.deliverHost(m)
+		return
+	}
+
+	resident := n.Resident != nil && n.Resident(m.Block)
+	if resident {
+		n.deliver(m)
+		return
+	}
+
+	// The block is not here. A GVA-routing NIC fixes that in the network;
+	// a dumb NIC can only involve the host.
+	if n.GVARouting {
+		n.misroute(m)
+		return
+	}
+	if m.DMA {
+		// One-sided op faulting on a dumb NIC: the target host software
+		// must get involved (it owns the tombstone state).
+		n.deliverHost(m)
+		return
+	}
+	// Two-sided traffic always reaches the host, which forwards in
+	// software.
+	n.deliverHost(m)
+}
+
+// misroute handles a GVA-routed arrival for a non-resident block.
+func (n *NIC) misroute(m *Message) {
+	model := n.fab.Model
+	owner, known := n.routes[m.Block]
+	if !known {
+		owner, known = n.Table.Peek(m.Block)
+	}
+	if !known {
+		if n.Rank == m.Target.Home() {
+			// Home has no knowledge: the block was never allocated or
+			// was freed. Hand to the host, which reports the error.
+			n.deliverHost(m)
+			return
+		}
+		// Stale delivery somewhere with no knowledge: fall back to home.
+		owner = m.Target.Home()
+	}
+	if owner == n.Rank {
+		// Routing says we own it but it is not resident: the migration
+		// protocol is mid-flight and the host is queueing for this
+		// block. Let the host arbitrate.
+		n.deliverHost(m)
+		return
+	}
+	if !n.Policy.ForwardInNetwork {
+		n.nack(m, owner)
+		return
+	}
+	m.Hops++
+	if m.Hops > maxHops {
+		panic(fmt.Sprintf("netsim: forwarding loop for block %d (hops=%d)", m.Block, m.Hops))
+	}
+	n.Stats.Forwards++
+	if n.Policy.PushUpdates && m.Src != n.Rank {
+		upd := &Message{
+			Ctl:   CtlTableUpdate,
+			Src:   n.Rank,
+			Dst:   m.Src,
+			Block: m.Block,
+			Owner: owner,
+			Wire:  wireHeader,
+		}
+		n.transmit(upd, model.NICForward)
+	}
+	fwd := *m
+	fwd.Dst = owner
+	n.transmit(&fwd, model.NICForward)
+}
+
+// nack bounces a message back to the source host with owner advice.
+func (n *NIC) nack(m *Message, owner int) {
+	n.Stats.Nacks++
+	nk := &Message{
+		Ctl:    CtlNack,
+		Src:    n.Rank,
+		Dst:    m.Src,
+		Block:  m.Block,
+		Owner:  owner,
+		Wire:   wireHeader,
+		Nacked: m,
+	}
+	n.transmit(nk, n.fab.Model.NICForward)
+}
+
+// deliver completes a message at its owner: DMA at the NIC or handoff to
+// the host.
+func (n *NIC) deliver(m *Message) {
+	if m.DMA {
+		n.Stats.DMADelivered++
+		copyCost := n.fab.Model.CopyTime(m.Wire)
+		n.fab.Eng.After(copyCost, func() {
+			if n.DMADeliver == nil {
+				panic(fmt.Sprintf("netsim: DMA delivery on rank %d without a DMA handler", n.Rank))
+			}
+			n.DMADeliver(m)
+		})
+		return
+	}
+	n.deliverHost(m)
+}
+
+func (n *NIC) deliverHost(m *Message) {
+	n.Stats.HostDelivered++
+	if n.HostDeliver == nil {
+		panic(fmt.Sprintf("netsim: host delivery on rank %d without a handler", n.Rank))
+	}
+	n.HostDeliver(m)
+}

@@ -1,0 +1,119 @@
+package netsim
+
+import (
+	"testing"
+
+	"nmvgas/internal/gas"
+)
+
+func TestForwardingLoopGuardPanics(t *testing.T) {
+	// Two NICs with authoritative routes pointing at each other and the
+	// block resident nowhere: a broken ownership protocol. The fabric
+	// must fail loudly rather than bounce forever.
+	h := newHarness(t, 3, true, Policy{ForwardInNetwork: true}, 0)
+	h.fab.NIC(1).InstallRoute(50, 2)
+	h.fab.NIC(2).InstallRoute(50, 1)
+	h.fab.NIC(0).Send(&Message{Src: 0, Dst: ByGVA, Target: gas.New(1, 50, 0), Wire: 32})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("forwarding loop did not panic")
+		}
+	}()
+	h.eng.Run()
+}
+
+func TestMissingHostHandlerPanics(t *testing.T) {
+	eng := NewEngine()
+	fab := NewFabric(eng, FabricConfig{Ranks: 2, Model: DefaultModel()})
+	fab.NIC(1).Resident = func(gas.BlockID) bool { return false }
+	// No HostDeliver installed on rank 1.
+	fab.NIC(0).Send(&Message{Src: 0, Dst: 1, Wire: 16})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("delivery without a handler did not panic")
+		}
+	}()
+	eng.Run()
+}
+
+func TestMissingDMAHandlerPanics(t *testing.T) {
+	eng := NewEngine()
+	fab := NewFabric(eng, FabricConfig{Ranks: 2, Model: DefaultModel()})
+	fab.NIC(1).Resident = func(gas.BlockID) bool { return true }
+	fab.NIC(1).HostDeliver = func(*Message) {}
+	fab.NIC(0).Send(&Message{Src: 0, Dst: 1, Target: gas.New(1, 9, 0), DMA: true, Wire: 64})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("DMA without a handler did not panic")
+		}
+	}()
+	eng.Run()
+}
+
+func TestTransmitToBadRankPanics(t *testing.T) {
+	h := newHarness(t, 2, false, Policy{}, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad destination did not panic")
+		}
+	}()
+	h.fab.NIC(0).Send(&Message{Src: 0, Dst: 7, Wire: 16})
+}
+
+func TestCtlUpdatesRespectTableCapacity(t *testing.T) {
+	// Pushed table updates land in the bounded table and evict LRU-style
+	// like any other entry.
+	h := newHarness(t, 2, true, DefaultPolicy(), 2)
+	for b := gas.BlockID(1); b <= 5; b++ {
+		h.fab.NIC(1).Send(&Message{
+			Ctl: CtlTableUpdate, Src: 1, Dst: 0,
+			Target: gas.New(0, b, 0), Owner: 1, Wire: 32,
+		})
+	}
+	h.eng.Run()
+	nic := h.fab.NIC(0)
+	if nic.Table.Len() != 2 {
+		t.Fatalf("table len %d, want capacity 2", nic.Table.Len())
+	}
+	if _, ok := nic.Table.Peek(5); !ok {
+		t.Fatal("newest pushed entry missing")
+	}
+	if nic.Stats.TableUpdatesRx != 5 {
+		t.Fatalf("update counter %d", nic.Stats.TableUpdatesRx)
+	}
+}
+
+func TestRouteAndDrop(t *testing.T) {
+	h := newHarness(t, 2, true, DefaultPolicy(), 0)
+	nic := h.fab.NIC(0)
+	nic.InstallRoute(7, 1)
+	if o, ok := nic.Route(7); !ok || o != 1 {
+		t.Fatalf("Route = %d,%v", o, ok)
+	}
+	nic.DropRoute(7)
+	if _, ok := nic.Route(7); ok {
+		t.Fatal("route survived DropRoute")
+	}
+}
+
+func TestDefaultWireSizeApplied(t *testing.T) {
+	h := newHarness(t, 2, false, Policy{}, 0)
+	h.fab.NIC(0).Send(&Message{Src: 0, Dst: 1}) // Wire unset
+	h.eng.Run()
+	st := h.fab.NIC(0).Stats
+	if st.BytesTx != wireHeader {
+		t.Fatalf("default wire accounting %d, want %d", st.BytesTx, wireHeader)
+	}
+}
+
+func TestZeroPolicyWithRoutingStillDelivers(t *testing.T) {
+	// GVARouting with the zero policy (no forwarding, no pushes): stale
+	// traffic NACKs; direct traffic still flows.
+	h := newHarness(t, 2, true, Policy{}, 0)
+	h.resident[1][9] = true
+	h.fab.NIC(0).Send(&Message{Src: 0, Dst: ByGVA, Target: gas.New(1, 9, 0), Wire: 16})
+	h.eng.Run()
+	if len(h.hostRx[1]) != 1 {
+		t.Fatal("direct delivery broken under zero policy")
+	}
+}

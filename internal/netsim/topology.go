@@ -1,0 +1,73 @@
+package netsim
+
+import "fmt"
+
+// Topology maps a (src, dst) pair to a hop count and a bandwidth taper.
+// The paper's clusters are fat-tree-ish: most of the evaluation behaves
+// like a crossbar, but in-network forwarding costs depend on where the
+// forwarding NIC sits, so the harness can swap in a two-tier topology to
+// check that the conclusions survive oversubscription.
+type Topology interface {
+	// Hops returns the number of wire traversals between two ranks
+	// (>= 1 for distinct ranks).
+	Hops(src, dst int) int
+	// BWFactor scales per-byte serialization for the path (1.0 = full
+	// link speed; > 1 models oversubscription).
+	BWFactor(src, dst int) float64
+	Name() string
+}
+
+// Crossbar is the default full-bisection topology: one hop everywhere,
+// full bandwidth.
+type Crossbar struct{}
+
+// Hops returns 1 for every distinct pair.
+func (Crossbar) Hops(src, dst int) int { return 1 }
+
+// BWFactor returns 1 (no taper).
+func (Crossbar) BWFactor(src, dst int) float64 { return 1 }
+
+// Name returns "crossbar".
+func (Crossbar) Name() string { return "crossbar" }
+
+// TwoTier groups ranks into pods of PodSize behind an oversubscribed
+// spine: intra-pod traffic is one hop at full bandwidth; inter-pod
+// traffic crosses the spine (three hops) at Oversub× serialization.
+type TwoTier struct {
+	PodSize int
+	Oversub float64
+}
+
+// NewTwoTier validates and builds a two-tier topology.
+func NewTwoTier(podSize int, oversub float64) TwoTier {
+	if podSize < 1 {
+		panic(fmt.Sprintf("netsim: pod size %d", podSize))
+	}
+	if oversub < 1 {
+		panic(fmt.Sprintf("netsim: oversubscription %v < 1", oversub))
+	}
+	return TwoTier{PodSize: podSize, Oversub: oversub}
+}
+
+func (t TwoTier) pod(r int) int { return r / t.PodSize }
+
+// Hops returns 1 inside a pod, 3 across the spine.
+func (t TwoTier) Hops(src, dst int) int {
+	if t.pod(src) == t.pod(dst) {
+		return 1
+	}
+	return 3
+}
+
+// BWFactor returns 1 inside a pod, Oversub across the spine.
+func (t TwoTier) BWFactor(src, dst int) float64 {
+	if t.pod(src) == t.pod(dst) {
+		return 1
+	}
+	return t.Oversub
+}
+
+// Name returns a descriptive label.
+func (t TwoTier) Name() string {
+	return fmt.Sprintf("two-tier(pod=%d,oversub=%.1fx)", t.PodSize, t.Oversub)
+}

@@ -1,0 +1,103 @@
+package netsim
+
+import (
+	"testing"
+
+	"nmvgas/internal/gas"
+)
+
+func TestCrossbarTopology(t *testing.T) {
+	var c Crossbar
+	if c.Hops(0, 5) != 1 || c.BWFactor(0, 5) != 1 {
+		t.Fatal("crossbar must be one full-rate hop")
+	}
+	if c.Name() != "crossbar" {
+		t.Fatal("name")
+	}
+}
+
+func TestTwoTierTopology(t *testing.T) {
+	tt := NewTwoTier(4, 2.0)
+	if tt.Hops(0, 3) != 1 || tt.BWFactor(0, 3) != 1 {
+		t.Fatal("intra-pod must be local")
+	}
+	if tt.Hops(0, 4) != 3 || tt.BWFactor(0, 4) != 2 {
+		t.Fatal("inter-pod must cross the spine")
+	}
+	if tt.Name() == "" {
+		t.Fatal("name")
+	}
+	mustPanic := func(fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic")
+			}
+		}()
+		fn()
+	}
+	mustPanic(func() { NewTwoTier(0, 2) })
+	mustPanic(func() { NewTwoTier(4, 0.5) })
+}
+
+func TestTwoTierLatencyDifference(t *testing.T) {
+	deliver := func(dst int) VTime {
+		eng := NewEngine()
+		fab := NewFabric(eng, FabricConfig{
+			Ranks:    8,
+			Model:    DefaultModel(),
+			Topology: NewTwoTier(4, 2.0),
+		})
+		var at VTime = -1
+		for r := 0; r < 8; r++ {
+			nic := fab.NIC(r)
+			nic.Resident = func(gas.BlockID) bool { return false }
+			nic.HostDeliver = func(*Message) { at = eng.Now() }
+		}
+		fab.NIC(0).Send(&Message{Dst: dst, Wire: 64})
+		eng.Run()
+		return at
+	}
+	intra, inter := deliver(1), deliver(7)
+	if inter <= intra {
+		t.Fatalf("inter-pod (%v) not slower than intra-pod (%v)", inter, intra)
+	}
+	model := DefaultModel()
+	if inter-intra < 2*model.Latency {
+		t.Fatalf("spine crossing added only %v, want >= 2 wire latencies", inter-intra)
+	}
+}
+
+func TestRxIncastQueuing(t *testing.T) {
+	// Two senders hitting one NIC at once: the second delivery must wait
+	// for the receive link to drain the first. An isolated message must
+	// be unaffected.
+	model := DefaultModel()
+	run := func(senders int) []VTime {
+		eng := NewEngine()
+		fab := NewFabric(eng, FabricConfig{Ranks: 4, Model: model})
+		var deliveries []VTime
+		for r := 0; r < 4; r++ {
+			nic := fab.NIC(r)
+			nic.Resident = func(gas.BlockID) bool { return false }
+			nic.HostDeliver = func(*Message) { deliveries = append(deliveries, eng.Now()) }
+		}
+		for s := 1; s <= senders; s++ {
+			fab.NIC(s).Send(&Message{Dst: 0, Wire: 16384})
+		}
+		eng.Run()
+		return deliveries
+	}
+	solo := run(1)
+	pair := run(2)
+	if len(solo) != 1 || len(pair) != 2 {
+		t.Fatalf("deliveries: solo=%d pair=%d", len(solo), len(pair))
+	}
+	if pair[0] != solo[0] {
+		t.Fatalf("first of pair (%v) delayed relative to solo (%v)", pair[0], solo[0])
+	}
+	minGap := VTime(float64(16384) * model.GByte)
+	if gap := pair[1] - pair[0]; gap < minGap {
+		t.Fatalf("incast gap %v below rx serialization %v", gap, minGap)
+	}
+}

@@ -1,0 +1,108 @@
+package netsim
+
+import (
+	"container/list"
+
+	"nmvgas/internal/gas"
+)
+
+// TransTable is a block → owner translation table with optional capacity
+// bounding and LRU replacement. It models the NIC-resident table of the
+// network-managed design (NIC memory is finite, so capacity and its miss
+// cliff are first-class concerns) and doubles as the software translation
+// cache in the software-managed baseline (where capacity is usually
+// unbounded but the probe is more expensive — the cost difference is
+// charged by the caller, not here).
+type TransTable struct {
+	cap   int // 0 means unbounded
+	m     map[gas.BlockID]*list.Element
+	order *list.List // front = most recently used
+
+	hits, misses, evictions, updates uint64
+}
+
+type ttEntry struct {
+	block gas.BlockID
+	owner int
+}
+
+// NewTransTable returns a table bounded to capacity entries; capacity 0
+// means unbounded.
+func NewTransTable(capacity int) *TransTable {
+	return &TransTable{
+		cap:   capacity,
+		m:     make(map[gas.BlockID]*list.Element),
+		order: list.New(),
+	}
+}
+
+// Lookup returns the cached owner of block, recording a hit or miss.
+func (t *TransTable) Lookup(block gas.BlockID) (owner int, ok bool) {
+	el, ok := t.m[block]
+	if !ok {
+		t.misses++
+		return 0, false
+	}
+	t.hits++
+	t.order.MoveToFront(el)
+	return el.Value.(*ttEntry).owner, true
+}
+
+// Peek is Lookup without touching the LRU order or the hit/miss counters
+// (used by invariant checks and tests).
+func (t *TransTable) Peek(block gas.BlockID) (owner int, ok bool) {
+	el, ok := t.m[block]
+	if !ok {
+		return 0, false
+	}
+	return el.Value.(*ttEntry).owner, true
+}
+
+// Update installs or overwrites the owner of block, evicting the least
+// recently used entry if the table is full.
+func (t *TransTable) Update(block gas.BlockID, owner int) {
+	t.updates++
+	if el, ok := t.m[block]; ok {
+		el.Value.(*ttEntry).owner = owner
+		t.order.MoveToFront(el)
+		return
+	}
+	if t.cap > 0 && t.order.Len() >= t.cap {
+		back := t.order.Back()
+		t.order.Remove(back)
+		delete(t.m, back.Value.(*ttEntry).block)
+		t.evictions++
+	}
+	t.m[block] = t.order.PushFront(&ttEntry{block: block, owner: owner})
+}
+
+// Invalidate removes block's entry if present, reporting whether it was.
+func (t *TransTable) Invalidate(block gas.BlockID) bool {
+	el, ok := t.m[block]
+	if !ok {
+		return false
+	}
+	t.order.Remove(el)
+	delete(t.m, block)
+	return true
+}
+
+// Len returns the number of resident entries.
+func (t *TransTable) Len() int { return t.order.Len() }
+
+// Cap returns the configured capacity (0 = unbounded).
+func (t *TransTable) Cap() int { return t.cap }
+
+// Stats returns cumulative hit/miss/eviction/update counters.
+func (t *TransTable) Stats() (hits, misses, evictions, updates uint64) {
+	return t.hits, t.misses, t.evictions, t.updates
+}
+
+// HitRate returns hits/(hits+misses), or 0 if no lookups happened.
+func (t *TransTable) HitRate() float64 {
+	total := t.hits + t.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(t.hits) / float64(total)
+}

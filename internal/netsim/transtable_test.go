@@ -1,0 +1,120 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nmvgas/internal/gas"
+)
+
+func TestTransTableBasic(t *testing.T) {
+	tt := NewTransTable(0)
+	if _, ok := tt.Lookup(1); ok {
+		t.Fatal("empty table hit")
+	}
+	tt.Update(1, 3)
+	if o, ok := tt.Lookup(1); !ok || o != 3 {
+		t.Fatalf("Lookup(1) = %d,%v", o, ok)
+	}
+	tt.Update(1, 5) // overwrite
+	if o, _ := tt.Lookup(1); o != 5 {
+		t.Fatalf("overwrite failed, got %d", o)
+	}
+	if tt.Len() != 1 {
+		t.Fatalf("Len = %d", tt.Len())
+	}
+}
+
+func TestTransTableInvalidate(t *testing.T) {
+	tt := NewTransTable(0)
+	tt.Update(2, 1)
+	if !tt.Invalidate(2) {
+		t.Fatal("Invalidate of present entry returned false")
+	}
+	if tt.Invalidate(2) {
+		t.Fatal("double Invalidate returned true")
+	}
+	if _, ok := tt.Lookup(2); ok {
+		t.Fatal("entry survived Invalidate")
+	}
+}
+
+func TestTransTableLRUEviction(t *testing.T) {
+	tt := NewTransTable(3)
+	tt.Update(1, 0)
+	tt.Update(2, 0)
+	tt.Update(3, 0)
+	tt.Lookup(1) // 1 becomes MRU; LRU order now 2,3,1
+	tt.Update(4, 0)
+	if _, ok := tt.Peek(2); ok {
+		t.Fatal("LRU entry 2 not evicted")
+	}
+	for _, b := range []gas.BlockID{1, 3, 4} {
+		if _, ok := tt.Peek(b); !ok {
+			t.Fatalf("entry %d wrongly evicted", b)
+		}
+	}
+	_, _, ev, _ := tt.Stats()
+	if ev != 1 {
+		t.Fatalf("evictions = %d", ev)
+	}
+}
+
+func TestTransTableCapacityNeverExceeded(t *testing.T) {
+	f := func(ops []uint16, capRaw uint8) bool {
+		capacity := int(capRaw%16) + 1
+		tt := NewTransTable(capacity)
+		for _, op := range ops {
+			tt.Update(gas.BlockID(op%64), int(op%8))
+			if tt.Len() > capacity {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransTablePeekDoesNotPerturb(t *testing.T) {
+	tt := NewTransTable(2)
+	tt.Update(1, 0)
+	tt.Update(2, 0)
+	tt.Peek(1) // must NOT refresh 1
+	tt.Update(3, 0)
+	if _, ok := tt.Peek(1); ok {
+		t.Fatal("Peek refreshed LRU position")
+	}
+	h, m, _, _ := tt.Stats()
+	if h != 0 || m != 0 {
+		t.Fatalf("Peek counted in stats: hits=%d misses=%d", h, m)
+	}
+}
+
+func TestTransTableHitRate(t *testing.T) {
+	tt := NewTransTable(0)
+	if tt.HitRate() != 0 {
+		t.Fatal("hit rate of untouched table must be 0")
+	}
+	tt.Update(1, 0)
+	tt.Lookup(1)
+	tt.Lookup(2)
+	if got := tt.HitRate(); got != 0.5 {
+		t.Fatalf("HitRate = %v", got)
+	}
+}
+
+func TestTransTableUnboundedGrows(t *testing.T) {
+	tt := NewTransTable(0)
+	for i := 0; i < 10000; i++ {
+		tt.Update(gas.BlockID(i), i%7)
+	}
+	if tt.Len() != 10000 {
+		t.Fatalf("Len = %d", tt.Len())
+	}
+	_, _, ev, _ := tt.Stats()
+	if ev != 0 {
+		t.Fatalf("unbounded table evicted %d entries", ev)
+	}
+}

@@ -1,0 +1,123 @@
+// Package nmagas implements the paper's primary contribution: keeping the
+// active global address space's translation state in the *network* rather
+// than in runtime software. The authoritative ownership directory (package
+// agas) is still the source of truth, but every change to it is mirrored
+// into NIC-resident translation state so that the data path — parcel
+// sends, one-sided puts and gets — is resolved and repaired entirely
+// below the host:
+//
+//   - at the source, the NIC translates GVA→owner from its bounded table
+//     (falling back to the home encoded in the address);
+//   - at a stale destination, the NIC forwards in-network using the route
+//     the migration commit installed, with no host involvement;
+//   - forwarding NICs push corrected entries back to source NICs so the
+//     steady state is one direct hop.
+//
+// This package owns the mirroring protocol (what the home and the old and
+// new owners install at migration commit) and the update-policy knobs the
+// ablation benchmarks sweep.
+package nmagas
+
+import (
+	"nmvgas/internal/gas"
+	"nmvgas/internal/netsim"
+)
+
+// UpdatePolicy selects how NIC tables learn about migrations beyond the
+// mandatory authoritative installs at the home and old owner.
+type UpdatePolicy uint8
+
+const (
+	// UpdateOnForward is the paper's design: source NICs learn lazily,
+	// from pushes emitted by forwarding NICs (netsim Policy.PushUpdates).
+	UpdateOnForward UpdatePolicy = iota
+	// UpdateBroadcast eagerly pushes every commit to every NIC. It makes
+	// the first post-migration send direct at the price of O(ranks)
+	// control messages per migration — the ablation quantifies when that
+	// trade is worth it.
+	UpdateBroadcast
+)
+
+// Mirror applies directory changes to NIC translation state. One Mirror
+// serves a whole fabric; its methods are called by the runtime at the
+// protocol points of the migration state machine.
+type Mirror struct {
+	fab    *netsim.Fabric
+	policy UpdatePolicy
+
+	installs   uint64
+	broadcasts uint64
+}
+
+// NewMirror returns a mirror over fab with the given update policy.
+func NewMirror(fab *netsim.Fabric, policy UpdatePolicy) *Mirror {
+	return &Mirror{fab: fab, policy: policy}
+}
+
+// Policy returns the configured update policy.
+func (m *Mirror) Policy() UpdatePolicy { return m.policy }
+
+// CommitAtHome installs the authoritative route for block at its home
+// NIC. Called when the home processes a migration commit. The caller is
+// responsible for charging netsim NICUpdate cost on the home's timeline.
+func (m *Mirror) CommitAtHome(home int, block gas.BlockID, owner int) {
+	m.installs++
+	m.fab.NIC(home).InstallRoute(block, owner)
+	if m.policy == UpdateBroadcast {
+		m.broadcastUpdate(home, block, owner)
+	}
+}
+
+// TombstoneAtOldOwner installs the forwarding route at the NIC of the
+// locality the block just left, so in-flight and stale traffic bounces
+// onward without host involvement.
+func (m *Mirror) TombstoneAtOldOwner(old int, block gas.BlockID, owner int) {
+	m.installs++
+	m.fab.NIC(old).InstallRoute(block, owner)
+}
+
+// ClearResident removes stale routes at the *new* owner: once the block
+// is resident its NIC must not hold a route entry saying it lives
+// elsewhere (left over if the block bounced through this locality
+// before).
+func (m *Mirror) ClearResident(owner int, block gas.BlockID) {
+	nic := m.fab.NIC(owner)
+	nic.DropRoute(block)
+	nic.Table.Invalidate(block)
+}
+
+// Drop removes all NIC state for block everywhere (used by free). It is a
+// bookkeeping sweep, not a simulated broadcast: free is a setup-phase
+// operation in this reproduction.
+func (m *Mirror) Drop(block gas.BlockID) {
+	for _, nic := range m.fab.NICs {
+		nic.DropRoute(block)
+		nic.Table.Invalidate(block)
+	}
+}
+
+// broadcastUpdate pushes CtlTableUpdate messages from home to every other
+// NIC; deliveries are simulated traffic, so the eager policy's cost is
+// visible in the results.
+func (m *Mirror) broadcastUpdate(home int, block gas.BlockID, owner int) {
+	m.broadcasts++
+	src := m.fab.NIC(home)
+	for r := 0; r < m.fab.Ranks(); r++ {
+		if r == home {
+			continue
+		}
+		src.Send(&netsim.Message{
+			Ctl:    netsim.CtlTableUpdate,
+			Src:    home,
+			Dst:    r,
+			Target: gas.New(home, block, 0),
+			Owner:  owner,
+			Wire:   32,
+		})
+	}
+}
+
+// Stats returns the cumulative install and broadcast counts.
+func (m *Mirror) Stats() (installs, broadcasts uint64) {
+	return m.installs, m.broadcasts
+}

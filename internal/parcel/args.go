@@ -1,0 +1,25 @@
+package parcel
+
+import "encoding/binary"
+
+// Argument marshalling helpers. Actions exchange small fixed records;
+// these helpers keep payload construction allocation-light and uniform
+// across the runtime, the collectives, and the workloads.
+
+// PutU64 appends v to b in little-endian order.
+func PutU64(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(b, v) }
+
+// PutU32 appends v to b in little-endian order.
+func PutU32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+
+// PutI64 appends v to b in little-endian two's-complement order.
+func PutI64(b []byte, v int64) []byte { return PutU64(b, uint64(v)) }
+
+// U64 reads the little-endian uint64 at offset off.
+func U64(b []byte, off int) uint64 { return binary.LittleEndian.Uint64(b[off:]) }
+
+// U32 reads the little-endian uint32 at offset off.
+func U32(b []byte, off int) uint32 { return binary.LittleEndian.Uint32(b[off:]) }
+
+// I64 reads the little-endian int64 at offset off.
+func I64(b []byte, off int) int64 { return int64(U64(b, off)) }

@@ -1,0 +1,79 @@
+package parcel
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"nmvgas/internal/gas"
+)
+
+// Wire format, little-endian:
+//
+//	0      magic (1 byte) = 0xA9
+//	1      version (1 byte) = 1
+//	2..3   action
+//	4..11  target GVA
+//	12..13 continuation action
+//	14..21 continuation GVA
+//	22..25 source rank (uint32)
+//	26..33 sequence number
+//	34..37 payload length (uint32)
+//	38..   payload
+const (
+	codecMagic   = 0xA9
+	codecVersion = 1
+	headerSize   = 38
+)
+
+// ErrCodec reports a malformed encoded parcel.
+var ErrCodec = errors.New("parcel: malformed encoding")
+
+// AppendEncode appends p's wire encoding to dst and returns the extended
+// slice; callers reuse buffers on hot paths.
+func AppendEncode(dst []byte, p *Parcel) []byte {
+	dst = append(dst, codecMagic, codecVersion)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(p.Action))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(p.Target))
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(p.CAction))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(p.CTarget))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(p.Src))
+	dst = binary.LittleEndian.AppendUint64(dst, p.Seq)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(p.Payload)))
+	return append(dst, p.Payload...)
+}
+
+// Encode returns p's wire encoding.
+func Encode(p *Parcel) []byte {
+	return AppendEncode(make([]byte, 0, p.WireSize()), p)
+}
+
+// Decode parses one encoded parcel. The returned parcel's payload aliases
+// buf.
+func Decode(buf []byte) (*Parcel, error) {
+	if len(buf) < headerSize {
+		return nil, fmt.Errorf("%w: %d bytes, need at least %d", ErrCodec, len(buf), headerSize)
+	}
+	if buf[0] != codecMagic {
+		return nil, fmt.Errorf("%w: bad magic %#x", ErrCodec, buf[0])
+	}
+	if buf[1] != codecVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCodec, buf[1])
+	}
+	p := &Parcel{
+		Action:  ActionID(binary.LittleEndian.Uint16(buf[2:])),
+		Target:  gas.GVA(binary.LittleEndian.Uint64(buf[4:])),
+		CAction: ActionID(binary.LittleEndian.Uint16(buf[12:])),
+		CTarget: gas.GVA(binary.LittleEndian.Uint64(buf[14:])),
+		Src:     int(binary.LittleEndian.Uint32(buf[22:])),
+		Seq:     binary.LittleEndian.Uint64(buf[26:]),
+	}
+	n := binary.LittleEndian.Uint32(buf[34:])
+	if uint64(headerSize)+uint64(n) != uint64(len(buf)) {
+		return nil, fmt.Errorf("%w: payload length %d does not match buffer %d", ErrCodec, n, len(buf))
+	}
+	if n > 0 {
+		p.Payload = buf[headerSize : headerSize+n]
+	}
+	return p, nil
+}

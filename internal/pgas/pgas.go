@@ -1,0 +1,39 @@
+// Package pgas implements the static-translation baseline: the classical
+// partitioned global address space in which an address's owner is a pure
+// function of the address. Translation is arithmetic — no table, no
+// directory, no network state — which makes it the latency floor every
+// AGAS design is measured against. The price is rigidity: blocks can
+// never move, so data locality can only be chosen once, at allocation.
+package pgas
+
+import (
+	"errors"
+
+	"nmvgas/internal/gas"
+)
+
+// ErrNoMigration is returned for any attempt to migrate a block under
+// static PGAS addressing.
+var ErrNoMigration = errors.New("pgas: static addressing cannot migrate blocks")
+
+// Resolver performs arithmetic translation.
+type Resolver struct {
+	ranks int
+}
+
+// NewResolver returns a resolver for a world of the given size.
+func NewResolver(ranks int) *Resolver { return &Resolver{ranks: ranks} }
+
+// Owner returns the locality that owns g: always its encoded home. The
+// error return exists to share a signature with dynamic resolvers and is
+// non-nil only for addresses outside the world.
+func (r *Resolver) Owner(g gas.GVA) (int, error) {
+	h := g.Home()
+	if h >= r.ranks {
+		return 0, gas.ErrBadAddress
+	}
+	return h, nil
+}
+
+// Ranks returns the world size the resolver was built for.
+func (r *Resolver) Ranks() int { return r.ranks }

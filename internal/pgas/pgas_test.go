@@ -1,0 +1,38 @@
+package pgas
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"nmvgas/internal/gas"
+)
+
+func TestOwnerIsAlwaysHome(t *testing.T) {
+	r := NewResolver(8)
+	f := func(homeRaw uint8, block uint32, off uint32) bool {
+		home := int(homeRaw % 8)
+		g := gas.New(home, gas.BlockID(block), off&(gas.MaxBlockSize-1))
+		o, err := r.Owner(g)
+		return err == nil && o == home
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOwnerRejectsOutOfWorld(t *testing.T) {
+	r := NewResolver(4)
+	if _, err := r.Owner(gas.New(4, 1, 0)); !errors.Is(err, gas.ErrBadAddress) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := r.Owner(gas.New(3, 1, 0)); err != nil {
+		t.Fatalf("in-world address rejected: %v", err)
+	}
+}
+
+func TestRanks(t *testing.T) {
+	if NewResolver(16).Ranks() != 16 {
+		t.Fatal("Ranks mismatch")
+	}
+}

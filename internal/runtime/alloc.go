@@ -1,0 +1,93 @@
+package runtime
+
+import (
+	"fmt"
+
+	"nmvgas/internal/gas"
+)
+
+// Global allocation. Block-number reservation goes through the shared
+// sequence and block creation writes directly into the owning stores:
+// this is a documented setup-phase shortcut (see gas.Sequence) — the
+// paper's evaluation concerns the data path (translation, forwarding,
+// migration), not allocation throughput. Allocation is safe to call
+// before Start and concurrently with running traffic (stores lock), but
+// the returned layout must be communicated to actions by the caller.
+
+// AllocCyclic distributes nblocks blocks of bsize bytes round-robin over
+// all localities, starting at origin.
+func (w *World) AllocCyclic(origin int, bsize, nblocks uint32) (gas.Layout, error) {
+	return w.alloc(origin, bsize, nblocks, gas.DistCyclic)
+}
+
+// AllocBlocked distributes contiguous runs of blocks per locality.
+func (w *World) AllocBlocked(origin int, bsize, nblocks uint32) (gas.Layout, error) {
+	return w.alloc(origin, bsize, nblocks, gas.DistBlocked)
+}
+
+// AllocLocal places every block on origin.
+func (w *World) AllocLocal(origin int, bsize, nblocks uint32) (gas.Layout, error) {
+	return w.alloc(origin, bsize, nblocks, gas.DistLocal)
+}
+
+func (w *World) alloc(origin int, bsize, nblocks uint32, dist gas.Dist) (gas.Layout, error) {
+	if origin < 0 || origin >= w.cfg.Ranks {
+		return gas.Layout{}, fmt.Errorf("runtime: alloc origin %d out of range", origin)
+	}
+	if nblocks == 0 {
+		return gas.Layout{}, fmt.Errorf("runtime: alloc of zero blocks")
+	}
+	if bsize == 0 || bsize > gas.MaxBlockSize {
+		return gas.Layout{}, fmt.Errorf("runtime: block size %d out of range", bsize)
+	}
+	base, err := w.seq.Reserve(nblocks)
+	if err != nil {
+		return gas.Layout{}, err
+	}
+	l := gas.Layout{
+		Base:    gas.New(origin, base, 0),
+		BSize:   bsize,
+		NBlocks: nblocks,
+		Ranks:   w.cfg.Ranks,
+		Dist:    dist,
+	}
+	for d := uint32(0); d < nblocks; d++ {
+		home := l.HomeOf(d)
+		if _, err := w.locs[home].store.Create(base+gas.BlockID(d), bsize); err != nil {
+			return gas.Layout{}, err
+		}
+	}
+	return l, nil
+}
+
+// Free releases an allocation: block data is removed from the current
+// owners and every translation structure forgets the blocks. Free is a
+// setup-phase operation with the same shortcut status as alloc; freeing
+// blocks with traffic still in flight is a caller bug.
+func (w *World) Free(l gas.Layout) error {
+	for d := uint32(0); d < l.NBlocks; d++ {
+		b := l.Base.Block() + gas.BlockID(d)
+		home := l.HomeOf(d)
+		owner := home
+		if w.cfg.Mode != PGAS {
+			owner = w.locs[home].dir.Resolve(b, home)
+			w.locs[home].dir.Drop(b)
+		}
+		if _, ok := w.locs[owner].store.Remove(b); !ok {
+			return fmt.Errorf("runtime: free of non-resident block %d (owner %d)", b, owner)
+		}
+		// Sweep any read-only replicas.
+		for _, loc := range w.locs {
+			if blk, ok := loc.store.Get(b); ok && blk.Replica {
+				loc.store.Remove(b)
+			}
+		}
+		if w.cfg.Mode == AGASSW {
+			for _, loc := range w.locs {
+				loc.tombs.Drop(b)
+			}
+		}
+		w.net.dropAll(b)
+	}
+	return nil
+}

@@ -1,0 +1,148 @@
+package runtime
+
+import (
+	"nmvgas/internal/gas"
+	"nmvgas/internal/parcel"
+)
+
+// Asynchronous, in-runtime allocation: unlike the driver-side Alloc*
+// shortcuts, this path creates backing blocks through parcels executed at
+// each home locality, so actions can allocate global memory mid-program
+// and the allocation traffic is visible to the simulated fabric. Block
+// numbers still come from the shared sequence (see gas.Sequence for why
+// that shortcut is retained).
+
+// allocBlock payload: bsize u32, count u32, ids... u32 each.
+func encodeAllocBlocks(bsize uint32, ids []gas.BlockID) []byte {
+	buf := parcel.PutU32(nil, bsize)
+	buf = parcel.PutU32(buf, uint32(len(ids)))
+	for _, id := range ids {
+		buf = parcel.PutU32(buf, uint32(id))
+	}
+	return buf
+}
+
+func allocBlocks(c *Ctx) {
+	p := c.P.Payload
+	bsize := parcel.U32(p, 0)
+	n := int(parcel.U32(p, 4))
+	for i := 0; i < n; i++ {
+		id := gas.BlockID(parcel.U32(p, 8+4*i))
+		if _, err := c.l.store.Create(id, bsize); err != nil {
+			c.l.w.fail("rank %d: alloc: %v", c.l.rank, err)
+		}
+	}
+	c.Continue(nil)
+}
+
+// EncodeLayout serializes a layout for transport through an LCO.
+func EncodeLayout(l gas.Layout) []byte {
+	buf := parcel.PutU64(nil, uint64(l.Base))
+	buf = parcel.PutU32(buf, l.BSize)
+	buf = parcel.PutU32(buf, l.NBlocks)
+	buf = parcel.PutU32(buf, uint32(l.Ranks))
+	return append(buf, byte(l.Dist))
+}
+
+// DecodeLayout parses an EncodeLayout record.
+func DecodeLayout(b []byte) gas.Layout {
+	return gas.Layout{
+		Base:    gas.GVA(parcel.U64(b, 0)),
+		BSize:   parcel.U32(b, 8),
+		NBlocks: parcel.U32(b, 12),
+		Ranks:   int(parcel.U32(b, 16)),
+		Dist:    gas.Dist(b[20]),
+	}
+}
+
+// AllocAsync allocates nblocks blocks of bsize bytes with the given
+// distribution, creating the backing storage via parcels to each home.
+// The returned future fires with an EncodeLayout record once every home
+// has installed its blocks. Callable from driver code and (via
+// Ctx.World().Proc(...)) from actions.
+func (p *Proc) AllocAsync(bsize, nblocks uint32, dist gas.Dist) *LCORef {
+	w := p.l.w
+	fut := w.NewFuture(p.l.rank)
+	base, err := w.seq.Reserve(nblocks)
+	if err != nil {
+		w.fail("AllocAsync: %v", err)
+	}
+	lay := gas.Layout{
+		Base:    gas.New(p.l.rank, base, 0),
+		BSize:   bsize,
+		NBlocks: nblocks,
+		Ranks:   w.cfg.Ranks,
+		Dist:    dist,
+	}
+	perHome := make(map[int][]gas.BlockID)
+	for d := uint32(0); d < nblocks; d++ {
+		home := lay.HomeOf(d)
+		perHome[home] = append(perHome[home], base+gas.BlockID(d))
+	}
+	gate := w.NewAndGate(p.l.rank, len(perHome))
+	encoded := EncodeLayout(lay)
+	gate.OnFire(func([]byte) {
+		p.run(func() {
+			p.l.SendParcel(&parcel.Parcel{Action: ALCOSet, Target: fut.G, Payload: encoded})
+		})
+	})
+	p.run(func() {
+		for home, ids := range perHome {
+			p.l.SendParcel(&parcel.Parcel{
+				Action:  aAllocBlocks,
+				Target:  w.LocalityGVA(home),
+				Payload: encodeAllocBlocks(bsize, ids),
+				CAction: ALCOSet,
+				CTarget: gate.G,
+			})
+		}
+	})
+	return fut
+}
+
+// FreeAsync releases an allocation through parcels to the blocks' current
+// owners; the returned gate fires when every block is gone. Translation
+// state is swept as each owner confirms.
+func (p *Proc) FreeAsync(lay gas.Layout) *LCORef {
+	w := p.l.w
+	gate := w.NewAndGate(p.l.rank, int(lay.NBlocks))
+	p.run(func() {
+		for d := uint32(0); d < lay.NBlocks; d++ {
+			p.l.SendParcel(&parcel.Parcel{
+				Action:  aFreeBlock,
+				Target:  lay.BlockAt(d),
+				CAction: ALCOSet,
+				CTarget: gate.G,
+			})
+		}
+	})
+	return gate
+}
+
+// freeBlock executes at a block's current owner: it removes the block and
+// sweeps translation state (directory entry at home is dropped by the
+// network sweep; tombstones would only mislead future traffic, so they go
+// too).
+func freeBlock(c *Ctx) {
+	l := c.l
+	b := c.P.Target.Block()
+	blk, ok := l.store.Get(b)
+	if !ok {
+		l.w.fail("rank %d: free of non-resident block %d", l.rank, b)
+	}
+	if blk.Pinned || blk.Kind != gas.KindData {
+		l.w.fail("rank %d: free of pinned/non-data block %d", l.rank, b)
+	}
+	l.store.Remove(b)
+	if l.tombs != nil {
+		for _, loc := range l.w.locs {
+			loc.tombs.Drop(b)
+		}
+	}
+	home := c.P.Target.Home()
+	if l.w.locs[home].dir != nil {
+		l.w.locs[home].dir.Drop(b)
+	}
+	l.w.net.dropAll(b)
+	c.Continue(nil)
+}

@@ -1,0 +1,94 @@
+package runtime
+
+import (
+	"testing"
+
+	"nmvgas/internal/gas"
+	"nmvgas/internal/parcel"
+)
+
+func TestAllocAsyncCreatesBlocksEverywhere(t *testing.T) {
+	matrix(t, func(t *testing.T, mode Mode, eng EngineKind) {
+		w := testWorld(t, Config{Ranks: 4, Mode: mode, Engine: eng})
+		w.Start()
+		v := w.MustWait(w.Proc(1).AllocAsync(256, 8, gas.DistCyclic))
+		lay := DecodeLayout(v)
+		if lay.NBlocks != 8 || lay.BSize != 256 || lay.Ranks != 4 || lay.Dist != gas.DistCyclic {
+			t.Fatalf("layout %+v", lay)
+		}
+		if lay.Base.Home() != 1 {
+			t.Fatalf("layout origin %d, want 1", lay.Base.Home())
+		}
+		for d := uint32(0); d < 8; d++ {
+			home := lay.HomeOf(d)
+			if _, ok := w.Locality(home).Store().Get(lay.Base.Block() + gas.BlockID(d)); !ok {
+				t.Fatalf("block %d missing at home %d", d, home)
+			}
+		}
+		// And it is immediately usable.
+		w.MustWait(w.Proc(0).Put(lay.BlockAt(3), []byte{42}))
+		got := w.MustWait(w.Proc(2).Get(lay.BlockAt(3), 1))
+		if got[0] != 42 {
+			t.Fatal("async-allocated block not usable")
+		}
+	})
+}
+
+func TestAllocAsyncFromAction(t *testing.T) {
+	w := testWorld(t, Config{Ranks: 3, Mode: AGASNM, Engine: EngineDES})
+	allocer := w.Register("allocer", func(c *Ctx) {
+		fut := c.World().Proc(c.Rank()).AllocAsync(64, 3, gas.DistCyclic)
+		cont := c.P.CTarget
+		fut.OnFire(func(v []byte) {
+			c.World().Proc(c.Rank()).Invoke(cont, ALCOSet, v)
+		})
+	})
+	w.Start()
+	done := w.NewFuture(0)
+	w.Proc(0).Run(func() {
+		w.Locality(0).SendParcel(&parcel.Parcel{
+			Action: allocer, Target: w.LocalityGVA(1),
+			CAction: ALCOSet, CTarget: done.G,
+		})
+	})
+	lay := DecodeLayout(w.MustWait(done))
+	if lay.NBlocks != 3 || lay.Base.Home() != 1 {
+		t.Fatalf("action-driven alloc layout %+v", lay)
+	}
+}
+
+func TestFreeAsyncRemovesMigratedBlocks(t *testing.T) {
+	agasMatrix(t, func(t *testing.T, mode Mode, eng EngineKind) {
+		w := testWorld(t, Config{Ranks: 4, Mode: mode, Engine: eng})
+		w.Start()
+		lay := DecodeLayout(w.MustWait(w.Proc(0).AllocAsync(128, 4, gas.DistCyclic)))
+		// Move two blocks before freeing: the free parcels must chase
+		// ownership.
+		w.MustWait(w.Proc(0).Migrate(lay.BlockAt(1), 3))
+		w.MustWait(w.Proc(0).Migrate(lay.BlockAt(2), 0))
+		w.MustWait(w.Proc(0).FreeAsync(lay))
+		for d := uint32(0); d < 4; d++ {
+			b := lay.Base.Block() + gas.BlockID(d)
+			for r := 0; r < 4; r++ {
+				if _, ok := w.Locality(r).Store().Get(b); ok {
+					t.Fatalf("block %d still resident at %d after free", d, r)
+				}
+			}
+		}
+		// Home directory must be clean.
+		for d := uint32(0); d < 4; d++ {
+			home := lay.HomeOf(d)
+			if _, ok := w.Locality(home).Directory().Owner(lay.Base.Block() + gas.BlockID(d)); ok {
+				t.Fatalf("directory entry survived free (block %d)", d)
+			}
+		}
+	})
+}
+
+func TestLayoutCodecRoundTrip(t *testing.T) {
+	l := gas.Layout{Base: gas.New(3, 77, 0), BSize: 4096, NBlocks: 12, Ranks: 8, Dist: gas.DistBlocked}
+	got := DecodeLayout(EncodeLayout(l))
+	if got != l {
+		t.Fatalf("round trip %+v != %+v", got, l)
+	}
+}

@@ -1,0 +1,234 @@
+package runtime
+
+import (
+	"nmvgas/internal/gas"
+	"nmvgas/internal/netsim"
+	"nmvgas/internal/parcel"
+)
+
+// Ctx is the execution context handed to an action. It identifies the
+// parcel being executed and provides the non-blocking operations an
+// action may perform: sending parcels, one-sided memory ops, touching
+// resident block data, migration, and continuation delivery.
+type Ctx struct {
+	l *Locality
+	P *parcel.Parcel
+}
+
+// Rank returns the executing locality's rank.
+func (c *Ctx) Rank() int { return c.l.rank }
+
+// Ranks returns the world size.
+func (c *Ctx) Ranks() int { return c.l.w.cfg.Ranks }
+
+// World returns the owning world.
+func (c *Ctx) World() *World { return c.l.w }
+
+// Now returns the simulated time (0 on the goroutine engine).
+func (c *Ctx) Now() netsim.VTime { return c.l.w.Now() }
+
+// Charge accounts d of simulated compute time to this locality's host
+// CPU. No-op on the goroutine engine, where compute costs are real.
+func (c *Ctx) Charge(d netsim.VTime) { c.l.exec.Charge(d) }
+
+// Local returns the data of a block resident on this locality, or nil if
+// the block is absent, mid-migration, or not a data block. The slice
+// aliases block storage: actions mutate it to update the block.
+func (c *Ctx) Local(g gas.GVA) []byte {
+	b := g.Block()
+	if c.l.isMoving(b) {
+		return nil
+	}
+	blk, ok := c.l.store.Get(b)
+	if !ok || blk.Kind != gas.KindData {
+		return nil
+	}
+	return blk.Data[g.Offset():]
+}
+
+// Send routes a fully formed parcel.
+func (c *Ctx) Send(p *parcel.Parcel) { c.l.SendParcel(p) }
+
+// Call sends an action invocation with no continuation.
+func (c *Ctx) Call(target gas.GVA, action parcel.ActionID, payload []byte) {
+	c.l.SendParcel(&parcel.Parcel{Action: action, Target: target, Payload: payload})
+}
+
+// CallCC sends an action invocation whose result is delivered to cont
+// (usually an LCO address) via contAction.
+func (c *Ctx) CallCC(target gas.GVA, action parcel.ActionID, payload []byte, contAction parcel.ActionID, cont gas.GVA) {
+	c.l.SendParcel(&parcel.Parcel{
+		Action: action, Target: target, Payload: payload,
+		CAction: contAction, CTarget: cont,
+	})
+}
+
+// Continue delivers data to the executing parcel's continuation, if any.
+// A parcel without a continuation *address* has nowhere to deliver to —
+// the result is dropped — even if a continuation action is set.
+func (c *Ctx) Continue(data []byte) {
+	if c.P.CTarget.IsNull() {
+		return
+	}
+	act := c.P.CAction
+	if act == parcel.NilAction {
+		act = ALCOSet
+	}
+	c.l.SendParcel(&parcel.Parcel{Action: act, Target: c.P.CTarget, Payload: data})
+}
+
+// ContinueTo delivers data to an explicit LCO address with lco.set.
+func (c *Ctx) ContinueTo(target gas.GVA, data []byte) {
+	c.l.SendParcel(&parcel.Parcel{Action: ALCOSet, Target: target, Payload: data})
+}
+
+// Put issues a one-sided write; done (optional) runs on this locality at
+// remote completion.
+func (c *Ctx) Put(dst gas.GVA, data []byte, done func()) { c.l.PutAsync(dst, data, done) }
+
+// Get issues a one-sided read; done runs on this locality with the data.
+func (c *Ctx) Get(src gas.GVA, n uint32, done func(data []byte)) { c.l.GetAsync(src, n, done) }
+
+// Migrate moves a block; status is delivered to cont (an LCO address).
+func (c *Ctx) Migrate(g gas.GVA, to int, cont gas.GVA) {
+	c.l.MigrateAsync(g, to, ALCOSet, cont)
+}
+
+// CallWhen sends the action invocation once dep fires; the dep's value is
+// ignored and payload is sent as given. The subscription lives on this
+// locality, so the send happens in this locality's context regardless of
+// where the LCO fires from.
+func (c *Ctx) CallWhen(dep *LCORef, target gas.GVA, action parcel.ActionID, payload []byte) {
+	l := c.l
+	dep.OnFire(func([]byte) {
+		l.exec.Exec(0, func() {
+			l.SendParcel(&parcel.Parcel{Action: action, Target: target, Payload: payload})
+		})
+	})
+}
+
+// Proc is the driver-side handle for issuing operations "from" a
+// locality. Each method schedules its work onto the locality's executor,
+// so driver code composes correctly with both engines.
+type Proc struct {
+	l *Locality
+}
+
+// Proc returns the driver handle for rank.
+func (w *World) Proc(rank int) *Proc { return &Proc{l: w.locs[rank]} }
+
+// Rank returns the handle's rank.
+func (p *Proc) Rank() int { return p.l.rank }
+
+// run schedules fn on the locality executor.
+func (p *Proc) run(fn func()) { p.l.exec.Exec(0, fn) }
+
+// Run schedules fn to execute in this locality's context. Drivers use it
+// to issue batches of operations with correct engine semantics.
+func (p *Proc) Run(fn func()) { p.run(fn) }
+
+// Call invokes action at target and returns a future that fires with the
+// action's continuation value.
+func (p *Proc) Call(target gas.GVA, action parcel.ActionID, payload []byte) *LCORef {
+	fut := p.l.w.NewFuture(p.l.rank)
+	p.run(func() {
+		p.l.SendParcel(&parcel.Parcel{
+			Action: action, Target: target, Payload: payload,
+			CAction: ALCOSet, CTarget: fut.G,
+		})
+	})
+	return fut
+}
+
+// Invoke sends an action with no result.
+func (p *Proc) Invoke(target gas.GVA, action parcel.ActionID, payload []byte) {
+	p.run(func() {
+		p.l.SendParcel(&parcel.Parcel{Action: action, Target: target, Payload: payload})
+	})
+}
+
+// Put writes data at dst, returning a future that fires (with nil) at
+// remote completion.
+func (p *Proc) Put(dst gas.GVA, data []byte) *LCORef {
+	fut := p.l.w.NewFuture(p.l.rank)
+	buf := append([]byte(nil), data...)
+	p.run(func() {
+		p.l.PutAsync(dst, buf, func() {
+			if err := fut.obj.Set(nil); err != nil {
+				p.l.w.fail("put completion: %v", err)
+			}
+		})
+	})
+	return fut
+}
+
+// Get reads n bytes at src, returning a future that fires with the data.
+func (p *Proc) Get(src gas.GVA, n uint32) *LCORef {
+	fut := p.l.w.NewFuture(p.l.rank)
+	p.run(func() {
+		p.l.GetAsync(src, n, func(data []byte) {
+			if err := fut.obj.Set(data); err != nil {
+				p.l.w.fail("get completion: %v", err)
+			}
+		})
+	})
+	return fut
+}
+
+// Migrate moves the block at g to rank to, returning a future that fires
+// with the status record.
+func (p *Proc) Migrate(g gas.GVA, to int) *LCORef {
+	fut := p.l.w.NewFuture(p.l.rank)
+	p.run(func() {
+		p.l.MigrateAsync(g, to, ALCOSet, fut.G)
+	})
+	return fut
+}
+
+// MigrateStatus decodes a Migrate future's value.
+func MigrateStatus(v []byte) int64 {
+	if len(v) < 8 {
+		return -1
+	}
+	return parcel.I64(v, 0)
+}
+
+// MigrateMany issues one migration per (block, destination) pair and
+// returns a gate that fires when all have committed. Failures surface as
+// non-OK statuses in the per-move futures, which are also returned.
+func (p *Proc) MigrateMany(blocks []gas.GVA, to []int) (*LCORef, []*LCORef) {
+	if len(blocks) != len(to) {
+		p.l.w.fail("MigrateMany: %d blocks vs %d destinations", len(blocks), len(to))
+	}
+	gate := p.l.w.NewAndGate(p.l.rank, len(blocks))
+	futs := make([]*LCORef, len(blocks))
+	for i := range blocks {
+		futs[i] = p.l.w.NewFuture(p.l.rank)
+		futs[i].OnFire(func([]byte) {
+			p.run(func() {
+				p.l.SendParcel(&parcel.Parcel{Action: ALCOSet, Target: gate.G})
+			})
+		})
+		g, dst := blocks[i], to[i]
+		fut := futs[i]
+		p.run(func() {
+			p.l.MigrateAsync(g, dst, ALCOSet, fut.G)
+		})
+	}
+	return gate, futs
+}
+
+// CallWhen is the driver-side dependent call: it sends the invocation
+// from this locality once dep fires and returns a future for the result.
+func (p *Proc) CallWhen(dep *LCORef, target gas.GVA, action parcel.ActionID, payload []byte) *LCORef {
+	fut := p.l.w.NewFuture(p.l.rank)
+	dep.OnFire(func([]byte) {
+		p.run(func() {
+			p.l.SendParcel(&parcel.Parcel{
+				Action: action, Target: target, Payload: payload,
+				CAction: ALCOSet, CTarget: fut.G,
+			})
+		})
+	})
+	return fut
+}

@@ -1,0 +1,114 @@
+package runtime
+
+import (
+	"testing"
+
+	"nmvgas/internal/netsim"
+)
+
+// The goroutine engine reimplements the NIC's routing decisions in
+// chanNet; these tests pin the policy behaviours there, mirroring the DES
+// assertions in modes_test.go.
+
+func goNMWorld(t *testing.T, pol netsim.Policy) *World {
+	t.Helper()
+	return testWorld(t, Config{
+		Ranks: 4, Mode: AGASNM, Engine: EngineGo,
+		Policy: pol, PolicySet: true,
+	})
+}
+
+func TestChanNetForwardAndPushUpdates(t *testing.T) {
+	w := goNMWorld(t, netsim.Policy{ForwardInNetwork: true, PushUpdates: true})
+	echo := w.Register("echo", func(c *Ctx) { c.Continue(nil) })
+	w.Start()
+	lay, err := w.AllocLocal(1, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := lay.BlockAt(0)
+	w.MustWait(w.Proc(0).Migrate(g, 3))
+	// First send from a third party must arrive (via in-network forward)
+	// and teach the source table; the second goes direct.
+	w.MustWait(w.Proc(2).Call(g, echo, nil))
+	cn := w.net.(*chanNet)
+	if o, ok := cn.nics[2].table.Peek(g.Block()); !ok || o != 3 {
+		t.Fatalf("source table not taught: %d,%v", o, ok)
+	}
+	w.MustWait(w.Proc(2).Call(g, echo, nil))
+}
+
+func TestChanNetNackPolicy(t *testing.T) {
+	w := goNMWorld(t, netsim.Policy{ForwardInNetwork: false, PushUpdates: false})
+	echo := w.Register("echo", func(c *Ctx) { c.Continue(nil) })
+	w.Start()
+	lay, err := w.AllocLocal(1, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := lay.BlockAt(0)
+	w.MustWait(w.Proc(0).Migrate(g, 3))
+	w.MustWait(w.Proc(2).Call(g, echo, nil))
+	if w.Locality(2).Stats.NICNacks.Load() == 0 {
+		t.Fatal("no NACK processed under the NACK policy (go engine)")
+	}
+	// Table repaired by the NACK: next call completes without another.
+	base := w.Locality(2).Stats.NICNacks.Load()
+	w.MustWait(w.Proc(2).Call(g, echo, nil))
+	if w.Locality(2).Stats.NICNacks.Load() != base {
+		t.Fatal("second call NACKed again after repair")
+	}
+}
+
+func TestChanNetNoPushKeepsBouncing(t *testing.T) {
+	w := goNMWorld(t, netsim.Policy{ForwardInNetwork: true, PushUpdates: false})
+	echo := w.Register("echo", func(c *Ctx) { c.Continue(nil) })
+	w.Start()
+	lay, err := w.AllocLocal(1, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := lay.BlockAt(0)
+	w.MustWait(w.Proc(0).Migrate(g, 3))
+	for i := 0; i < 3; i++ {
+		w.MustWait(w.Proc(2).Call(g, echo, nil))
+	}
+	cn := w.net.(*chanNet)
+	if _, ok := cn.nics[2].table.Peek(g.Block()); ok {
+		t.Fatal("source table updated despite PushUpdates=false")
+	}
+}
+
+func TestChanNetBoundedTableCapacity(t *testing.T) {
+	w := testWorld(t, Config{Ranks: 3, Mode: AGASNM, Engine: EngineGo, NICTableCap: 2})
+	echo := w.Register("echo", func(c *Ctx) { c.Continue(nil) })
+	w.Start()
+	lay, err := w.AllocLocal(1, 64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := uint32(0); d < 8; d++ {
+		w.MustWait(w.Proc(1).Migrate(lay.BlockAt(d), 2))
+	}
+	for d := uint32(0); d < 8; d++ {
+		w.MustWait(w.Proc(0).Call(lay.BlockAt(d), echo, nil))
+	}
+	cn := w.net.(*chanNet)
+	cn.nics[0].mu.Lock()
+	n := cn.nics[0].table.Len()
+	cn.nics[0].mu.Unlock()
+	if n > 2 {
+		t.Fatalf("go-engine NIC table grew to %d (cap 2)", n)
+	}
+}
+
+func TestChanNetRejectsByGVAOutsideNM(t *testing.T) {
+	w := testWorld(t, Config{Ranks: 2, Mode: AGASSW, Engine: EngineGo})
+	w.Start()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ByGVA send in SW mode did not fail loudly")
+		}
+	}()
+	w.net.send(0, &netsim.Message{Kind: kParcel, Src: 0, Dst: netsim.ByGVA})
+}

@@ -1,0 +1,183 @@
+package runtime
+
+import (
+	"sync"
+	"time"
+
+	"nmvgas/internal/netsim"
+	"nmvgas/internal/parcel"
+)
+
+// Parcel coalescing: small active messages bound for the same locality
+// are bundled into one wire message, amortizing per-message injection and
+// NIC occupancy at the price of added latency and — under AGAS — a
+// detour, because a batch is addressed to a *locality*, so parcels whose
+// block migrated away from the batch target pay a re-route on arrival.
+// This is the classic message-driven-runtime trade (cf. the coalescing
+// discussions in this group's SSSP papers), exposed as a config knob and
+// measured by experiment F13.
+
+// CoalesceConfig enables batching when MaxParcels > 1.
+type CoalesceConfig struct {
+	// MaxParcels flushes a destination's buffer at this many parcels.
+	MaxParcels int
+	// MaxBytes flushes earlier if the accumulated payload exceeds this
+	// (0 = 64 KiB default).
+	MaxBytes int
+	// MaxDelay bounds how long a lone parcel may wait for companions
+	// (simulated time under DES; real time under the goroutine engine;
+	// 0 = 2 µs default).
+	MaxDelay netsim.VTime
+}
+
+func (c CoalesceConfig) enabled() bool { return c.MaxParcels > 1 }
+
+func (c CoalesceConfig) maxBytes() int {
+	if c.MaxBytes > 0 {
+		return c.MaxBytes
+	}
+	return 64 << 10
+}
+
+func (c CoalesceConfig) maxDelay() netsim.VTime {
+	if c.MaxDelay > 0 {
+		return c.MaxDelay
+	}
+	return 2 * netsim.Microsecond
+}
+
+// coalescer buffers encoded parcels per destination rank.
+type coalescer struct {
+	l   *Locality
+	cfg CoalesceConfig
+
+	mu   sync.Mutex
+	bufs map[int]*coalBuf
+}
+
+type coalBuf struct {
+	encs    [][]byte
+	bytes   int
+	pending bool // a delayed flush is scheduled
+}
+
+func newCoalescer(l *Locality, cfg CoalesceConfig) *coalescer {
+	return &coalescer{l: l, cfg: cfg, bufs: make(map[int]*coalBuf)}
+}
+
+// add buffers one encoded parcel for dst, flushing on thresholds and
+// arming the delay flush on first use.
+func (c *coalescer) add(dst int, enc []byte) {
+	c.mu.Lock()
+	b := c.bufs[dst]
+	if b == nil {
+		b = &coalBuf{}
+		c.bufs[dst] = b
+	}
+	b.encs = append(b.encs, enc)
+	b.bytes += len(enc)
+	full := len(b.encs) >= c.cfg.MaxParcels || b.bytes >= c.cfg.maxBytes()
+	arm := !full && !b.pending
+	if arm {
+		b.pending = true
+	}
+	c.mu.Unlock()
+
+	if full {
+		c.flush(dst)
+		return
+	}
+	if arm {
+		if c.l.w.eng != nil {
+			c.l.w.eng.After(c.cfg.maxDelay(), func() { c.flush(dst) })
+		} else {
+			time.AfterFunc(time.Duration(c.cfg.maxDelay()), func() { c.flush(dst) })
+		}
+	}
+}
+
+// flush sends dst's buffer as one batch message.
+func (c *coalescer) flush(dst int) {
+	c.mu.Lock()
+	b := c.bufs[dst]
+	if b == nil || len(b.encs) == 0 {
+		if b != nil {
+			b.pending = false
+		}
+		c.mu.Unlock()
+		return
+	}
+	encs := b.encs
+	bytes := b.bytes
+	c.bufs[dst] = &coalBuf{}
+	c.mu.Unlock()
+
+	payload := make([]byte, 0, bytes+4*len(encs))
+	for _, e := range encs {
+		payload = parcel.PutU32(payload, uint32(len(e)))
+		payload = append(payload, e...)
+	}
+	m := &netsim.Message{
+		Kind:    kBatch,
+		Src:     c.l.rank,
+		Target:  c.l.w.LocalityGVA(dst),
+		Payload: payload,
+		Wire:    len(payload),
+	}
+	// A batch targets the locality block, which is always resident, so
+	// routing is plain rank addressing in every mode.
+	c.l.exec.Exec(0, func() { c.l.inject(m, dst) })
+}
+
+// FlushAll forces out every pending buffer (drivers call this before
+// quiescing a measurement).
+func (l *Locality) FlushAll() {
+	if l.coal == nil {
+		return
+	}
+	l.coal.mu.Lock()
+	dsts := make([]int, 0, len(l.coal.bufs))
+	for d := range l.coal.bufs {
+		dsts = append(dsts, d)
+	}
+	l.coal.mu.Unlock()
+	for _, d := range dsts {
+		l.coal.flush(d)
+	}
+}
+
+// onBatch unbundles at the receiving host: resident targets execute
+// directly; others re-route (the added hop coalescing risks under
+// migration).
+func (l *Locality) onBatch(m *netsim.Message) {
+	payload := m.Payload.([]byte)
+	for off := 0; off+4 <= len(payload); {
+		n := int(parcel.U32(payload, off))
+		off += 4
+		enc := payload[off : off+n]
+		off += n
+		p, err := parcel.Decode(enc)
+		if err != nil {
+			l.w.fail("rank %d: undecodable batched parcel: %v", l.rank, err)
+		}
+		sub := &netsim.Message{
+			Kind:    kParcel,
+			Src:     p.Src,
+			Target:  p.Target,
+			Payload: enc,
+			Wire:    len(enc),
+			Block:   p.Target.Block(),
+		}
+		if l.resident(p.Target.Block()) {
+			l.exec.Charge(l.w.cfg.Model.HandlerDispatch)
+			l.execParcel(p, sub)
+			continue
+		}
+		// Not here (migrated, or mid-move): give it back to the routing
+		// machinery.
+		if l.queueIfMoving(p.Target.Block(), sub) {
+			continue
+		}
+		l.routeMsg(sub)
+	}
+}

@@ -1,0 +1,120 @@
+// Package runtime is the message-driven runtime that ties the substrates
+// together: localities executing registered actions on parcel arrival,
+// LCO-based continuations, one-sided memory operations, global allocation,
+// and live block migration — over three address-space modes (static PGAS,
+// software-managed AGAS, network-managed AGAS) and two execution engines
+// (deterministic discrete-event simulation, and real goroutines).
+package runtime
+
+import (
+	"fmt"
+
+	"nmvgas/internal/agas"
+	"nmvgas/internal/netsim"
+	"nmvgas/internal/nmagas"
+)
+
+// Mode selects how global addresses are translated to owners.
+type Mode uint8
+
+const (
+	// PGAS is static arithmetic translation; blocks cannot migrate.
+	PGAS Mode = iota
+	// AGASSW is software-managed AGAS: host-side caches, host forwarding,
+	// host repair of stale one-sided operations.
+	AGASSW
+	// AGASNM is the paper's network-managed AGAS: NIC-resident
+	// translation, in-network forwarding, NIC table updates.
+	AGASNM
+)
+
+func (m Mode) String() string {
+	switch m {
+	case PGAS:
+		return "pgas"
+	case AGASSW:
+		return "agas-sw"
+	case AGASNM:
+		return "agas-nm"
+	}
+	return fmt.Sprintf("mode(%d)", uint8(m))
+}
+
+// EngineKind selects the execution engine.
+type EngineKind uint8
+
+const (
+	// EngineDES runs the whole world on one deterministic discrete-event
+	// loop with simulated time; the experiment harness uses it because
+	// Go's garbage collector cannot perturb simulated latencies.
+	EngineDES EngineKind = iota
+	// EngineGo runs one actor goroutine per locality (plus optional
+	// worker pools) with real concurrency and no simulated costs.
+	EngineGo
+)
+
+func (e EngineKind) String() string {
+	if e == EngineGo {
+		return "go"
+	}
+	return "des"
+}
+
+// Config configures a world.
+type Config struct {
+	// Ranks is the number of localities (>= 1).
+	Ranks int
+	// Mode selects the address-space design under test.
+	Mode Mode
+	// Engine selects DES or goroutine execution.
+	Engine EngineKind
+	// Model holds the DES cost model; zero value means DefaultModel.
+	Model netsim.Model
+	// Policy configures NIC behaviour in AGASNM mode; zero value means
+	// DefaultPolicy (forward in network, push updates).
+	Policy netsim.Policy
+	// PolicySet marks Policy as intentionally set (so the zero Policy can
+	// be requested by ablations).
+	PolicySet bool
+	// NICTableCap bounds the NIC translation table in AGASNM mode
+	// (0 = unbounded).
+	NICTableCap int
+	// SWCacheCap bounds the software translation cache in AGASSW mode
+	// (0 = unbounded).
+	SWCacheCap int
+	// SWCorrection selects the software cache's staleness policy.
+	SWCorrection agas.CorrectionPolicy
+	// NMUpdate selects how migrations propagate to NIC tables.
+	NMUpdate nmagas.UpdatePolicy
+	// Topology selects the simulated fabric topology (nil = crossbar).
+	// Only meaningful under EngineDES.
+	Topology netsim.Topology
+	// Coalesce batches small parcels per destination when
+	// Coalesce.MaxParcels > 1 (see CoalesceConfig).
+	Coalesce CoalesceConfig
+	// Workers adds per-locality worker goroutines in EngineGo mode; 0
+	// runs actions inline on the locality actor.
+	Workers int
+	// Seed feeds deterministic components (scheduler victim selection).
+	Seed int64
+}
+
+// normalized fills defaults and validates.
+func (c Config) normalized() (Config, error) {
+	if c.Ranks < 1 {
+		return c, fmt.Errorf("runtime: config needs at least 1 rank, got %d", c.Ranks)
+	}
+	if c.Ranks > 1<<12 {
+		return c, fmt.Errorf("runtime: %d ranks exceeds the GVA home field", c.Ranks)
+	}
+	if c.Mode > AGASNM {
+		return c, fmt.Errorf("runtime: unknown mode %d", c.Mode)
+	}
+	if c.Model == (netsim.Model{}) {
+		c.Model = netsim.DefaultModel()
+	}
+	if !c.PolicySet && c.Policy == (netsim.Policy{}) {
+		c.Policy = netsim.DefaultPolicy()
+	}
+	return c, nil
+}

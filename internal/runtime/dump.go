@@ -1,0 +1,58 @@
+package runtime
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// DumpState writes a human-readable snapshot of the world's protocol
+// state: per-locality block residency, in-flight migrations with their
+// queue depths, and outstanding one-sided operations. It is the first
+// thing to reach for when a Wait deadlocks.
+func (w *World) DumpState(out io.Writer) error {
+	for _, l := range w.locs {
+		l.mu.Lock()
+		movingCount := len(l.moving)
+		type mv struct {
+			b      uint32
+			dst    int
+			queued int
+		}
+		var moves []mv
+		for b, st := range l.moving {
+			moves = append(moves, mv{uint32(b), st.dst, len(st.queued)})
+		}
+		opsOutstanding := len(l.ops)
+		l.mu.Unlock()
+		sort.Slice(moves, func(i, j int) bool { return moves[i].b < moves[j].b })
+
+		if _, err := fmt.Fprintf(out, "locality %d: blocks=%d moving=%d ops_outstanding=%d\n",
+			l.rank, l.store.Len(), movingCount, opsOutstanding); err != nil {
+			return err
+		}
+		for _, m := range moves {
+			if _, err := fmt.Fprintf(out, "  moving block %d -> rank %d (%d queued)\n",
+				m.b, m.dst, m.queued); err != nil {
+				return err
+			}
+		}
+		if l.dir != nil && l.dir.Len() > 0 {
+			if _, err := fmt.Fprintf(out, "  directory: %d away-from-home entries\n", l.dir.Len()); err != nil {
+				return err
+			}
+		}
+		if l.tombs != nil && l.tombs.Len() > 0 {
+			if _, err := fmt.Fprintf(out, "  tombstones: %d\n", l.tombs.Len()); err != nil {
+				return err
+			}
+		}
+	}
+	if w.eng != nil {
+		if _, err := fmt.Fprintf(out, "engine: now=%v pending_events=%d processed=%d\n",
+			w.eng.Now(), w.eng.Pending(), w.eng.Processed()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,208 @@
+package runtime
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"nmvgas/internal/gas"
+	"nmvgas/internal/parcel"
+)
+
+// The equivalence fuzzer: a randomly generated program of puts, gets,
+// action calls, and migrations must leave the global memory in exactly
+// the same state no matter which address-space mode or execution engine
+// runs it. This is the strongest statement of "translation never changes
+// semantics" the repository makes.
+
+type fuzzOp struct {
+	kind    int // 0 = put, 1 = incr-call, 2 = migrate, 3 = get-check
+	from    int
+	block   uint32
+	off     uint32
+	payload []byte
+	dest    int
+}
+
+const (
+	fuzzRanks   = 4
+	fuzzBlocks  = 12
+	fuzzBSize   = 128
+	fuzzOpCount = 160
+)
+
+func genProgram(seed int64, withMigrations bool) []fuzzOp {
+	rng := rand.New(rand.NewSource(seed))
+	var ops []fuzzOp
+	for i := 0; i < fuzzOpCount; i++ {
+		op := fuzzOp{
+			from:  rng.Intn(fuzzRanks),
+			block: uint32(rng.Intn(fuzzBlocks)),
+		}
+		switch k := rng.Intn(10); {
+		case k < 4: // put
+			op.kind = 0
+			n := 1 + rng.Intn(32)
+			op.off = uint32(rng.Intn(fuzzBSize - 32))
+			op.payload = make([]byte, n)
+			rng.Read(op.payload)
+		case k < 7: // incr action on word 0
+			op.kind = 1
+		case k < 9 && withMigrations: // migrate
+			op.kind = 2
+			op.dest = rng.Intn(fuzzRanks)
+		default: // get (value checked against a shadow model)
+			op.kind = 3
+			op.off = uint32(rng.Intn(fuzzBSize - 8))
+		}
+		ops = append(ops, op)
+	}
+	return ops
+}
+
+// runProgram executes ops sequentially (each op waited) and returns the
+// final content of every block plus a transcript of get results.
+func runProgram(t *testing.T, mode Mode, eng EngineKind, ops []fuzzOp) (state []byte, gets []byte) {
+	t.Helper()
+	w := testWorld(t, Config{Ranks: fuzzRanks, Mode: mode, Engine: eng})
+	incr := w.Register("incr", func(c *Ctx) {
+		data := c.Local(c.P.Target)
+		v := parcel.U64(data, 0)
+		copy(data, parcel.PutU64(nil, v+1))
+		c.Continue(nil)
+	})
+	w.Start()
+	lay, err := w.AllocCyclic(0, fuzzBSize, fuzzBlocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, op := range ops {
+		g := lay.BlockAt(op.block)
+		switch op.kind {
+		case 0:
+			w.MustWait(w.Proc(op.from).Put(g.WithOffset(op.off), op.payload))
+		case 1:
+			w.MustWait(w.Proc(op.from).Call(g, incr, nil))
+		case 2:
+			st := w.MustWait(w.Proc(op.from).Migrate(g, op.dest))
+			if MigrateStatus(st) != MigrateOK {
+				t.Fatalf("op %d: migrate status %d", i, MigrateStatus(st))
+			}
+		case 3:
+			v := w.MustWait(w.Proc(op.from).Get(g.WithOffset(op.off), 8))
+			gets = append(gets, v...)
+		}
+	}
+	// Collect final block contents in block order, wherever resident.
+	for d := uint32(0); d < fuzzBlocks; d++ {
+		b := lay.Base.Block() + gas.BlockID(d)
+		found := false
+		for r := 0; r < fuzzRanks; r++ {
+			if blk, ok := w.Locality(r).Store().Get(b); ok {
+				state = append(state, blk.Data...)
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("block %d lost", d)
+		}
+	}
+	return state, gets
+}
+
+func TestCrossModeEquivalenceFuzz(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			ops := genProgram(seed, true)
+			type result struct {
+				label string
+				state []byte
+				gets  []byte
+			}
+			var results []result
+			for _, mode := range []Mode{AGASSW, AGASNM} {
+				for _, eng := range allEngines {
+					st, gs := runProgram(t, mode, eng, ops)
+					results = append(results, result{mode.String() + "/" + eng.String(), st, gs})
+				}
+			}
+			for _, r := range results[1:] {
+				if !bytes.Equal(r.state, results[0].state) {
+					t.Fatalf("final memory differs: %s vs %s", r.label, results[0].label)
+				}
+				if !bytes.Equal(r.gets, results[0].gets) {
+					t.Fatalf("get transcript differs: %s vs %s", r.label, results[0].label)
+				}
+			}
+		})
+	}
+}
+
+func TestPGASMatchesAGASWithoutMigrations(t *testing.T) {
+	ops := genProgram(99, false)
+	var base []byte
+	for _, mode := range allModes {
+		st, _ := runProgram(t, mode, EngineDES, ops)
+		if base == nil {
+			base = st
+			continue
+		}
+		if !bytes.Equal(st, base) {
+			t.Fatalf("%s diverged from pgas on a migration-free program", mode)
+		}
+	}
+}
+
+func TestCommutativeRaceTotalsAcrossModesAndEngines(t *testing.T) {
+	// Concurrent phase: increments race migrations with no ordering; the
+	// only invariant is the total count (increments commute).
+	for _, mode := range agasModes {
+		for _, eng := range allEngines {
+			w := testWorld(t, Config{Ranks: fuzzRanks, Mode: mode, Engine: eng})
+			incr := w.Register("incr", func(c *Ctx) {
+				data := c.Local(c.P.Target)
+				v := parcel.U64(data, 0)
+				copy(data, parcel.PutU64(nil, v+1))
+				c.Continue(nil)
+			})
+			w.Start()
+			lay, err := w.AllocCyclic(0, fuzzBSize, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const perBlock = 30
+			gate := w.NewAndGate(0, perBlock*4)
+			rng := rand.New(rand.NewSource(3))
+			var migs []*LCORef
+			for i := 0; i < 6; i++ {
+				migs = append(migs, w.Proc(rng.Intn(fuzzRanks)).Migrate(
+					lay.BlockAt(uint32(rng.Intn(4))), rng.Intn(fuzzRanks)))
+			}
+			for i := 0; i < perBlock*4; i++ {
+				r := i % fuzzRanks
+				b := uint32(i % 4)
+				w.Proc(r).Run(func() {
+					w.Locality(r).SendParcel(&parcel.Parcel{
+						Action: incr, Target: lay.BlockAt(b),
+						CAction: ALCOSet, CTarget: gate.G,
+					})
+				})
+			}
+			w.MustWait(gate)
+			for _, m := range migs {
+				w.MustWait(m)
+			}
+			var total uint64
+			for d := uint32(0); d < 4; d++ {
+				v := w.MustWait(w.Proc(0).Get(lay.BlockAt(d), 8))
+				total += parcel.U64(v, 0)
+			}
+			if total != perBlock*4 {
+				t.Fatalf("%s/%s: total %d, want %d", mode, eng, total, perBlock*4)
+			}
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package runtime
+
+import (
+	"sync"
+
+	"nmvgas/internal/netsim"
+	"nmvgas/internal/sched"
+)
+
+// Executor serializes work attributed to one locality's host CPU.
+type Executor interface {
+	// Exec schedules fn after charging cost to the host timeline. On the
+	// DES engine the host is modelled as a single core: tasks start when
+	// the core is free and the core stays busy for cost. On the
+	// goroutine engine cost is ignored and fn runs on the locality
+	// actor.
+	Exec(cost netsim.VTime, fn func())
+	// Charge extends the host-busy window from inside a running task
+	// (simulated compute time). No-op on the goroutine engine.
+	Charge(extra netsim.VTime)
+	// Offload runs fn on a worker when the engine has a worker pool,
+	// else behaves like Exec(0, fn). Used for user action bodies.
+	Offload(fn func())
+}
+
+// desExec models one host core on the discrete-event engine.
+type desExec struct {
+	eng  *netsim.Engine
+	busy netsim.VTime
+}
+
+func (e *desExec) Exec(cost netsim.VTime, fn func()) {
+	start := e.eng.Now()
+	if e.busy > start {
+		start = e.busy
+	}
+	run := start + cost
+	e.busy = run
+	e.eng.At(run, fn)
+}
+
+func (e *desExec) Charge(extra netsim.VTime) {
+	if extra < 0 {
+		return
+	}
+	now := e.eng.Now()
+	if e.busy < now {
+		e.busy = now
+	}
+	e.busy += extra
+}
+
+func (e *desExec) Offload(fn func()) { e.Exec(0, fn) }
+
+// goExec is one locality actor: an unbounded mailbox drained by a single
+// goroutine, optionally paired with a worker pool for user action bodies.
+type goExec struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []func()
+	stopped bool
+	wg      sync.WaitGroup
+	pool    *sched.Pool // nil when Workers == 0
+}
+
+func newGoExec(pool *sched.Pool) *goExec {
+	e := &goExec{pool: pool}
+	e.cond = sync.NewCond(&e.mu)
+	return e
+}
+
+func (e *goExec) start() {
+	e.wg.Add(1)
+	go e.loop()
+}
+
+func (e *goExec) loop() {
+	defer e.wg.Done()
+	for {
+		e.mu.Lock()
+		for len(e.queue) == 0 && !e.stopped {
+			e.cond.Wait()
+		}
+		if len(e.queue) == 0 && e.stopped {
+			e.mu.Unlock()
+			return
+		}
+		fn := e.queue[0]
+		copy(e.queue, e.queue[1:])
+		e.queue[len(e.queue)-1] = nil
+		e.queue = e.queue[:len(e.queue)-1]
+		e.mu.Unlock()
+		fn()
+	}
+}
+
+// stop drains queued work and stops the actor.
+func (e *goExec) stop() {
+	e.mu.Lock()
+	e.stopped = true
+	e.cond.Broadcast()
+	e.mu.Unlock()
+	e.wg.Wait()
+}
+
+func (e *goExec) Exec(_ netsim.VTime, fn func()) {
+	e.mu.Lock()
+	if e.stopped {
+		e.mu.Unlock()
+		return
+	}
+	e.queue = append(e.queue, fn)
+	e.cond.Signal()
+	e.mu.Unlock()
+}
+
+func (e *goExec) Charge(netsim.VTime) {}
+
+func (e *goExec) Offload(fn func()) {
+	if e.pool != nil {
+		e.pool.Submit(fn)
+		return
+	}
+	e.Exec(0, fn)
+}

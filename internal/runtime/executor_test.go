@@ -1,0 +1,123 @@
+package runtime
+
+import (
+	"testing"
+
+	"nmvgas/internal/netsim"
+)
+
+func TestDESExecSerializesHost(t *testing.T) {
+	eng := netsim.NewEngine()
+	ex := &desExec{eng: eng}
+	var at []netsim.VTime
+	ex.Exec(100, func() { at = append(at, eng.Now()) })
+	ex.Exec(50, func() { at = append(at, eng.Now()) })
+	eng.Run()
+	if len(at) != 2 || at[0] != 100 || at[1] != 150 {
+		t.Fatalf("execution times %v, want [100 150]", at)
+	}
+}
+
+func TestDESExecChargeExtendsBusy(t *testing.T) {
+	eng := netsim.NewEngine()
+	ex := &desExec{eng: eng}
+	var second netsim.VTime
+	ex.Exec(10, func() {
+		ex.Charge(500) // simulated compute inside the task
+		ex.Exec(0, func() { second = eng.Now() })
+	})
+	eng.Run()
+	if second != 510 {
+		t.Fatalf("post-charge task ran at %v, want 510", second)
+	}
+	// Negative charges are ignored.
+	ex.Charge(-100)
+}
+
+func TestDESExecIdleHostRunsAtNow(t *testing.T) {
+	eng := netsim.NewEngine()
+	ex := &desExec{eng: eng}
+	ex.Exec(10, func() {})
+	eng.Run()                // now = 10, busy = 10
+	eng.After(1000, func() { // fires at 1010
+		ex.Exec(5, func() {
+			if eng.Now() != 1015 {
+				t.Errorf("task after idle ran at %v, want 1015", eng.Now())
+			}
+		})
+	})
+	eng.Run()
+}
+
+func TestGoExecFIFOAndStop(t *testing.T) {
+	ex := newGoExec(nil)
+	ex.start()
+	var order []int
+	done := make(chan struct{})
+	for i := 0; i < 10; i++ {
+		i := i
+		ex.Exec(0, func() {
+			order = append(order, i)
+			if i == 9 {
+				close(done)
+			}
+		})
+	}
+	<-done
+	ex.stop()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("actor ran out of order: %v", order)
+		}
+	}
+	// Exec after stop is a silent no-op.
+	ex.Exec(0, func() { t.Error("ran after stop") })
+}
+
+func TestGoExecStopDrains(t *testing.T) {
+	ex := newGoExec(nil)
+	ex.start()
+	n := 0
+	for i := 0; i < 100; i++ {
+		ex.Exec(0, func() { n++ })
+	}
+	ex.stop()
+	if n != 100 {
+		t.Fatalf("stop dropped tasks: ran %d", n)
+	}
+}
+
+func TestWorldStatsAggregation(t *testing.T) {
+	w := testWorld(t, Config{Ranks: 3, Mode: AGASNM, Engine: EngineDES})
+	echo := w.Register("echo", func(c *Ctx) { c.Continue(nil) })
+	w.Start()
+	lay, err := w.AllocCyclic(0, 256, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.MustWait(w.Proc(0).Put(lay.BlockAt(1), []byte{1, 2, 3}))
+	w.MustWait(w.Proc(0).Get(lay.BlockAt(1), 3))
+	w.MustWait(w.Proc(0).Call(lay.BlockAt(2), echo, nil))
+	w.MustWait(w.Proc(0).Migrate(lay.BlockAt(1), 2))
+
+	s := w.Stats()
+	if s.PutOps != 1 || s.GetOps != 1 {
+		t.Fatalf("one-sided counters %+v", s)
+	}
+	if s.PutBytes != 3 || s.GetBytes != 3 {
+		t.Fatalf("byte counters %+v", s)
+	}
+	if s.Migrations != 1 {
+		t.Fatalf("migrations %d", s.Migrations)
+	}
+	if s.ParcelsSent == 0 || s.NetSent == 0 || s.NetBytes == 0 {
+		t.Fatalf("traffic counters empty: %+v", s)
+	}
+	if s.DMADeliveries == 0 {
+		t.Fatal("DMA counter empty after remote put/get")
+	}
+	tb := w.StatsTable()
+	if tb.NumRows() < 15 {
+		t.Fatalf("stats table has %d rows", tb.NumRows())
+	}
+}

@@ -1,0 +1,680 @@
+package runtime
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"nmvgas/internal/agas"
+	"nmvgas/internal/gas"
+	"nmvgas/internal/netsim"
+	"nmvgas/internal/parcel"
+	"nmvgas/internal/stats"
+)
+
+// Runtime-level message kinds carried in netsim.Message.Kind.
+const (
+	kParcel uint8 = iota + 1
+	kPutReq
+	kPutAck
+	kGetReq
+	kGetRep
+	// kHostNack is the software-managed repair path: the host at a stale
+	// destination bounces a one-sided op back with owner advice.
+	kHostNack
+	// kOwnerUpd is the software-managed correction pushed to a source
+	// whose parcel was host-forwarded.
+	kOwnerUpd
+	// kBatch is a coalesced bundle of parcels addressed to a locality.
+	kBatch
+)
+
+// LocStats are per-locality runtime counters (distinct from the fabric's
+// NIC counters).
+type LocStats struct {
+	ParcelsSent  stats.Counter
+	ParcelsRun   stats.Counter
+	LocalRuns    stats.Counter // parcels short-circuited without the network
+	HostForwards stats.Counter // software-managed host forwarding
+	HostNacks    stats.Counter // one-sided faults repaired in software
+	NICNacks     stats.Counter // NACKs received from the fabric (ablation)
+	Queued       stats.Counter // messages parked behind a moving block
+	SWLookups    stats.Counter
+	PutOps       stats.Counter
+	GetOps       stats.Counter
+	PutBytes     stats.Counter
+	GetBytes     stats.Counter
+	Migrations   stats.Counter // completed with this locality as old owner
+}
+
+type moveState struct {
+	dst    int
+	queued []*netsim.Message
+}
+
+type opState struct {
+	done func(data []byte)
+}
+
+// Locality is one simulated compute node: a block store, the mode's
+// address-translation state, an executor standing in for its host CPU,
+// and the protocol handlers.
+type Locality struct {
+	w    *World
+	rank int
+
+	store *gas.Store
+	exec  Executor
+
+	// dir is authoritative for blocks homed here (AGAS modes).
+	dir *agas.Directory
+	// cache and tombs exist in software-managed mode only.
+	cache *agas.SWCache
+	tombs *agas.Tombstones
+
+	mu     sync.Mutex
+	moving map[gas.BlockID]*moveState
+	// active counts user actions currently executing against each block;
+	// migration defers until the block is quiescent so a snapshot can
+	// never race an in-flight handler.
+	active map[gas.BlockID]int
+	ops    map[uint64]*opState
+	opSeq  uint64
+
+	// coal batches outgoing parcels when coalescing is configured.
+	coal *coalescer
+
+	parcelSeq atomic.Uint64
+	Stats     LocStats
+}
+
+func newLocality(w *World, rank int) *Locality {
+	l := &Locality{
+		w:      w,
+		rank:   rank,
+		store:  gas.NewStore(),
+		moving: make(map[gas.BlockID]*moveState),
+		active: make(map[gas.BlockID]int),
+		ops:    make(map[uint64]*opState),
+	}
+	if w.cfg.Mode != PGAS {
+		l.dir = agas.NewDirectory()
+	}
+	if w.cfg.Mode == AGASSW {
+		l.cache = agas.NewSWCache(w.cfg.SWCacheCap, w.cfg.SWCorrection)
+		l.tombs = agas.NewTombstones()
+	}
+	if w.cfg.Coalesce.enabled() {
+		l.coal = newCoalescer(l, w.cfg.Coalesce)
+	}
+	return l
+}
+
+// Rank returns this locality's rank.
+func (l *Locality) Rank() int { return l.rank }
+
+// World returns the owning world.
+func (l *Locality) World() *World { return l.w }
+
+// Store exposes the block store (driver-side verification and workload
+// setup).
+func (l *Locality) Store() *gas.Store { return l.store }
+
+// Cache exposes the software translation cache (nil outside AGASSW).
+func (l *Locality) Cache() *agas.SWCache { return l.cache }
+
+// Directory exposes the home directory (nil under PGAS).
+func (l *Locality) Directory() *agas.Directory { return l.dir }
+
+// Moving reports whether block b is pinned by an in-flight migration at
+// this locality (drivers use it to time mid-migration experiments).
+func (l *Locality) Moving(b gas.BlockID) bool { return l.isMoving(b) }
+
+func (l *Locality) isMoving(b gas.BlockID) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, ok := l.moving[b]
+	return ok
+}
+
+// queueIfMoving parks m behind an in-flight migration of b; reports
+// whether it did.
+func (l *Locality) queueIfMoving(b gas.BlockID, m *netsim.Message) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st, ok := l.moving[b]
+	if !ok {
+		return false
+	}
+	st.queued = append(st.queued, m)
+	l.Stats.Queued.Inc()
+	l.trace(TraceQueued, b, uint64(m.Kind))
+	return true
+}
+
+// residentForNIC is the NIC's residency oracle: a block is "resident" for
+// routing purposes only when present as the *master* copy and not
+// mid-migration — migrating blocks drain through the host's queueing
+// path, and read-only replicas are invisible to ownership routing.
+func (l *Locality) residentForNIC(b gas.BlockID) bool {
+	if l.isMoving(b) {
+		return false
+	}
+	blk, ok := l.store.Get(b)
+	return ok && !blk.Replica
+}
+
+// resident reports master presence-and-not-moving (host-side fast paths).
+func (l *Locality) resident(b gas.BlockID) bool { return l.residentForNIC(b) }
+
+// ---------------------------------------------------------------------
+// Send side
+
+// SendParcel routes p from this locality. It must be called from this
+// locality's execution context (an action body or a Proc task).
+func (l *Locality) SendParcel(p *parcel.Parcel) {
+	p.Src = l.rank
+	p.Seq = l.parcelSeq.Add(1)
+	l.Stats.ParcelsSent.Inc()
+	l.trace(TraceSend, p.Target.Block(), uint64(p.Action))
+	enc := parcel.Encode(p)
+	m := &netsim.Message{
+		Kind:    kParcel,
+		Src:     l.rank,
+		Target:  p.Target,
+		Payload: enc,
+		Wire:    len(enc),
+	}
+	l.routeMsg(m)
+}
+
+// routeMsg performs source-side translation for m per the world's mode
+// and either delivers locally or injects into the network. It is also the
+// re-send path after corrections, NACKs, and migration flushes.
+func (l *Locality) routeMsg(m *netsim.Message) {
+	m.Hops = 0
+	b := m.Target.Block()
+	m.Block = b
+	model := l.w.cfg.Model
+
+	// Read-only replica fast path: a frozen block's local copy (master
+	// or replica) serves one-sided reads without the network.
+	if m.Kind == kGetReq {
+		if _, ok := l.replicaData(b); ok {
+			l.deliverLocal(m)
+			return
+		}
+	}
+	// Local fast path: the data is here and stable.
+	if l.resident(b) {
+		l.deliverLocal(m)
+		return
+	}
+	if l.queueIfMoving(b, m) {
+		return
+	}
+
+	if l.coal != nil && m.Kind == kParcel {
+		if dst := l.coalesceDst(m); dst != l.rank {
+			l.coal.add(dst, m.Payload.([]byte))
+			return
+		}
+	}
+
+	switch l.w.cfg.Mode {
+	case PGAS:
+		l.inject(m, m.Target.Home())
+	case AGASSW:
+		// Software translation on the host's dime.
+		l.exec.Charge(model.SWLookup)
+		l.Stats.SWLookups.Inc()
+		dst := m.Target.Home()
+		if l.rank == dst {
+			// We are home: the directory is local and authoritative.
+			dst = l.dir.Resolve(b, l.rank)
+			if dst == l.rank {
+				// Directory says it is here but it is not resident:
+				// the block was never allocated.
+				l.w.fail("rank %d: send to unallocated block %d", l.rank, b)
+			}
+		} else if o, ok := l.cache.Lookup(b); ok && o != l.rank {
+			dst = o
+		}
+		l.inject(m, dst)
+	case AGASNM:
+		// The NIC translates; software only injects.
+		l.inject(m, netsim.ByGVA)
+	}
+}
+
+// coalesceDst picks the batching destination for a parcel: the best
+// cheap guess at its owner. Wrong guesses are corrected at the batch
+// target by re-routing.
+func (l *Locality) coalesceDst(m *netsim.Message) int {
+	b := m.Target.Block()
+	home := m.Target.Home()
+	if l.rank == home && l.dir != nil {
+		return l.dir.Resolve(b, home)
+	}
+	if l.cache != nil {
+		if o, ok := l.cache.Lookup(b); ok {
+			return o
+		}
+	}
+	return home
+}
+
+// inject charges host injection overhead and hands m to the network. The
+// injection is scheduled at the host-busy horizon so that send-side
+// software costs (translation, OSend) delay the wire departure — that
+// serialization is exactly the overhead the paper's design removes.
+func (l *Locality) inject(m *netsim.Message, dst int) {
+	m.Dst = dst
+	l.exec.Charge(l.w.cfg.Model.OSend)
+	l.exec.Exec(0, func() { l.w.net.send(l.rank, m) })
+}
+
+// deliverLocal executes m on this locality without touching the network.
+func (l *Locality) deliverLocal(m *netsim.Message) {
+	l.Stats.LocalRuns.Inc()
+	l.exec.Exec(l.w.cfg.Model.HandlerDispatch, func() { l.onHostMsg(m) })
+}
+
+// ---------------------------------------------------------------------
+// Receive side (host)
+
+// onHostMsg handles everything the NIC delivers up to the host, plus
+// local deliveries. It runs on the locality executor.
+func (l *Locality) onHostMsg(m *netsim.Message) {
+	if m.Ctl == netsim.CtlNack {
+		l.onNICNack(m)
+		return
+	}
+	switch m.Kind {
+	case kParcel:
+		p, err := parcel.Decode(m.Payload.([]byte))
+		if err != nil {
+			l.w.fail("rank %d: undecodable parcel: %v", l.rank, err)
+		}
+		l.execParcel(p, m)
+	case kPutReq:
+		l.hostPut(m)
+	case kGetReq:
+		l.hostGet(m)
+	case kPutAck:
+		l.completeOp(m.OpID, nil)
+	case kGetRep:
+		l.completeOp(m.OpID, m.Payload.([]byte))
+	case kHostNack:
+		l.onHostNack(m)
+	case kOwnerUpd:
+		if l.cache != nil {
+			l.cache.Correct(m.Block, m.Owner)
+		}
+	case kBatch:
+		l.onBatch(m)
+	default:
+		l.w.fail("rank %d: unknown message kind %d", l.rank, m.Kind)
+	}
+}
+
+// execParcel dispatches a decoded parcel at its (supposed) owner. The
+// moving/residency checks run at *execution* time — the parcel may sit in
+// an executor queue while a migration starts — and user actions hold an
+// active-count on their block so migration snapshots never race handlers.
+func (l *Locality) execParcel(p *parcel.Parcel, m *netsim.Message) {
+	act, err := l.w.reg.Lookup(p.Action)
+	if err != nil {
+		l.w.fail("rank %d: %v", l.rank, err)
+	}
+	if p.Action < firstUserAction {
+		// Control actions never touch user block data; they re-check
+		// state themselves where needed.
+		if l.queueIfMoving(p.Target.Block(), m) {
+			return
+		}
+		if _, ok := l.store.Get(p.Target.Block()); !ok {
+			l.parcelFault(p, m)
+			return
+		}
+		l.Stats.ParcelsRun.Inc()
+		l.trace(TraceExec, p.Target.Block(), uint64(p.Action))
+		act(&Ctx{l: l, P: p})
+		return
+	}
+	l.exec.Offload(func() {
+		b := p.Target.Block()
+		l.mu.Lock()
+		if st, moving := l.moving[b]; moving {
+			st.queued = append(st.queued, m)
+			l.Stats.Queued.Inc()
+			l.mu.Unlock()
+			return
+		}
+		l.active[b]++
+		l.mu.Unlock()
+
+		defer func() {
+			l.mu.Lock()
+			if l.active[b]--; l.active[b] == 0 {
+				delete(l.active, b)
+			}
+			l.mu.Unlock()
+		}()
+		if _, ok := l.store.Get(b); !ok {
+			l.parcelFault(p, m)
+			return
+		}
+		l.Stats.ParcelsRun.Inc()
+		l.w.noteAccess(l.rank, b)
+		l.trace(TraceExec, b, uint64(p.Action))
+		act(&Ctx{l: l, P: p})
+	})
+}
+
+// parcelFault handles a parcel for a block that is not resident here.
+func (l *Locality) parcelFault(p *parcel.Parcel, m *netsim.Message) {
+	b := p.Target.Block()
+	switch l.w.cfg.Mode {
+	case AGASSW:
+		// Host-level forwarding: the old owner (tombstone) or the home
+		// (directory) redirects, then teaches the source.
+		if owner, ok := l.forwardTarget(b, p.Target.Home()); ok {
+			l.Stats.HostForwards.Inc()
+			l.trace(TraceHostForward, b, uint64(owner))
+			l.exec.Charge(l.w.cfg.Model.OSend)
+			fwd := *m
+			fwd.Dst = owner
+			fwd.Hops = m.Hops + 1
+			l.w.net.send(l.rank, &fwd)
+			if p.Src != l.rank {
+				l.inject(&netsim.Message{
+					Kind:   kOwnerUpd,
+					Src:    l.rank,
+					Target: p.Target,
+					Owner:  owner,
+					Wire:   32,
+				}, p.Src)
+			}
+			return
+		}
+		l.w.fail("rank %d: parcel %v for unallocated block %d", l.rank, p, b)
+	case AGASNM:
+		// The NIC normally repairs this below the host; reaching here
+		// means the message was host-delivered in the window between a
+		// NIC routing decision and a migration completing. The NIC's
+		// authoritative state (tombstone or home mirror) or the home
+		// directory knows where the block went — rescue by re-routing.
+		if owner, ok := l.nmRescueTarget(b, p.Target.Home()); ok {
+			fwd := *m
+			l.routeToExplicit(&fwd, owner)
+			return
+		}
+		l.w.fail("rank %d (nm): parcel %v for non-resident block %d", l.rank, p, b)
+	default:
+		l.w.fail("rank %d (pgas): parcel %v for non-resident block %d", l.rank, p, b)
+	}
+}
+
+// forwardTarget finds where to redirect traffic for a non-resident block:
+// at the home the directory is authoritative (a tombstone here may be
+// stale after the block moved on); elsewhere only the tombstone knows.
+func (l *Locality) forwardTarget(b gas.BlockID, home int) (int, bool) {
+	if l.rank == home && l.dir != nil {
+		if o, ok := l.dir.Owner(b); ok && o != l.rank {
+			return o, true
+		}
+	}
+	if l.tombs != nil {
+		if o, ok := l.tombs.Get(b); ok {
+			return o, true
+		}
+	}
+	return 0, false
+}
+
+// nmRescueTarget finds where to redirect host-delivered traffic for a
+// block that left this locality mid-delivery (network-managed mode): the
+// NIC's authoritative route first, then the home directory.
+func (l *Locality) nmRescueTarget(b gas.BlockID, home int) (int, bool) {
+	if owner, ok := l.w.net.route(l.rank, b); ok && owner != l.rank {
+		return owner, true
+	}
+	if l.rank == home && l.dir != nil {
+		if owner, ok := l.dir.Owner(b); ok && owner != l.rank {
+			return owner, true
+		}
+	}
+	return 0, false
+}
+
+// routeToExplicit re-sends m to a known destination, charging injection.
+func (l *Locality) routeToExplicit(m *netsim.Message, dst int) {
+	m.Hops = 0
+	l.inject(m, dst)
+}
+
+// onNICNack handles the fabric's CtlNack (the no-in-network-forwarding
+// ablation): repair the NIC table from the host, then resend.
+func (l *Locality) onNICNack(m *netsim.Message) {
+	l.Stats.NICNacks.Inc()
+	l.trace(TraceNICNack, m.Block, uint64(int64(m.Owner)))
+	orig := m.Nacked
+	if orig == nil {
+		l.w.fail("rank %d: NACK without original message", l.rank)
+	}
+	if m.Owner >= 0 {
+		l.exec.Charge(l.w.cfg.Model.NICUpdate)
+		l.w.net.updateTable(l.rank, m.Block, m.Owner)
+	}
+	l.routeMsg(orig)
+}
+
+// onHostNack handles the software-managed repair of a bounced one-sided
+// operation.
+func (l *Locality) onHostNack(m *netsim.Message) {
+	l.Stats.HostNacks.Inc()
+	l.trace(TraceHostNack, m.Block, uint64(int64(m.Owner)))
+	if m.Nacked == nil {
+		l.w.fail("rank %d: host NACK without original message", l.rank)
+	}
+	if l.cache != nil && m.Owner >= 0 {
+		l.cache.Correct(m.Block, m.Owner)
+	}
+	l.routeMsg(m.Nacked)
+}
+
+// ---------------------------------------------------------------------
+// One-sided operations
+
+// PutAsync writes data at dst and runs done on this locality when the
+// write is remotely complete. Must be called from this locality's
+// execution context.
+func (l *Locality) PutAsync(dst gas.GVA, data []byte, done func()) {
+	l.Stats.PutOps.Inc()
+	l.Stats.PutBytes.Add(int64(len(data)))
+	id := l.newOp(func([]byte) {
+		if done != nil {
+			done()
+		}
+	})
+	buf := append([]byte(nil), data...)
+	m := &netsim.Message{
+		Kind:    kPutReq,
+		Src:     l.rank,
+		Target:  dst,
+		DMA:     true,
+		Payload: buf,
+		Wire:    32 + len(buf),
+		OpID:    id,
+	}
+	l.routeMsg(m)
+}
+
+// GetAsync reads n bytes at src and runs done with the data. Must be
+// called from this locality's execution context.
+func (l *Locality) GetAsync(src gas.GVA, n uint32, done func(data []byte)) {
+	l.Stats.GetOps.Inc()
+	l.Stats.GetBytes.Add(int64(n))
+	id := l.newOp(done)
+	m := &netsim.Message{
+		Kind:   kGetReq,
+		Src:    l.rank,
+		Target: src,
+		DMA:    true,
+		Wire:   32,
+		N:      n,
+		OpID:   id,
+	}
+	l.routeMsg(m)
+}
+
+func (l *Locality) newOp(done func([]byte)) uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.opSeq++
+	l.ops[l.opSeq] = &opState{done: done}
+	return l.opSeq
+}
+
+func (l *Locality) completeOp(id uint64, data []byte) {
+	l.mu.Lock()
+	st, ok := l.ops[id]
+	delete(l.ops, id)
+	l.mu.Unlock()
+	if !ok {
+		l.w.fail("rank %d: completion for unknown op %d", l.rank, id)
+	}
+	if st.done != nil {
+		st.done(data)
+	}
+}
+
+// onDMA services one-sided traffic at the NIC: no host executor
+// involvement. Residency was checked by the caller.
+func (l *Locality) onDMA(m *netsim.Message) {
+	b := m.Target.Block()
+	blk, ok := l.store.Get(b)
+	if !ok {
+		l.w.fail("rank %d: DMA against missing block %d", l.rank, b)
+	}
+	if blk.Kind != gas.KindData {
+		l.w.fail("rank %d: DMA against non-data block %d", l.rank, b)
+	}
+	l.w.noteAccess(l.rank, b)
+	switch m.Kind {
+	case kPutReq:
+		if blk.Frozen {
+			l.w.fail("rank %d: DMA put to frozen (replicated) block %d", l.rank, b)
+		}
+		if err := l.store.WriteAt(b, m.Target.Offset(), m.Payload.([]byte)); err != nil {
+			l.w.fail("rank %d: %v", l.rank, err)
+		}
+		l.w.net.nicSend(l.rank, &netsim.Message{Kind: kPutAck, Src: l.rank, Dst: m.Src, Wire: 32, OpID: m.OpID})
+	case kGetReq:
+		data := make([]byte, m.N)
+		if err := l.store.ReadAt(b, m.Target.Offset(), data); err != nil {
+			l.w.fail("rank %d: %v", l.rank, err)
+		}
+		l.w.net.nicSend(l.rank, &netsim.Message{
+			Kind: kGetRep, Src: l.rank, Dst: m.Src, Wire: 32 + len(data), Payload: data, OpID: m.OpID,
+		})
+	default:
+		l.w.fail("rank %d: DMA with kind %d", l.rank, m.Kind)
+	}
+}
+
+// hostPut is the host-side put path: local fast path, migration queueing,
+// and the software-managed fault repair.
+func (l *Locality) hostPut(m *netsim.Message) {
+	b := m.Target.Block()
+	if l.queueIfMoving(b, m) {
+		return
+	}
+	blk, ok := l.store.Get(b)
+	if ok {
+		if blk.Kind != gas.KindData {
+			l.w.fail("rank %d: put to non-data block %d", l.rank, b)
+		}
+		if blk.Frozen {
+			l.w.fail("rank %d: put to frozen (replicated) block %d", l.rank, b)
+		}
+		l.w.noteAccess(l.rank, b)
+		l.exec.Charge(l.w.cfg.Model.CopyTime(len(m.Payload.([]byte))))
+		if err := l.store.WriteAt(b, m.Target.Offset(), m.Payload.([]byte)); err != nil {
+			l.w.fail("rank %d: %v", l.rank, err)
+		}
+		if m.Src == l.rank {
+			l.completeOp(m.OpID, nil)
+			return
+		}
+		l.inject(&netsim.Message{Kind: kPutAck, Src: l.rank, Dst: m.Src, Wire: 32, OpID: m.OpID}, m.Src)
+		return
+	}
+	l.dataFault(m)
+}
+
+// hostGet mirrors hostPut for reads.
+func (l *Locality) hostGet(m *netsim.Message) {
+	b := m.Target.Block()
+	if l.queueIfMoving(b, m) {
+		return
+	}
+	blk, ok := l.store.Get(b)
+	if ok {
+		if blk.Kind != gas.KindData {
+			l.w.fail("rank %d: get from non-data block %d", l.rank, b)
+		}
+		l.w.noteAccess(l.rank, b)
+		data := make([]byte, m.N)
+		l.exec.Charge(l.w.cfg.Model.CopyTime(len(data)))
+		if err := l.store.ReadAt(b, m.Target.Offset(), data); err != nil {
+			l.w.fail("rank %d: %v", l.rank, err)
+		}
+		if m.Src == l.rank {
+			l.completeOp(m.OpID, data)
+			return
+		}
+		l.inject(&netsim.Message{Kind: kGetRep, Src: l.rank, Dst: m.Src, Wire: 32 + len(data), Payload: data, OpID: m.OpID}, m.Src)
+		return
+	}
+	l.dataFault(m)
+}
+
+// dataFault repairs a one-sided operation that landed on a non-owner.
+func (l *Locality) dataFault(m *netsim.Message) {
+	b := m.Target.Block()
+	switch l.w.cfg.Mode {
+	case AGASSW:
+		owner, ok := l.forwardTarget(b, m.Target.Home())
+		if !ok {
+			l.w.fail("rank %d: one-sided op on unallocated block %d", l.rank, b)
+		}
+		if m.Src == l.rank {
+			// Our own op raced a migration: re-route directly.
+			if l.cache != nil {
+				l.cache.Correct(b, owner)
+			}
+			l.routeMsg(m)
+			return
+		}
+		l.Stats.HostNacks.Inc()
+		l.inject(&netsim.Message{
+			Kind:   kHostNack,
+			Src:    l.rank,
+			Target: m.Target,
+			Block:  b,
+			Owner:  owner,
+			Wire:   32,
+			Nacked: m,
+		}, m.Src)
+	case AGASNM:
+		if owner, ok := l.nmRescueTarget(b, m.Target.Home()); ok {
+			fwd := *m
+			l.routeToExplicit(&fwd, owner)
+			return
+		}
+		l.w.fail("rank %d (nm): one-sided fault on block %d", l.rank, b)
+	default:
+		l.w.fail("rank %d (pgas): one-sided op on non-resident block %d", l.rank, b)
+	}
+}

@@ -1,0 +1,254 @@
+package runtime
+
+import (
+	"nmvgas/internal/gas"
+	"nmvgas/internal/parcel"
+)
+
+// Migration status codes delivered to the initiator's continuation as an
+// 8-byte little-endian record.
+const (
+	// MigrateOK reports a completed migration (or a no-op move to the
+	// current owner).
+	MigrateOK int64 = iota
+	// MigratePinned reports a refusal: LCOs and infrastructure blocks do
+	// not move.
+	MigratePinned
+	// MigrateBadTarget reports a destination rank outside the world.
+	MigrateBadTarget
+)
+
+// The migration protocol, from the initiator's point of view:
+//
+//	initiator --aMigrateReq--> owner        (routed like any parcel)
+//	owner: pin block (queue arrivals), snapshot
+//	owner --aMigrateData--> destination     (block bytes on the wire)
+//	destination: install block
+//	destination --aMigrateCommit--> home    (directory flip)
+//	home: directory.Set; NM: NIC route install (+ policy broadcast)
+//	home --aMigrateDone--> old owner
+//	old owner: drop block, leave tombstone (host or NIC), flush queue,
+//	           fire the initiator's continuation
+//
+// The block's GVA never changes; only ownership state does. Traffic that
+// races any phase either queues at the pinned owner or chases tombstones,
+// so no message is ever lost or executed at a non-owner.
+
+// migPayload is the control record threaded through the protocol chain.
+type migPayload struct {
+	g        gas.GVA // block base address (carries home)
+	bsize    uint32
+	to       int
+	oldOwner int
+	cAction  parcel.ActionID
+	cTarget  gas.GVA
+	data     []byte // block contents, only on aMigrateData
+}
+
+func encodeMig(p migPayload) []byte {
+	buf := make([]byte, 0, 34+len(p.data))
+	buf = parcel.PutU64(buf, uint64(p.g))
+	buf = parcel.PutU32(buf, p.bsize)
+	buf = parcel.PutU32(buf, uint32(p.to))
+	buf = parcel.PutU32(buf, uint32(p.oldOwner))
+	buf = parcel.PutU32(buf, uint32(p.cAction))
+	buf = parcel.PutU64(buf, uint64(p.cTarget))
+	return append(buf, p.data...)
+}
+
+func decodeMig(b []byte) migPayload {
+	return migPayload{
+		g:        gas.GVA(parcel.U64(b, 0)),
+		bsize:    parcel.U32(b, 8),
+		to:       int(parcel.U32(b, 12)),
+		oldOwner: int(parcel.U32(b, 16)),
+		cAction:  parcel.ActionID(parcel.U32(b, 20)),
+		cTarget:  gas.GVA(parcel.U64(b, 24)),
+		data:     b[32:],
+	}
+}
+
+// MigrateAsync moves the block addressed by g to rank to. When the
+// migration commits, a parcel running contAction (usually ALCOSet) at
+// cont fires with a status record. Must be called from this locality's
+// execution context. Under PGAS the request fails immediately at the
+// owner (the home) with MigratePinned semantics — PGAS blocks never move
+// — reported through the same continuation.
+func (l *Locality) MigrateAsync(g gas.GVA, to int, contAction parcel.ActionID, cont gas.GVA) {
+	l.SendParcel(&parcel.Parcel{
+		Action:  aMigrateReq,
+		Target:  g.Base(),
+		Payload: encodeMig(migPayload{g: g.Base(), to: to}),
+		CAction: contAction,
+		CTarget: cont,
+	})
+}
+
+func (w *World) registerBuiltins() {
+	// Order fixes the builtin IDs declared in registry.go.
+	w.reg.Register("lco.set", func(c *Ctx) {
+		blk, ok := c.l.store.Get(c.P.Target.Block())
+		if !ok || blk.Kind != gas.KindLCO {
+			c.l.w.fail("rank %d: lco.set on non-LCO target %v", c.l.rank, c.P.Target)
+		}
+		if err := blk.Ctl.(interface{ Set([]byte) error }).Set(c.P.Payload); err != nil {
+			c.l.w.fail("rank %d: lco.set on %v: %v", c.l.rank, c.P.Target, err)
+		}
+	})
+	w.reg.Register("nop", func(c *Ctx) { c.Continue(nil) })
+	w.reg.Register("migrate.req", migrateReq)
+	w.reg.Register("migrate.data", migrateData)
+	w.reg.Register("migrate.commit", migrateCommit)
+	w.reg.Register("migrate.done", migrateDone)
+	w.reg.Register("alloc.blocks", allocBlocks)
+	w.reg.Register("free.block", freeBlock)
+}
+
+// migrateReq runs at the block's current owner.
+func migrateReq(c *Ctx) {
+	l := c.l
+	mp := decodeMig(c.P.Payload)
+	b := mp.g.Block()
+
+	status := func(s int64) { c.Continue(parcel.PutI64(nil, s)) }
+
+	if mp.to < 0 || mp.to >= l.w.cfg.Ranks {
+		status(MigrateBadTarget)
+		return
+	}
+	blk, ok := l.store.Get(b)
+	if !ok {
+		// execParcel guarantees residency; reaching here is a protocol
+		// bug.
+		l.w.fail("rank %d: migrate.req for non-resident block %d", l.rank, b)
+	}
+	if blk.Kind != gas.KindData || blk.Pinned {
+		status(MigratePinned)
+		return
+	}
+	if l.w.cfg.Mode == PGAS {
+		status(MigratePinned)
+		return
+	}
+	if mp.to == l.rank {
+		status(MigrateOK)
+		return
+	}
+
+	// Pin: from here until migrateDone, arrivals for b queue at this
+	// host (the NIC residency oracle reports false, and under AGASNM the
+	// route-to-self entry steers misrouted traffic to this host). If a
+	// user action is mid-execution against the block, defer — the
+	// snapshot must observe a quiescent block.
+	l.mu.Lock()
+	if l.active[b] > 0 {
+		l.mu.Unlock()
+		retry := *c.P
+		l.exec.Exec(l.w.cfg.Model.HandlerDispatch, func() {
+			migrateReq(&Ctx{l: l, P: &retry})
+		})
+		return
+	}
+	l.moving[b] = &moveState{dst: mp.to}
+	l.mu.Unlock()
+	l.trace(TraceMigrateStart, b, uint64(mp.to))
+	if l.w.cfg.Mode == AGASNM {
+		l.exec.Charge(l.w.cfg.Model.NICUpdate)
+		l.w.net.installRoute(l.rank, b, l.rank)
+	}
+
+	snapshot := append([]byte(nil), blk.Data...)
+	l.exec.Charge(l.w.cfg.Model.CopyTime(len(snapshot)))
+	l.SendParcel(&parcel.Parcel{
+		Action: aMigrateData,
+		Target: l.w.LocalityGVA(mp.to),
+		Payload: encodeMig(migPayload{
+			g: mp.g, bsize: blk.BSize, to: mp.to, oldOwner: l.rank,
+			cAction: c.P.CAction, cTarget: c.P.CTarget, data: snapshot,
+		}),
+	})
+}
+
+// migrateData runs at the destination locality.
+func migrateData(c *Ctx) {
+	l := c.l
+	mp := decodeMig(c.P.Payload)
+	b := mp.g.Block()
+
+	nb := &gas.Block{ID: b, Kind: gas.KindData, BSize: mp.bsize, Data: append([]byte(nil), mp.data...)}
+	l.exec.Charge(l.w.cfg.Model.CopyTime(len(mp.data)))
+	if err := l.store.Insert(nb); err != nil {
+		l.w.fail("rank %d: migrate install: %v", l.rank, err)
+	}
+	if l.w.cfg.Mode == AGASNM {
+		l.exec.Charge(l.w.cfg.Model.NICUpdate)
+		l.w.net.clearResident(l.rank, b)
+	}
+	mp.data = nil
+	l.SendParcel(&parcel.Parcel{
+		Action:  aMigrateCommit,
+		Target:  l.w.LocalityGVA(mp.g.Home()),
+		Payload: encodeMig(migPayload{g: mp.g, to: l.rank, oldOwner: mp.oldOwner, cAction: mp.cAction, cTarget: mp.cTarget}),
+	})
+}
+
+// migrateCommit runs at the block's home: the directory flip.
+func migrateCommit(c *Ctx) {
+	l := c.l
+	mp := decodeMig(c.P.Payload)
+	b := mp.g.Block()
+
+	l.dir.Set(b, mp.to, l.rank)
+	if l.w.cfg.Mode == AGASNM {
+		l.exec.Charge(l.w.cfg.Model.NICUpdate)
+		l.w.net.commitAtHome(l.rank, b, mp.to)
+	}
+	l.SendParcel(&parcel.Parcel{
+		Action:  aMigrateDone,
+		Target:  l.w.LocalityGVA(mp.oldOwner),
+		Payload: encodeMig(migPayload{g: mp.g, to: mp.to, oldOwner: mp.oldOwner, cAction: mp.cAction, cTarget: mp.cTarget}),
+	})
+}
+
+// migrateDone runs at the old owner: unpin, tombstone, flush, notify.
+func migrateDone(c *Ctx) {
+	l := c.l
+	mp := decodeMig(c.P.Payload)
+	b := mp.g.Block()
+
+	if _, ok := l.store.Remove(b); !ok {
+		l.w.fail("rank %d: migrate.done without resident block %d", l.rank, b)
+	}
+	switch l.w.cfg.Mode {
+	case AGASSW:
+		l.tombs.Put(b, mp.to)
+		l.cache.Learn(b, mp.to)
+	case AGASNM:
+		l.exec.Charge(l.w.cfg.Model.NICUpdate)
+		l.w.net.installRoute(l.rank, b, mp.to)
+	}
+
+	l.mu.Lock()
+	st := l.moving[b]
+	delete(l.moving, b)
+	l.mu.Unlock()
+	if st == nil {
+		l.w.fail("rank %d: migrate.done for block %d that was not moving", l.rank, b)
+	}
+	l.Stats.Migrations.Inc()
+	l.trace(TraceMigrateDone, b, uint64(mp.to))
+	for _, qm := range st.queued {
+		l.routeMsg(qm)
+	}
+	if !mp.cTarget.IsNull() {
+		act := mp.cAction
+		if act == parcel.NilAction {
+			act = ALCOSet
+		}
+		l.SendParcel(&parcel.Parcel{
+			Action:  act,
+			Target:  mp.cTarget,
+			Payload: parcel.PutI64(nil, MigrateOK),
+		})
+	}
+}

@@ -1,0 +1,262 @@
+package runtime
+
+import (
+	"testing"
+
+	"nmvgas/internal/agas"
+	"nmvgas/internal/netsim"
+	"nmvgas/internal/parcel"
+)
+
+// These tests pin down the behavioural differences between the three
+// address-space designs — the properties the paper's evaluation turns on.
+
+func TestNMStaleTrafficForwardsInNetworkThenGoesDirect(t *testing.T) {
+	w := testWorld(t, Config{Ranks: 4, Mode: AGASNM, Engine: EngineDES})
+	echo := w.Register("echo", func(c *Ctx) { c.Continue(nil) })
+	w.Start()
+	lay, err := w.AllocCyclic(0, 64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := lay.BlockAt(1) // home 1
+	w.MustWait(w.Proc(0).Migrate(g, 3))
+
+	forwardsBefore := w.Fabric().TotalStats().Forwards
+	w.MustWait(w.Proc(2).Call(g, echo, nil))
+	afterFirst := w.Fabric().TotalStats().Forwards
+	if afterFirst <= forwardsBefore {
+		t.Fatal("first post-migration send did not forward in-network")
+	}
+	// The forwarding NIC pushed an update; the second send goes direct.
+	w.MustWait(w.Proc(2).Call(g, echo, nil))
+	if w.Fabric().TotalStats().Forwards != afterFirst {
+		t.Fatal("second send still bounced (pushed update was lost)")
+	}
+	// And crucially: no host at the old owner or home was involved in
+	// forwarding.
+	if w.Locality(1).Stats.HostForwards.Load() != 0 {
+		t.Fatal("home host forwarded in NM mode")
+	}
+}
+
+func TestNMNoPushUpdatesKeepsForwarding(t *testing.T) {
+	w := testWorld(t, Config{
+		Ranks: 4, Mode: AGASNM, Engine: EngineDES,
+		Policy: netsim.Policy{ForwardInNetwork: true, PushUpdates: false}, PolicySet: true,
+	})
+	echo := w.Register("echo", func(c *Ctx) { c.Continue(nil) })
+	w.Start()
+	lay, err := w.AllocCyclic(0, 64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := lay.BlockAt(1)
+	w.MustWait(w.Proc(0).Migrate(g, 3))
+	base := w.Fabric().TotalStats().Forwards
+	for i := 0; i < 3; i++ {
+		w.MustWait(w.Proc(2).Call(g, echo, nil))
+	}
+	if got := w.Fabric().TotalStats().Forwards - base; got < 3 {
+		t.Fatalf("forwards = %d, want >= 3 without pushed updates", got)
+	}
+}
+
+func TestNMNackAblation(t *testing.T) {
+	w := testWorld(t, Config{
+		Ranks: 4, Mode: AGASNM, Engine: EngineDES,
+		Policy: netsim.Policy{ForwardInNetwork: false, PushUpdates: false}, PolicySet: true,
+	})
+	echo := w.Register("echo", func(c *Ctx) { c.Continue(nil) })
+	w.Start()
+	lay, err := w.AllocCyclic(0, 64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := lay.BlockAt(1)
+	w.MustWait(w.Proc(0).Migrate(g, 3))
+	w.MustWait(w.Proc(2).Call(g, echo, nil))
+	if w.Fabric().TotalStats().Nacks == 0 {
+		t.Fatal("no NACKs under the NACK policy")
+	}
+	if w.Locality(2).Stats.NICNacks.Load() == 0 {
+		t.Fatal("source host never processed a NACK")
+	}
+	// The host repaired its NIC table; the next send completes without
+	// another NACK.
+	base := w.Fabric().TotalStats().Nacks
+	w.MustWait(w.Proc(2).Call(g, echo, nil))
+	if w.Fabric().TotalStats().Nacks != base {
+		t.Fatal("second send NACKed again despite table repair")
+	}
+}
+
+func TestSWStaleParcelHostForwardsAndTeachesSource(t *testing.T) {
+	w := testWorld(t, Config{Ranks: 4, Mode: AGASSW, Engine: EngineDES})
+	echo := w.Register("echo", func(c *Ctx) { c.Continue(nil) })
+	w.Start()
+	lay, err := w.AllocCyclic(0, 64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := lay.BlockAt(1)
+	w.MustWait(w.Proc(0).Migrate(g, 3))
+
+	// Rank 2 has no cache entry: the parcel goes to home 1, whose HOST
+	// forwards and pushes an owner update back.
+	w.MustWait(w.Proc(2).Call(g, echo, nil))
+	if w.Locality(1).Stats.HostForwards.Load() == 0 {
+		t.Fatal("home host did not forward")
+	}
+	if o, ok := w.Locality(2).Cache().Lookup(g.Block()); !ok || o != 3 {
+		t.Fatalf("source cache not taught: %d,%v", o, ok)
+	}
+	base := w.Locality(1).Stats.HostForwards.Load()
+	w.MustWait(w.Proc(2).Call(g, echo, nil))
+	if w.Locality(1).Stats.HostForwards.Load() != base {
+		t.Fatal("second send still host-forwarded")
+	}
+}
+
+func TestSWStaleOneSidedOpHostNacks(t *testing.T) {
+	w := testWorld(t, Config{Ranks: 4, Mode: AGASSW, Engine: EngineDES})
+	w.Start()
+	lay, err := w.AllocCyclic(0, 64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := lay.BlockAt(1)
+	w.MustWait(w.Proc(0).Migrate(g, 3))
+	w.MustWait(w.Proc(2).Put(g, []byte{7}))
+	if w.Locality(1).Stats.HostNacks.Load() == 0 {
+		t.Fatal("stale one-sided op did not take the host NACK path")
+	}
+	got := w.MustWait(w.Proc(2).Get(g, 1))
+	if got[0] != 7 {
+		t.Fatal("data wrong after repaired put")
+	}
+	// Repaired cache: the next op goes direct.
+	base := w.Locality(1).Stats.HostNacks.Load()
+	w.MustWait(w.Proc(2).Put(g, []byte{8}))
+	if w.Locality(1).Stats.HostNacks.Load() != base {
+		t.Fatal("second op NACKed again")
+	}
+}
+
+func TestSWInvalidatePolicyRelearnsViaHome(t *testing.T) {
+	w := testWorld(t, Config{
+		Ranks: 4, Mode: AGASSW, Engine: EngineDES,
+		SWCorrection: agas.CorrectionInvalidate,
+	})
+	echo := w.Register("echo", func(c *Ctx) { c.Continue(nil) })
+	w.Start()
+	lay, err := w.AllocCyclic(0, 64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := lay.BlockAt(1)
+	// Teach rank 2 the pre-migration location, then move the block.
+	w.MustWait(w.Proc(2).Call(g, echo, nil))
+	w.MustWait(w.Proc(0).Migrate(g, 3))
+	w.MustWait(w.Proc(2).Call(g, echo, nil))
+	// Under invalidate, the correction dropped the entry instead of
+	// updating it.
+	if _, ok := w.Locality(2).Cache().Lookup(g.Block()); ok {
+		t.Fatal("invalidate policy kept an entry")
+	}
+	// Still correct, just slower: the next call goes via home again.
+	w.MustWait(w.Proc(2).Call(g, echo, nil))
+}
+
+func TestLatencyOrderingAcrossModes(t *testing.T) {
+	// The headline property: a remote put on untouched (never-migrated)
+	// data costs PGAS ≈ NM < SW, because SW pays software translation on
+	// the critical path.
+	lat := func(mode Mode) netsim.VTime {
+		w := testWorld(t, Config{Ranks: 2, Mode: mode, Engine: EngineDES})
+		w.Start()
+		lay, err := w.AllocCyclic(0, 4096, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := lay.BlockAt(1)
+		// Warm once (first touches prime caches).
+		w.MustWait(w.Proc(0).Put(g, make([]byte, 8)))
+		start := w.Now()
+		w.MustWait(w.Proc(0).Put(g, make([]byte, 8)))
+		return w.Now() - start
+	}
+	pg, nm, sw := lat(PGAS), lat(AGASNM), lat(AGASSW)
+	if nm < pg {
+		t.Fatalf("NM (%v) beat PGAS (%v): model broken", nm, pg)
+	}
+	if float64(nm) > 1.2*float64(pg) {
+		t.Fatalf("NM (%v) more than 20%% over PGAS (%v)", nm, pg)
+	}
+	if sw <= nm {
+		t.Fatalf("SW (%v) not slower than NM (%v)", sw, nm)
+	}
+}
+
+func TestPostMigrationLatencySteadyState(t *testing.T) {
+	// After migration and one corrective round, NM and SW steady-state
+	// ops both go direct; NM must not be slower than SW.
+	lat := func(mode Mode) netsim.VTime {
+		w := testWorld(t, Config{Ranks: 4, Mode: mode, Engine: EngineDES})
+		w.Start()
+		lay, err := w.AllocCyclic(0, 4096, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := lay.BlockAt(1)
+		w.MustWait(w.Proc(0).Migrate(g, 3))
+		w.MustWait(w.Proc(2).Put(g, make([]byte, 8))) // corrective round
+		start := w.Now()
+		w.MustWait(w.Proc(2).Put(g, make([]byte, 8)))
+		return w.Now() - start
+	}
+	nm, sw := lat(AGASNM), lat(AGASSW)
+	if sw < nm {
+		t.Fatalf("steady-state SW (%v) beat NM (%v)", sw, nm)
+	}
+}
+
+func TestNICTableCapacityEvicts(t *testing.T) {
+	// The source must be neither home nor owner so its NIC *table* (not
+	// its authoritative routes) carries the translations.
+	w := testWorld(t, Config{Ranks: 3, Mode: AGASNM, Engine: EngineDES, NICTableCap: 4})
+	echo := w.Register("echo", func(c *Ctx) { c.Continue(nil) })
+	w.Start()
+	lay, err := w.AllocLocal(1, 64, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Migrate every block away from home 1 so sends from rank 0 bounce
+	// once and the forwarding NIC pushes entries into rank 0's table.
+	for d := uint32(0); d < 16; d++ {
+		w.MustWait(w.Proc(1).Migrate(lay.BlockAt(d), 2))
+	}
+	for d := uint32(0); d < 16; d++ {
+		w.MustWait(w.Proc(0).Call(lay.BlockAt(d), echo, nil))
+	}
+	nic := w.Fabric().NIC(0)
+	if nic.Table.Len() > 4 {
+		t.Fatalf("NIC table grew to %d", nic.Table.Len())
+	}
+	_, _, ev, _ := nic.Table.Stats()
+	if ev == 0 {
+		t.Fatal("bounded NIC table never evicted")
+	}
+}
+
+func TestBuiltinActionIDsStable(t *testing.T) {
+	// The wire protocol depends on these; moving them breaks mixed-run
+	// reproducibility.
+	if ALCOSet != 1 || ANop != 2 {
+		t.Fatalf("builtin ids moved: lco.set=%d nop=%d", ALCOSet, ANop)
+	}
+	if aMigrateReq != 3 || aMigrateDone != 6 || aAllocBlocks != 7 || aFreeBlock != 8 || firstUserAction != 9 {
+		t.Fatal("builtin action ids moved")
+	}
+	var _ parcel.ActionID = ALCOSet
+}

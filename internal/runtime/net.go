@@ -1,0 +1,270 @@
+package runtime
+
+import (
+	"sync"
+
+	"nmvgas/internal/gas"
+	"nmvgas/internal/netsim"
+	"nmvgas/internal/nmagas"
+)
+
+// network abstracts how a locality's messages reach other localities, so
+// the protocol code is identical on the DES fabric and the goroutine
+// transport.
+type network interface {
+	// send injects m from rank from's host (injection overheads already
+	// charged by the caller).
+	send(from int, m *netsim.Message)
+	// nicSend injects from NIC context (DMA completions) with no host
+	// involvement.
+	nicSend(from int, m *netsim.Message)
+	// installRoute records authoritative owner knowledge at rank's NIC.
+	installRoute(rank int, b gas.BlockID, owner int)
+	// updateTable updates rank's NIC translation cache.
+	updateTable(rank int, b gas.BlockID, owner int)
+	// clearResident removes NIC state claiming b lives elsewhere, at the
+	// locality where b just became resident.
+	clearResident(rank int, b gas.BlockID)
+	// route returns rank's NIC's *authoritative* knowledge for b (home
+	// mirror entry or tombstone; never the evictable table). The host
+	// uses it to rescue messages that were delivered just before a
+	// migration completed.
+	route(rank int, b gas.BlockID) (int, bool)
+	// commitAtHome installs the post-migration authoritative route at
+	// b's home, honoring the configured update-propagation policy.
+	commitAtHome(home int, b gas.BlockID, owner int)
+	// dropAll removes all translation state for b everywhere (free).
+	dropAll(b gas.BlockID)
+}
+
+// desNet adapts the simulated fabric.
+type desNet struct {
+	w *World
+}
+
+func (n *desNet) send(from int, m *netsim.Message)    { n.w.fab.NIC(from).Send(m) }
+func (n *desNet) nicSend(from int, m *netsim.Message) { n.w.fab.NIC(from).Send(m) }
+
+func (n *desNet) installRoute(rank int, b gas.BlockID, owner int) {
+	n.w.fab.NIC(rank).InstallRoute(b, owner)
+}
+
+func (n *desNet) updateTable(rank int, b gas.BlockID, owner int) {
+	n.w.fab.NIC(rank).Table.Update(b, owner)
+}
+
+func (n *desNet) clearResident(rank int, b gas.BlockID) {
+	if n.w.mirror != nil {
+		n.w.mirror.ClearResident(rank, b)
+	}
+}
+
+func (n *desNet) route(rank int, b gas.BlockID) (int, bool) {
+	return n.w.fab.NIC(rank).Route(b)
+}
+
+func (n *desNet) commitAtHome(home int, b gas.BlockID, owner int) {
+	if n.w.mirror != nil {
+		n.w.mirror.CommitAtHome(home, b, owner)
+	}
+}
+
+func (n *desNet) dropAll(b gas.BlockID) {
+	if n.w.mirror != nil {
+		n.w.mirror.Drop(b)
+	}
+}
+
+// chanNet is the goroutine-engine transport: messages hop between
+// locality actors directly, and the per-rank nicState tables play the
+// role of the NIC translation state, guarded by locks instead of the
+// event loop.
+type chanNet struct {
+	w    *World
+	nics []*goNICState
+}
+
+type goNICState struct {
+	mu     sync.Mutex
+	table  *netsim.TransTable
+	routes map[gas.BlockID]int
+}
+
+func newChanNet(w *World) *chanNet {
+	n := &chanNet{w: w}
+	for r := 0; r < w.cfg.Ranks; r++ {
+		n.nics = append(n.nics, &goNICState{
+			table:  netsim.NewTransTable(w.cfg.NICTableCap),
+			routes: make(map[gas.BlockID]int),
+		})
+	}
+	return n
+}
+
+func (n *goNICState) lookup(b gas.BlockID) (int, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if o, ok := n.table.Lookup(b); ok {
+		return o, true
+	}
+	o, ok := n.routes[b]
+	return o, ok
+}
+
+func (n *goNICState) route(b gas.BlockID) (int, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if o, ok := n.routes[b]; ok {
+		return o, true
+	}
+	return n.table.Peek(b)
+}
+
+func (c *chanNet) send(from int, m *netsim.Message) {
+	if m.Dst == netsim.ByGVA {
+		if c.w.cfg.Mode != AGASNM {
+			c.w.fail("chanNet: ByGVA send in mode %v", c.w.cfg.Mode)
+		}
+		if o, ok := c.nics[from].lookup(m.Block); ok {
+			m.Dst = o
+		} else {
+			m.Dst = m.Target.Home()
+		}
+	}
+	if m.Dst < 0 || m.Dst >= len(c.nics) {
+		c.w.fail("chanNet: send to bad rank %d", m.Dst)
+	}
+	dst := c.w.locs[m.Dst]
+	dst.exec.Exec(0, func() { c.arrive(dst, m) })
+}
+
+func (c *chanNet) nicSend(from int, m *netsim.Message) { c.send(from, m) }
+
+// arrive mirrors netsim.NIC.receive for the goroutine engine: it runs on
+// the destination actor and applies the same routing decisions.
+func (c *chanNet) arrive(l *Locality, m *netsim.Message) {
+	st := c.nics[l.rank]
+	switch m.Ctl {
+	case netsim.CtlTableUpdate:
+		st.mu.Lock()
+		st.table.Update(m.Block, m.Owner)
+		st.mu.Unlock()
+		return
+	case netsim.CtlNack:
+		l.onHostMsg(m)
+		return
+	}
+	if m.Target.IsNull() {
+		l.onHostMsg(m)
+		return
+	}
+	resident := l.residentForNIC(m.Block)
+	if resident {
+		if m.DMA {
+			l.onDMA(m)
+			return
+		}
+		l.onHostMsg(m)
+		return
+	}
+	if c.w.cfg.Mode != AGASNM {
+		// Dumb NIC: the host sorts it out (queueing, forwarding,
+		// faulting).
+		l.onHostMsg(m)
+		return
+	}
+	c.misroute(l, st, m)
+}
+
+func (c *chanNet) misroute(l *Locality, st *goNICState, m *netsim.Message) {
+	owner, known := st.route(m.Block)
+	if !known {
+		if l.rank == m.Target.Home() {
+			l.onHostMsg(m)
+			return
+		}
+		owner = m.Target.Home()
+	}
+	if owner == l.rank {
+		// Mid-migration: the host queues.
+		l.onHostMsg(m)
+		return
+	}
+	pol := c.w.cfg.Policy
+	if !pol.ForwardInNetwork {
+		nk := &netsim.Message{
+			Ctl:    netsim.CtlNack,
+			Src:    l.rank,
+			Dst:    m.Src,
+			Block:  m.Block,
+			Owner:  owner,
+			Wire:   32,
+			Nacked: m,
+		}
+		c.send(l.rank, nk)
+		return
+	}
+	m.Hops++
+	if m.Hops > 16 {
+		c.w.fail("chanNet: forwarding loop for block %d", m.Block)
+	}
+	if pol.PushUpdates && m.Src != l.rank {
+		src := c.nics[m.Src]
+		src.mu.Lock()
+		src.table.Update(m.Block, owner)
+		src.mu.Unlock()
+	}
+	fwd := *m
+	fwd.Dst = owner
+	c.send(l.rank, &fwd)
+}
+
+func (c *chanNet) installRoute(rank int, b gas.BlockID, owner int) {
+	st := c.nics[rank]
+	st.mu.Lock()
+	st.routes[b] = owner
+	st.mu.Unlock()
+}
+
+func (c *chanNet) updateTable(rank int, b gas.BlockID, owner int) {
+	st := c.nics[rank]
+	st.mu.Lock()
+	st.table.Update(b, owner)
+	st.mu.Unlock()
+}
+
+func (c *chanNet) clearResident(rank int, b gas.BlockID) {
+	st := c.nics[rank]
+	st.mu.Lock()
+	delete(st.routes, b)
+	st.table.Invalidate(b)
+	st.mu.Unlock()
+}
+
+func (c *chanNet) route(rank int, b gas.BlockID) (int, bool) {
+	st := c.nics[rank]
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	o, ok := st.routes[b]
+	return o, ok
+}
+
+func (c *chanNet) commitAtHome(home int, b gas.BlockID, owner int) {
+	c.installRoute(home, b, owner)
+	if c.w.cfg.NMUpdate == nmagas.UpdateBroadcast {
+		for r := range c.nics {
+			if r != home {
+				c.updateTable(r, b, owner)
+			}
+		}
+	}
+}
+
+func (c *chanNet) dropAll(b gas.BlockID) {
+	for _, st := range c.nics {
+		st.mu.Lock()
+		delete(st.routes, b)
+		st.table.Invalidate(b)
+		st.mu.Unlock()
+	}
+}

@@ -1,0 +1,96 @@
+package runtime
+
+import (
+	"fmt"
+
+	"nmvgas/internal/gas"
+)
+
+// Read-only replication: a layout can be frozen and copied to every
+// locality, after which reads (one-sided gets, Local, and the read-side
+// fast path) are satisfied from the local replica while writes and
+// migration are rejected. This implements the "cache read-mostly data at
+// every locality" extension the AGAS literature leaves as future work;
+// because the data is frozen there is no coherence protocol to pay for.
+//
+// Replicas are invisible to ownership routing: the NIC residency oracle
+// and host routing still resolve parcels and writes to the single master,
+// so executing an action on a replicated block still happens exactly once,
+// at the owner.
+
+// Replicate freezes every block of lay and installs read-only replicas on
+// all localities. Like allocation it is a setup-phase operation (the
+// copies are installed directly; a production system would broadcast
+// them): call it after the data is initialized and before read traffic.
+func (w *World) Replicate(lay gas.Layout) error {
+	for d := uint32(0); d < lay.NBlocks; d++ {
+		b := lay.Base.Block() + gas.BlockID(d)
+		home := lay.HomeOf(d)
+		owner := home
+		if w.cfg.Mode != PGAS {
+			owner = w.locs[home].dir.Resolve(b, home)
+		}
+		master, ok := w.locs[owner].store.Get(b)
+		if !ok {
+			return fmt.Errorf("runtime: replicate of non-resident block %d", b)
+		}
+		if master.Kind != gas.KindData {
+			return fmt.Errorf("runtime: replicate of non-data block %d", b)
+		}
+		if w.locs[owner].isMoving(b) {
+			return fmt.Errorf("runtime: replicate of block %d mid-migration", b)
+		}
+		master.Frozen = true
+		master.Pinned = true
+		for r, loc := range w.locs {
+			if r == owner {
+				continue
+			}
+			replica := &gas.Block{
+				ID:      b,
+				Kind:    gas.KindData,
+				BSize:   master.BSize,
+				Data:    append([]byte(nil), master.Data...),
+				Pinned:  true,
+				Frozen:  true,
+				Replica: true,
+			}
+			if err := loc.store.Insert(replica); err != nil {
+				return fmt.Errorf("runtime: replicate: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// Dereplicate removes the replicas and unfreezes the masters (the inverse
+// setup-phase operation).
+func (w *World) Dereplicate(lay gas.Layout) error {
+	for d := uint32(0); d < lay.NBlocks; d++ {
+		b := lay.Base.Block() + gas.BlockID(d)
+		for _, loc := range w.locs {
+			blk, ok := loc.store.Get(b)
+			if !ok {
+				continue
+			}
+			if blk.Replica {
+				loc.store.Remove(b)
+				continue
+			}
+			blk.Frozen = false
+			blk.Pinned = false
+		}
+	}
+	return nil
+}
+
+// replicaData returns the local replica's bytes for a read, if one
+// exists here (master or replica — both are valid read sources when
+// frozen).
+func (l *Locality) replicaData(b gas.BlockID) (*gas.Block, bool) {
+	blk, ok := l.store.Get(b)
+	if !ok || blk.Kind != gas.KindData || !blk.Frozen {
+		return nil, false
+	}
+	return blk, true
+}

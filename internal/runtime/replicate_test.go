@@ -1,0 +1,189 @@
+package runtime
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestReplicateServesLocalReads(t *testing.T) {
+	matrix(t, func(t *testing.T, mode Mode, eng EngineKind) {
+		w := testWorld(t, Config{Ranks: 4, Mode: mode, Engine: eng})
+		w.Start()
+		lay, err := w.AllocLocal(1, 256, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := []byte{1, 2, 3, 4}
+		w.MustWait(w.Proc(0).Put(lay.BlockAt(0), data))
+		if err := w.Replicate(lay); err != nil {
+			t.Fatal(err)
+		}
+		// Every rank reads the same bytes, from its local copy.
+		for r := 0; r < 4; r++ {
+			got := w.MustWait(w.Proc(r).Get(lay.BlockAt(0), 4))
+			if !bytes.Equal(got, data) {
+				t.Fatalf("rank %d read %v", r, got)
+			}
+		}
+	})
+}
+
+func TestReplicatedReadsSkipTheNetwork(t *testing.T) {
+	w := testWorld(t, Config{Ranks: 4, Mode: AGASNM, Engine: EngineDES})
+	w.Start()
+	lay, err := w.AllocLocal(1, 256, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.MustWait(w.Proc(0).Put(lay.BlockAt(0), []byte{9}))
+	if err := w.Replicate(lay); err != nil {
+		t.Fatal(err)
+	}
+	before := w.Fabric().TotalStats().Sent
+	for r := 0; r < 4; r++ {
+		w.MustWait(w.Proc(r).Get(lay.BlockAt(0), 1))
+	}
+	if got := w.Fabric().TotalStats().Sent; got != before {
+		t.Fatalf("replicated gets used the network: %d messages", got-before)
+	}
+	// Replicated reads are also much faster than remote reads.
+	start := w.Now()
+	w.MustWait(w.Proc(3).Get(lay.BlockAt(0), 1))
+	local := w.Now() - start
+	lay2, err := w.AllocLocal(1, 256, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.MustWait(w.Proc(3).Get(lay2.BlockAt(0), 1)) // warm
+	start = w.Now()
+	w.MustWait(w.Proc(3).Get(lay2.BlockAt(0), 1))
+	remote := w.Now() - start
+	if local*2 >= remote {
+		t.Fatalf("replica read (%v) not much faster than remote (%v)", local, remote)
+	}
+}
+
+func TestFrozenBlocksRejectWritesAndMigration(t *testing.T) {
+	w := testWorld(t, Config{Ranks: 3, Mode: AGASNM, Engine: EngineDES})
+	w.Start()
+	lay, err := w.AllocLocal(0, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Replicate(lay); err != nil {
+		t.Fatal(err)
+	}
+	if st := w.MustWait(w.Proc(1).Migrate(lay.BlockAt(0), 2)); MigrateStatus(st) != MigratePinned {
+		t.Fatalf("frozen block migrated: status %d", MigrateStatus(st))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("put to frozen block did not fail loudly")
+		}
+	}()
+	w.MustWait(w.Proc(1).Put(lay.BlockAt(0), []byte{1}))
+}
+
+func TestParcelsStillRunOnceAtMaster(t *testing.T) {
+	// Replicas must be invisible to ownership routing: an action on a
+	// replicated block executes exactly once, at the master.
+	w := testWorld(t, Config{Ranks: 4, Mode: AGASNM, Engine: EngineDES})
+	runs := 0
+	where := -1
+	probe := w.Register("probe", func(c *Ctx) {
+		runs++
+		where = c.Rank()
+		c.Continue(nil)
+	})
+	w.Start()
+	lay, err := w.AllocLocal(2, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Replicate(lay); err != nil {
+		t.Fatal(err)
+	}
+	w.MustWait(w.Proc(0).Call(lay.BlockAt(0), probe, nil))
+	if runs != 1 || where != 2 {
+		t.Fatalf("action ran %d times, at rank %d (want once at master 2)", runs, where)
+	}
+}
+
+func TestReplicateAfterMigrationUsesCurrentOwner(t *testing.T) {
+	w := testWorld(t, Config{Ranks: 4, Mode: AGASNM, Engine: EngineDES})
+	w.Start()
+	lay, err := w.AllocLocal(0, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.MustWait(w.Proc(0).Put(lay.BlockAt(0), []byte{7}))
+	w.MustWait(w.Proc(0).Migrate(lay.BlockAt(0), 3))
+	if err := w.Replicate(lay); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 4; r++ {
+		got := w.MustWait(w.Proc(r).Get(lay.BlockAt(0), 1))
+		if got[0] != 7 {
+			t.Fatalf("rank %d read %d after replicate-of-migrated", r, got[0])
+		}
+	}
+}
+
+func TestDereplicateRestoresWritability(t *testing.T) {
+	w := testWorld(t, Config{Ranks: 3, Mode: AGASNM, Engine: EngineDES})
+	w.Start()
+	lay, err := w.AllocLocal(1, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Replicate(lay); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Dereplicate(lay); err != nil {
+		t.Fatal(err)
+	}
+	// Replicas gone everywhere except the master.
+	for r := 0; r < 3; r++ {
+		blk, ok := w.Locality(r).Store().Get(lay.BlockAt(0).Block())
+		if r == 1 {
+			if !ok || blk.Frozen {
+				t.Fatal("master missing or still frozen")
+			}
+			continue
+		}
+		if ok {
+			t.Fatalf("replica survived at rank %d", r)
+		}
+	}
+	w.MustWait(w.Proc(0).Put(lay.BlockAt(0), []byte{5}))
+	got := w.MustWait(w.Proc(2).Get(lay.BlockAt(0), 1))
+	if got[0] != 5 {
+		t.Fatal("write after dereplicate lost")
+	}
+	// And migration works again.
+	if st := w.MustWait(w.Proc(0).Migrate(lay.BlockAt(0), 2)); MigrateStatus(st) != MigrateOK {
+		t.Fatalf("post-dereplicate migrate status %d", MigrateStatus(st))
+	}
+}
+
+func TestFreeSweepsReplicas(t *testing.T) {
+	w := testWorld(t, Config{Ranks: 3, Mode: AGASNM, Engine: EngineDES})
+	w.Start()
+	lay, err := w.AllocLocal(0, 64, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Replicate(lay); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Free(lay); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 3; r++ {
+		for d := uint32(0); d < 2; d++ {
+			if _, ok := w.Locality(r).Store().Get(lay.Base.Block() + 0); ok {
+				t.Fatalf("block copy survived free at rank %d (d=%d)", r, d)
+			}
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package runtime
+
+import (
+	"nmvgas/internal/gas"
+	"nmvgas/internal/netsim"
+)
+
+// TraceKind classifies runtime trace events.
+type TraceKind uint8
+
+const (
+	// TraceSend is a parcel leaving a locality (Info = action id).
+	TraceSend TraceKind = iota
+	// TraceExec is a parcel handler running (Info = action id).
+	TraceExec
+	// TraceHostForward is software-managed host forwarding (Info = new
+	// owner).
+	TraceHostForward
+	// TraceHostNack is a software one-sided repair (Info = advised
+	// owner).
+	TraceHostNack
+	// TraceNICNack is a fabric NACK processed by the host (Info =
+	// advised owner).
+	TraceNICNack
+	// TraceMigrateStart is a block pinned for migration (Info =
+	// destination).
+	TraceMigrateStart
+	// TraceMigrateDone is a migration completing at the old owner (Info
+	// = new owner).
+	TraceMigrateDone
+	// TraceQueued is a message parked behind a moving block.
+	TraceQueued
+)
+
+func (k TraceKind) String() string {
+	switch k {
+	case TraceSend:
+		return "send"
+	case TraceExec:
+		return "exec"
+	case TraceHostForward:
+		return "host-forward"
+	case TraceHostNack:
+		return "host-nack"
+	case TraceNICNack:
+		return "nic-nack"
+	case TraceMigrateStart:
+		return "migrate-start"
+	case TraceMigrateDone:
+		return "migrate-done"
+	case TraceQueued:
+		return "queued"
+	}
+	return "unknown"
+}
+
+// TraceEvent is one observable protocol step.
+type TraceEvent struct {
+	Time  netsim.VTime // simulated time (0 on the goroutine engine)
+	Rank  int
+	Kind  TraceKind
+	Block gas.BlockID
+	Info  uint64
+}
+
+// SetTracer installs fn as the trace sink. Must be called before Start;
+// fn must be safe for concurrent use under the goroutine engine. Tracing
+// adds no simulated cost — it is an observer, not a participant.
+func (w *World) SetTracer(fn func(TraceEvent)) {
+	if w.started {
+		panic("runtime: SetTracer after Start")
+	}
+	w.tracer = fn
+}
+
+func (l *Locality) trace(kind TraceKind, block gas.BlockID, info uint64) {
+	if l.w.tracer == nil {
+		return
+	}
+	l.w.tracer(TraceEvent{Time: l.w.Now(), Rank: l.rank, Kind: kind, Block: block, Info: info})
+}

@@ -1,0 +1,308 @@
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"nmvgas/internal/gas"
+	"nmvgas/internal/lco"
+	"nmvgas/internal/netsim"
+	"nmvgas/internal/nmagas"
+	"nmvgas/internal/parcel"
+	"nmvgas/internal/sched"
+)
+
+// World is one running system: cfg.Ranks localities, their address-space
+// state, and the execution engine that connects them.
+type World struct {
+	cfg Config
+	reg *Registry
+	seq *gas.Sequence
+
+	locs []*Locality
+	net  network
+
+	// DES engine state (nil under EngineGo).
+	eng    *netsim.Engine
+	fab    *netsim.Fabric
+	mirror *nmagas.Mirror
+
+	// Goroutine engine state (nil under EngineDES).
+	pool *sched.Pool
+
+	// locBase is the first of the per-locality infrastructure blocks;
+	// locality r's block is locBase + r.
+	locBase gas.BlockID
+
+	// tracer, when set before Start, observes protocol steps (see
+	// trace.go).
+	tracer func(TraceEvent)
+
+	// accessHook, when set before Start, observes every data-path access
+	// (action execution, one-sided op completion at the owner). The
+	// load balancer uses it to build block heat maps.
+	accessHook func(rank int, b gas.BlockID)
+
+	started bool
+	stopped bool
+}
+
+// SetAccessHook installs fn as the data-path access observer. Must be
+// called before Start; fn must be safe for concurrent use under the
+// goroutine engine.
+func (w *World) SetAccessHook(fn func(rank int, b gas.BlockID)) {
+	if w.started {
+		panic("runtime: SetAccessHook after Start")
+	}
+	w.accessHook = fn
+}
+
+func (w *World) noteAccess(rank int, b gas.BlockID) {
+	if w.accessHook != nil {
+		w.accessHook(rank, b)
+	}
+}
+
+// NewWorld builds a world from cfg. Call Register for user actions, then
+// Start, before sending traffic.
+func NewWorld(cfg Config) (*World, error) {
+	cfg, err := cfg.normalized()
+	if err != nil {
+		return nil, err
+	}
+	w := &World{cfg: cfg, reg: newRegistry(), seq: gas.NewSequence()}
+	w.registerBuiltins()
+
+	for r := 0; r < cfg.Ranks; r++ {
+		w.locs = append(w.locs, newLocality(w, r))
+	}
+
+	switch cfg.Engine {
+	case EngineDES:
+		w.eng = netsim.NewEngine()
+		w.fab = netsim.NewFabric(w.eng, netsim.FabricConfig{
+			Ranks:       cfg.Ranks,
+			Model:       cfg.Model,
+			GVARouting:  cfg.Mode == AGASNM,
+			Policy:      cfg.Policy,
+			NICTableCap: cfg.NICTableCap,
+			Topology:    cfg.Topology,
+		})
+		if cfg.Mode == AGASNM {
+			w.mirror = nmagas.NewMirror(w.fab, cfg.NMUpdate)
+		}
+		w.net = &desNet{w: w}
+		for r, l := range w.locs {
+			l.exec = &desExec{eng: w.eng}
+			nic := w.fab.NIC(r)
+			loc := l
+			nic.Resident = loc.residentForNIC
+			nic.HostDeliver = func(m *netsim.Message) {
+				loc.exec.Exec(cfg.Model.ORecv+cfg.Model.HandlerDispatch, func() { loc.onHostMsg(m) })
+			}
+			nic.DMADeliver = loc.onDMA
+		}
+	case EngineGo:
+		if cfg.Workers > 0 {
+			w.pool = sched.NewPool(cfg.Ranks*cfg.Workers, cfg.Seed)
+		}
+		for _, l := range w.locs {
+			l.exec = newGoExec(w.pool)
+		}
+		w.net = newChanNet(w)
+	default:
+		return nil, fmt.Errorf("runtime: unknown engine %d", cfg.Engine)
+	}
+
+	// Per-locality infrastructure blocks: parcels that address "the
+	// locality" (collectives wiring, migration control) target these.
+	base, err := w.seq.Reserve(uint32(cfg.Ranks))
+	if err != nil {
+		return nil, err
+	}
+	w.locBase = base
+	for r, l := range w.locs {
+		b := &gas.Block{ID: base + gas.BlockID(r), Kind: gas.KindData, BSize: 64, Data: make([]byte, 64), Pinned: true}
+		if err := l.store.Insert(b); err != nil {
+			return nil, err
+		}
+	}
+	return w, nil
+}
+
+// Config returns the world's (normalized) configuration.
+func (w *World) Config() Config { return w.cfg }
+
+// Ranks returns the number of localities.
+func (w *World) Ranks() int { return w.cfg.Ranks }
+
+// Register adds a user action; see Registry.Register.
+func (w *World) Register(name string, a Action) parcel.ActionID {
+	return w.reg.Register(name, a)
+}
+
+// Start seals the action registry and, under EngineGo, launches the
+// locality actors and worker pool.
+func (w *World) Start() {
+	if w.started {
+		panic("runtime: double Start")
+	}
+	w.started = true
+	w.reg.seal()
+	if w.cfg.Engine == EngineGo {
+		if w.pool != nil {
+			w.pool.Start()
+		}
+		for _, l := range w.locs {
+			l.exec.(*goExec).start()
+		}
+	}
+}
+
+// Stop shuts the world down. Under EngineGo it drains and stops the
+// actors and pool; under EngineDES it is a no-op beyond marking the world
+// stopped.
+func (w *World) Stop() {
+	if w.stopped {
+		return
+	}
+	w.stopped = true
+	if w.cfg.Engine == EngineGo {
+		for _, l := range w.locs {
+			l.exec.(*goExec).stop()
+		}
+		if w.pool != nil {
+			w.pool.Stop()
+		}
+	}
+}
+
+// Drain runs the DES engine until no events remain. It panics under
+// EngineGo, where there is no global event queue to drain.
+func (w *World) Drain() {
+	w.mustDES("Drain")
+	w.eng.Run()
+}
+
+// Now returns the simulated time under EngineDES and 0 under EngineGo.
+func (w *World) Now() netsim.VTime {
+	if w.eng != nil {
+		return w.eng.Now()
+	}
+	return 0
+}
+
+// Engine exposes the DES engine for harness-level scheduling (workload
+// drivers inject load at simulated times). It panics under EngineGo.
+func (w *World) Engine() *netsim.Engine {
+	w.mustDES("Engine")
+	return w.eng
+}
+
+// Fabric exposes the simulated fabric for stats collection. It is nil
+// under EngineGo.
+func (w *World) Fabric() *netsim.Fabric { return w.fab }
+
+// Locality returns rank r's locality.
+func (w *World) Locality(r int) *Locality { return w.locs[r] }
+
+// LocalityGVA returns the address of rank r's infrastructure block — the
+// target for parcels addressed "to the locality".
+func (w *World) LocalityGVA(r int) gas.GVA {
+	return gas.New(r, w.locBase+gas.BlockID(r), 0)
+}
+
+func (w *World) mustDES(op string) {
+	if w.eng == nil {
+		panic(fmt.Sprintf("runtime: %s requires the DES engine", op))
+	}
+}
+
+// fail reports a broken protocol invariant. The runtime treats these as
+// programming errors and fails loudly so tests and experiments cannot
+// silently produce wrong results.
+func (w *World) fail(format string, args ...any) {
+	panic("runtime: invariant violated: " + fmt.Sprintf(format, args...))
+}
+
+// ErrDeadlock is returned by Wait when the event queue drains (DES) or a
+// timeout expires (goroutine engine) before the LCO fires.
+var ErrDeadlock = errors.New("runtime: wait would never complete")
+
+// WaitTimeout bounds Wait on the goroutine engine.
+var WaitTimeout = 30 * time.Second
+
+// Wait blocks the driver until ref fires and returns its value. Under
+// EngineDES it advances simulated time; under EngineGo it blocks the
+// calling goroutine.
+func (w *World) Wait(ref *LCORef) ([]byte, error) {
+	if w.eng != nil {
+		if ok := w.eng.RunUntil(ref.obj.Ready); !ok {
+			return nil, fmt.Errorf("%w: event queue drained with LCO %v unset", ErrDeadlock, ref.G)
+		}
+		return ref.obj.Value(), nil
+	}
+	done := make(chan struct{})
+	ref.obj.OnFire(func([]byte) { close(done) })
+	select {
+	case <-done:
+		return ref.obj.Value(), nil
+	case <-time.After(WaitTimeout):
+		return nil, fmt.Errorf("%w: timeout after %v waiting on %v", ErrDeadlock, WaitTimeout, ref.G)
+	}
+}
+
+// MustWait is Wait for drivers that treat failure as fatal.
+func (w *World) MustWait(ref *LCORef) []byte {
+	v, err := w.Wait(ref)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// LCORef names an LCO in the global address space together with the
+// driver-side handle to its object.
+type LCORef struct {
+	G   gas.GVA
+	obj lco.LCO
+}
+
+// Ready reports whether the LCO has fired.
+func (r *LCORef) Ready() bool { return r.obj.Ready() }
+
+// Value returns the fired value (meaningful once Ready).
+func (r *LCORef) Value() []byte { return r.obj.Value() }
+
+// OnFire registers a continuation on the underlying object.
+func (r *LCORef) OnFire(t lco.Trigger) { r.obj.OnFire(t) }
+
+// newLCO installs obj as an addressable LCO block at rank.
+func (w *World) newLCO(rank int, obj lco.LCO) *LCORef {
+	id, err := w.seq.Reserve(1)
+	if err != nil {
+		w.fail("LCO allocation: %v", err)
+	}
+	b := &gas.Block{ID: id, Kind: gas.KindLCO, Pinned: true, Ctl: obj}
+	if err := w.locs[rank].store.Insert(b); err != nil {
+		w.fail("LCO install: %v", err)
+	}
+	return &LCORef{G: gas.New(rank, id, 0), obj: obj}
+}
+
+// NewFuture creates a single-assignment LCO at rank.
+func (w *World) NewFuture(rank int) *LCORef { return w.newLCO(rank, lco.NewFuture()) }
+
+// NewAndGate creates an n-input gate LCO at rank.
+func (w *World) NewAndGate(rank, n int) *LCORef { return w.newLCO(rank, lco.NewAndGate(n)) }
+
+// NewReduce creates an n-input reduction LCO at rank.
+func (w *World) NewReduce(rank, n int, c lco.Combiner) *LCORef {
+	return w.newLCO(rank, lco.NewReduce(n, c))
+}
+
+// FreeLCO removes an LCO block.
+func (w *World) FreeLCO(ref *LCORef) {
+	w.locs[ref.G.Home()].store.Remove(ref.G.Block())
+}

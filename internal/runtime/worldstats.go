@@ -1,0 +1,87 @@
+package runtime
+
+import "nmvgas/internal/stats"
+
+// WorldStats aggregates runtime counters across all localities plus the
+// fabric's NIC counters (DES engine only; zero under EngineGo).
+type WorldStats struct {
+	ParcelsSent   int64
+	ParcelsRun    int64
+	LocalRuns     int64
+	HostForwards  int64
+	HostNacks     int64
+	NICNacks      int64
+	Queued        int64
+	SWLookups     int64
+	PutOps        int64
+	GetOps        int64
+	PutBytes      int64
+	GetBytes      int64
+	Migrations    int64
+	NetSent       uint64
+	NetBytes      uint64
+	NetForwards   uint64
+	NetNacks      uint64
+	NICTableUpds  uint64
+	DMADeliveries uint64
+}
+
+// Stats sums the per-locality counters and, on the DES engine, the fabric
+// counters.
+func (w *World) Stats() WorldStats {
+	var s WorldStats
+	for _, l := range w.locs {
+		s.ParcelsSent += l.Stats.ParcelsSent.Load()
+		s.ParcelsRun += l.Stats.ParcelsRun.Load()
+		s.LocalRuns += l.Stats.LocalRuns.Load()
+		s.HostForwards += l.Stats.HostForwards.Load()
+		s.HostNacks += l.Stats.HostNacks.Load()
+		s.NICNacks += l.Stats.NICNacks.Load()
+		s.Queued += l.Stats.Queued.Load()
+		s.SWLookups += l.Stats.SWLookups.Load()
+		s.PutOps += l.Stats.PutOps.Load()
+		s.GetOps += l.Stats.GetOps.Load()
+		s.PutBytes += l.Stats.PutBytes.Load()
+		s.GetBytes += l.Stats.GetBytes.Load()
+		s.Migrations += l.Stats.Migrations.Load()
+	}
+	if w.fab != nil {
+		n := w.fab.TotalStats()
+		s.NetSent = n.Sent
+		s.NetBytes = n.BytesTx
+		s.NetForwards = n.Forwards
+		s.NetNacks = n.Nacks
+		s.NICTableUpds = n.TableUpdatesRx
+		s.DMADeliveries = n.DMADelivered
+	}
+	return s
+}
+
+// StatsTable renders the aggregate counters for human consumption (used
+// by the demo binary and experiment reports).
+func (w *World) StatsTable() *stats.Table {
+	s := w.Stats()
+	tb := stats.NewTable("world counters ("+w.cfg.Mode.String()+"/"+w.cfg.Engine.String()+")",
+		"counter", "value")
+	add := func(name string, v any) { tb.AddRow(name, v) }
+	add("parcels.sent", s.ParcelsSent)
+	add("parcels.run", s.ParcelsRun)
+	add("parcels.local_fastpath", s.LocalRuns)
+	add("host.forwards", s.HostForwards)
+	add("host.nacks", s.HostNacks)
+	add("nic.nacks_processed", s.NICNacks)
+	add("migration.queued_msgs", s.Queued)
+	add("sw.lookups", s.SWLookups)
+	add("onesided.puts", s.PutOps)
+	add("onesided.gets", s.GetOps)
+	add("onesided.put_bytes", s.PutBytes)
+	add("onesided.get_bytes", s.GetBytes)
+	add("migrations.completed", s.Migrations)
+	add("net.messages", s.NetSent)
+	add("net.bytes", s.NetBytes)
+	add("net.inflight_forwards", s.NetForwards)
+	add("net.nacks", s.NetNacks)
+	add("net.table_updates", s.NICTableUpds)
+	add("net.dma_deliveries", s.DMADeliveries)
+	return tb
+}

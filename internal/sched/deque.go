@@ -1,0 +1,64 @@
+// Package sched provides the lightweight-task scheduler used by the
+// goroutine execution engine: per-worker deques with work stealing behind
+// a parked-worker pool. The discrete-event engine does not use it (the
+// whole simulation is one event loop); it exists so the same runtime can
+// execute with real concurrency, which is how the examples run and how
+// the race detector exercises the protocol code.
+package sched
+
+import "sync"
+
+// Task is one unit of scheduled work.
+type Task func()
+
+// Deque is a double-ended task queue. The owning worker pushes and pops
+// at the bottom (LIFO, for locality); thieves steal from the top (FIFO).
+// A mutex implementation is deliberately chosen over a lock-free Chase-Lev
+// deque: the tasks here are parcel handlers, far coarser than the lock
+// cost, and the mutex keeps the invariants obvious.
+type Deque struct {
+	mu    sync.Mutex
+	items []Task
+}
+
+// PushBottom adds t at the owner's end.
+func (d *Deque) PushBottom(t Task) {
+	d.mu.Lock()
+	d.items = append(d.items, t)
+	d.mu.Unlock()
+}
+
+// PopBottom removes the most recently pushed task.
+func (d *Deque) PopBottom() (Task, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := len(d.items)
+	if n == 0 {
+		return nil, false
+	}
+	t := d.items[n-1]
+	d.items[n-1] = nil
+	d.items = d.items[:n-1]
+	return t, true
+}
+
+// StealTop removes the oldest task, from a thief.
+func (d *Deque) StealTop() (Task, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.items) == 0 {
+		return nil, false
+	}
+	t := d.items[0]
+	copy(d.items, d.items[1:])
+	d.items[len(d.items)-1] = nil
+	d.items = d.items[:len(d.items)-1]
+	return t, true
+}
+
+// Len returns the queued task count.
+func (d *Deque) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.items)
+}

@@ -1,0 +1,171 @@
+package sched
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool runs tasks on a fixed set of workers. External code submits through
+// Submit; tasks running on a worker spawn children onto that worker's own
+// deque via the Worker handle, and idle workers steal from random victims
+// before parking.
+type Pool struct {
+	workers []*Worker
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	global  []Task
+	stopped bool
+
+	wg      sync.WaitGroup
+	pending atomic.Int64 // submitted + spawned - completed
+
+	// Stolen counts successful steals, exposed for tests and the
+	// scheduler benchmarks.
+	Stolen atomic.Uint64
+}
+
+// Worker is the handle a running task uses to spawn locally.
+type Worker struct {
+	pool *Pool
+	id   int
+	dq   Deque
+	rng  *rand.Rand
+}
+
+// ID returns the worker's index within its pool.
+func (w *Worker) ID() int { return w.id }
+
+// Spawn schedules t on this worker's deque (LIFO), where it is preferred
+// by this worker and stealable by idle siblings.
+func (w *Worker) Spawn(t Task) {
+	w.pool.pending.Add(1)
+	w.dq.PushBottom(t)
+	w.pool.wake()
+}
+
+// NewPool creates a pool of n workers; Start must be called before Submit.
+func NewPool(n int, seed int64) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	p := &Pool{}
+	p.cond = sync.NewCond(&p.mu)
+	for i := 0; i < n; i++ {
+		p.workers = append(p.workers, &Worker{
+			pool: p,
+			id:   i,
+			rng:  rand.New(rand.NewSource(seed + int64(i)*7919)),
+		})
+	}
+	return p
+}
+
+// Start launches the workers.
+func (p *Pool) Start() {
+	for _, w := range p.workers {
+		p.wg.Add(1)
+		go p.run(w)
+	}
+}
+
+// Stop asks workers to exit once no runnable work remains and waits for
+// them. Tasks already queued are executed before shutdown.
+func (p *Pool) Stop() {
+	p.mu.Lock()
+	p.stopped = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// Submit schedules t from outside the pool.
+func (p *Pool) Submit(t Task) {
+	p.pending.Add(1)
+	p.mu.Lock()
+	p.global = append(p.global, t)
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// Pending returns the number of incomplete tasks.
+func (p *Pool) Pending() int64 { return p.pending.Load() }
+
+// wake nudges parked workers after a local spawn.
+func (p *Pool) wake() {
+	p.mu.Lock()
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+func (p *Pool) run(w *Worker) {
+	defer p.wg.Done()
+	for {
+		if t, ok := p.next(w); ok {
+			t()
+			p.pending.Add(-1)
+			continue
+		}
+		// Park until new work or shutdown.
+		p.mu.Lock()
+		for {
+			if len(p.global) > 0 {
+				break
+			}
+			if p.anyStealable(w) {
+				break
+			}
+			if p.stopped {
+				p.mu.Unlock()
+				return
+			}
+			p.cond.Wait()
+		}
+		p.mu.Unlock()
+	}
+}
+
+// anyStealable reports whether a sibling deque has work. Callers hold
+// p.mu, but deque lengths use their own locks so this is only a hint —
+// which is fine: a false positive costs one extra scan, a false negative
+// is cured by the next Broadcast.
+func (p *Pool) anyStealable(w *Worker) bool {
+	for _, v := range p.workers {
+		if v != w && v.dq.Len() > 0 {
+			return true
+		}
+	}
+	return w.dq.Len() > 0
+}
+
+// next finds runnable work: own deque, then the global queue, then theft.
+func (p *Pool) next(w *Worker) (Task, bool) {
+	if t, ok := w.dq.PopBottom(); ok {
+		return t, true
+	}
+	p.mu.Lock()
+	if len(p.global) > 0 {
+		t := p.global[0]
+		copy(p.global, p.global[1:])
+		p.global[len(p.global)-1] = nil
+		p.global = p.global[:len(p.global)-1]
+		p.mu.Unlock()
+		return t, true
+	}
+	p.mu.Unlock()
+	// Steal from up to len(workers) random victims.
+	n := len(p.workers)
+	off := w.rng.Intn(n)
+	for i := 0; i < n; i++ {
+		v := p.workers[(off+i)%n]
+		if v == w {
+			continue
+		}
+		if t, ok := v.dq.StealTop(); ok {
+			p.Stolen.Add(1)
+			return t, true
+		}
+	}
+	return nil, false
+}

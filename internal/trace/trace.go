@@ -1,0 +1,98 @@
+// Package trace provides a bounded, concurrency-safe collector for the
+// runtime's protocol trace events, with filtering and text dumping. It is
+// the debugging companion a production runtime ships with: attach it to a
+// world, run the workload, and read back exactly which parcels executed
+// where, what was forwarded or NACKed, and how each migration progressed.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"nmvgas/internal/runtime"
+)
+
+// Ring is a fixed-capacity event buffer; once full, new events overwrite
+// the oldest (the usual flight-recorder discipline).
+type Ring struct {
+	mu    sync.Mutex
+	buf   []runtime.TraceEvent
+	next  int
+	total uint64
+}
+
+// NewRing returns a collector holding up to capacity events.
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]runtime.TraceEvent, 0, capacity)}
+}
+
+// Attach installs the ring as w's tracer. Must run before w.Start.
+func Attach(w *runtime.World, capacity int) *Ring {
+	r := NewRing(capacity)
+	w.SetTracer(r.Record)
+	return r
+}
+
+// Record appends one event (the runtime calls this).
+func (r *Ring) Record(ev runtime.TraceEvent) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.total++
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, ev)
+		return
+	}
+	r.buf[r.next] = ev
+	r.next = (r.next + 1) % cap(r.buf)
+}
+
+// Total returns how many events were observed (including overwritten
+// ones).
+func (r *Ring) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Events returns the retained events in arrival order.
+func (r *Ring) Events() []runtime.TraceEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]runtime.TraceEvent, 0, len(r.buf))
+	if len(r.buf) < cap(r.buf) {
+		return append(out, r.buf...)
+	}
+	out = append(out, r.buf[r.next:]...)
+	return append(out, r.buf[:r.next]...)
+}
+
+// Filter returns retained events matching the predicate.
+func (r *Ring) Filter(pred func(runtime.TraceEvent) bool) []runtime.TraceEvent {
+	var out []runtime.TraceEvent
+	for _, ev := range r.Events() {
+		if pred(ev) {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// CountKind returns how many retained events have the given kind.
+func (r *Ring) CountKind(k runtime.TraceKind) int {
+	return len(r.Filter(func(ev runtime.TraceEvent) bool { return ev.Kind == k }))
+}
+
+// Dump writes the retained events as one line each.
+func (r *Ring) Dump(w io.Writer) error {
+	for _, ev := range r.Events() {
+		if _, err := fmt.Fprintf(w, "%12v rank=%d %-14s block=%d info=%d\n",
+			ev.Time, ev.Rank, ev.Kind, ev.Block, ev.Info); err != nil {
+			return err
+		}
+	}
+	return nil
+}

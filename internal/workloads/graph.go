@@ -1,0 +1,163 @@
+package workloads
+
+import (
+	"math/rand"
+)
+
+// Graph is a synthetic directed graph in CSR form. The degree sequence is
+// Zipf-skewed to approximate the power-law graphs the AGAS literature
+// evaluates on (a handful of very-high-degree vertices create hot spots).
+//
+// The CSR arrays are process-global, read-only after construction; the
+// BFS actions partition their *work* by block ownership, which is the
+// distributed part the experiments measure. (Shipping the adjacency
+// itself as GAS bytes would only add constant-factor decode work to every
+// mode equally; the substitution is documented in DESIGN.md.)
+type Graph struct {
+	N       uint32
+	Offsets []uint32 // len N+1
+	Targets []uint32 // len Offsets[N]
+	// Weights parallels Targets (edge weights in [1, 15]); BFS ignores
+	// it, SSSP relaxes with it.
+	Weights []uint32
+}
+
+// GenGraph builds a graph with n vertices and ~avgDegree edges per
+// vertex. Deterministic for a given seed.
+func GenGraph(n uint32, avgDegree int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	// Zipf-skewed out-degrees, rescaled to hit the requested average.
+	zip := rand.NewZipf(rng, 1.4, 1, uint64(4*avgDegree))
+	degs := make([]int, n)
+	total := 0
+	for i := range degs {
+		degs[i] = int(zip.Uint64()) + 1
+		total += degs[i]
+	}
+	want := int(n) * avgDegree
+	// Top up or trim uniformly so the edge count is predictable.
+	for total < want {
+		degs[rng.Intn(int(n))]++
+		total++
+	}
+	for total > want {
+		v := rng.Intn(int(n))
+		if degs[v] > 1 {
+			degs[v]--
+			total--
+		}
+	}
+	g := &Graph{N: n, Offsets: make([]uint32, n+1)}
+	for i := uint32(0); i < n; i++ {
+		g.Offsets[i+1] = g.Offsets[i] + uint32(degs[i])
+	}
+	g.Targets = make([]uint32, g.Offsets[n])
+	g.Weights = make([]uint32, g.Offsets[n])
+	for i := uint32(0); i < n; i++ {
+		for e := g.Offsets[i]; e < g.Offsets[i+1]; e++ {
+			g.Targets[e] = rng.Uint32() % n
+			g.Weights[e] = 1 + rng.Uint32()%15
+		}
+	}
+	return g
+}
+
+// Edges returns the edge count.
+func (g *Graph) Edges() int { return len(g.Targets) }
+
+// Out returns v's adjacency list.
+func (g *Graph) Out(v uint32) []uint32 {
+	return g.Targets[g.Offsets[v]:g.Offsets[v+1]]
+}
+
+// OutW returns v's adjacency list with weights.
+func (g *Graph) OutW(v uint32) ([]uint32, []uint32) {
+	return g.Targets[g.Offsets[v]:g.Offsets[v+1]], g.Weights[g.Offsets[v]:g.Offsets[v+1]]
+}
+
+// SeqSSSP computes reference weighted distances (Dijkstra with a simple
+// binary heap) for validation. Unreached vertices get ^uint32(0).
+func (g *Graph) SeqSSSP(root uint32) []uint32 {
+	const inf = ^uint32(0)
+	dist := make([]uint32, g.N)
+	for i := range dist {
+		dist[i] = inf
+	}
+	dist[root] = 0
+	type item struct {
+		v uint32
+		d uint32
+	}
+	heap := []item{{root, 0}}
+	push := func(it item) {
+		heap = append(heap, it)
+		for i := len(heap) - 1; i > 0; {
+			p := (i - 1) / 2
+			if heap[p].d <= heap[i].d {
+				break
+			}
+			heap[p], heap[i] = heap[i], heap[p]
+			i = p
+		}
+	}
+	pop := func() item {
+		top := heap[0]
+		heap[0] = heap[len(heap)-1]
+		heap = heap[:len(heap)-1]
+		for i := 0; ; {
+			l, r := 2*i+1, 2*i+2
+			small := i
+			if l < len(heap) && heap[l].d < heap[small].d {
+				small = l
+			}
+			if r < len(heap) && heap[r].d < heap[small].d {
+				small = r
+			}
+			if small == i {
+				break
+			}
+			heap[i], heap[small] = heap[small], heap[i]
+			i = small
+		}
+		return top
+	}
+	for len(heap) > 0 {
+		it := pop()
+		if it.d > dist[it.v] {
+			continue
+		}
+		outs, ws := g.OutW(it.v)
+		for e, u := range outs {
+			if nd := it.d + ws[e]; nd < dist[u] {
+				dist[u] = nd
+				push(item{u, nd})
+			}
+		}
+	}
+	return dist
+}
+
+// SeqBFS computes reference distances on the driver for validation.
+// Unreached vertices get ^uint32(0).
+func (g *Graph) SeqBFS(root uint32) []uint32 {
+	const inf = ^uint32(0)
+	dist := make([]uint32, g.N)
+	for i := range dist {
+		dist[i] = inf
+	}
+	dist[root] = 0
+	frontier := []uint32{root}
+	for len(frontier) > 0 {
+		var next []uint32
+		for _, v := range frontier {
+			for _, u := range g.Out(v) {
+				if dist[u] == inf {
+					dist[u] = dist[v] + 1
+					next = append(next, u)
+				}
+			}
+		}
+		frontier = next
+	}
+	return dist
+}

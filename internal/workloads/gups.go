@@ -1,0 +1,156 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"nmvgas/internal/gas"
+	"nmvgas/internal/parcel"
+	"nmvgas/internal/runtime"
+)
+
+// KeyDist selects how update keys are drawn.
+type KeyDist uint8
+
+const (
+	// KeysUniform draws keys uniformly over the table (classic GUPS).
+	KeysUniform KeyDist = iota
+	// KeysZipf draws keys with a Zipf(1.2) skew: a few blocks get most
+	// of the traffic, which is what gives migration something to win.
+	KeysZipf
+)
+
+// GUPS is the random-access update benchmark: each rank fires updates at
+// random 8-byte words of a distributed table; every update is a parcel
+// that executes a read-xor-write at the word's current owner.
+type GUPS struct {
+	w      *runtime.World
+	update parcel.ActionID
+	pump   *Pump
+
+	mu   sync.Mutex
+	lay  gas.Layout
+	rngs []*rand.Rand
+	zips []*rand.Zipf
+	dist KeyDist
+}
+
+// NewGUPS registers the GUPS actions. Call before World.Start. The name
+// distinguishes multiple instances in one world.
+func NewGUPS(w *runtime.World, name string) *GUPS {
+	g := &GUPS{w: w}
+	g.update = w.Register(name+".update", g.onUpdate)
+	g.pump = NewPump(w, name+".pump")
+	g.pump.Issue = g.issue
+	return g
+}
+
+// Setup allocates the table: nblocks blocks of bsize bytes, distributed
+// cyclically, and seeds the per-rank key streams.
+func (g *GUPS) Setup(bsize, nblocks uint32, dist KeyDist, seed int64) error {
+	if bsize%8 != 0 {
+		return fmt.Errorf("workloads: gups bsize %d not 8-byte aligned", bsize)
+	}
+	lay, err := g.w.AllocCyclic(0, bsize, nblocks)
+	if err != nil {
+		return err
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.lay = lay
+	g.dist = dist
+	g.rngs = g.rngs[:0]
+	g.zips = g.zips[:0]
+	words := lay.Bytes() / 8
+	for r := 0; r < g.w.Ranks(); r++ {
+		rng := rand.New(rand.NewSource(seed + int64(r)*1_000_003))
+		g.rngs = append(g.rngs, rng)
+		g.zips = append(g.zips, rand.NewZipf(rng, 1.2, 1, words-1))
+	}
+	return nil
+}
+
+// Layout returns the table layout (for load-balancing integration).
+func (g *GUPS) Layout() gas.Layout {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.lay
+}
+
+// issue sends one update from rank.
+func (g *GUPS) issue(rank, seq int) {
+	g.mu.Lock()
+	var word uint64
+	if g.dist == KeysZipf {
+		word = g.zips[rank].Uint64()
+	} else {
+		word = g.rngs[rank].Uint64() % (g.lay.Bytes() / 8)
+	}
+	target := g.lay.At(word * 8)
+	g.mu.Unlock()
+
+	act, cont := g.pump.Wire(rank)
+	g.w.Locality(rank).SendParcel(&parcel.Parcel{
+		Action:  g.update,
+		Target:  target,
+		Payload: parcel.PutU64(nil, uint64(seq)*0x9E3779B97F4A7C15+uint64(rank)),
+		CAction: act,
+		CTarget: cont,
+	})
+}
+
+// onUpdate performs the read-xor-write at the owner.
+func (g *GUPS) onUpdate(c *runtime.Ctx) {
+	data := c.Local(c.P.Target)
+	if data == nil {
+		panic("gups: update ran against non-resident target")
+	}
+	v := parcel.U64(data, 0) ^ parcel.U64(c.P.Payload, 0)
+	copy(data, parcel.PutU64(nil, v))
+	c.Continue(nil)
+}
+
+// Run performs perRank updates from every rank with the given window and
+// waits for completion. It returns the total number of updates.
+func (g *GUPS) Run(perRank, window int) (int, error) {
+	gate, err := g.pump.Run(perRank, window)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := g.w.Wait(gate); err != nil {
+		return 0, err
+	}
+	return perRank * g.w.Ranks(), nil
+}
+
+// Checksum XORs the whole table — runs must be reproducible for a fixed
+// seed and mode-independent (translation must never change semantics).
+func (g *GUPS) Checksum() uint64 {
+	g.mu.Lock()
+	lay := g.lay
+	g.mu.Unlock()
+	var sum uint64
+	for d := uint32(0); d < lay.NBlocks; d++ {
+		b := lay.Base.Block() + gas.BlockID(d)
+		blk := g.findBlock(b)
+		if blk == nil {
+			panic(fmt.Sprintf("gups: block %d unreachable for checksum", b))
+		}
+		for off := 0; off+8 <= len(blk.Data); off += 8 {
+			sum ^= parcel.U64(blk.Data, off)
+		}
+	}
+	return sum
+}
+
+// findBlock locates a block wherever it currently lives (driver-side
+// verification helper).
+func (g *GUPS) findBlock(b gas.BlockID) *gas.Block {
+	for r := 0; r < g.w.Ranks(); r++ {
+		if blk, ok := g.w.Locality(r).Store().Get(b); ok {
+			return blk
+		}
+	}
+	return nil
+}

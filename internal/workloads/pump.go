@@ -1,0 +1,107 @@
+// Package workloads implements the benchmark applications the evaluation
+// drives through the runtime: GUPS-style random updates, pointer chasing,
+// breadth-first search over a synthetic graph, a 1-D stencil, and a
+// skewed histogram. Each workload is written purely against the runtime's
+// public operations (parcels, LCOs, one-sided ops, migration), so its
+// performance differences across address-space modes come from the system
+// under test, not from the workload code.
+package workloads
+
+import (
+	"fmt"
+	"sync"
+
+	"nmvgas/internal/gas"
+	"nmvgas/internal/parcel"
+	"nmvgas/internal/runtime"
+)
+
+// Pump drives a fixed number of asynchronous operations per rank while
+// keeping a bounded number outstanding — the standard way throughput
+// benchmarks saturate a network without unbounded queueing. Each
+// operation's continuation re-arms the pump, so the window refills itself
+// until the per-rank quota is met; a final gate fires when every rank
+// finishes.
+type Pump struct {
+	w    *runtime.World
+	act  parcel.ActionID
+	mu   sync.Mutex
+	st   []pumpRank
+	gate *runtime.LCORef
+
+	// Issue sends the seq-th operation from rank. The operation's
+	// continuation must be (ContAction, ContTarget(rank)) — use Wire.
+	Issue func(rank, seq int)
+}
+
+type pumpRank struct {
+	issued, completed, target int
+}
+
+// NewPump registers the pump's re-arm action under name (unique per
+// world). Call before World.Start, set Issue before Run.
+func NewPump(w *runtime.World, name string) *Pump {
+	p := &Pump{w: w, st: make([]pumpRank, w.Ranks())}
+	p.act = w.Register(name, p.onDone)
+	return p
+}
+
+// Wire returns the continuation (action, target) the Issue callback must
+// attach to every operation it sends from rank.
+func (p *Pump) Wire(rank int) (parcel.ActionID, gas.GVA) {
+	return p.act, p.w.LocalityGVA(rank)
+}
+
+// onDone runs at the issuing rank when one operation completes.
+func (p *Pump) onDone(c *runtime.Ctx) {
+	r := c.Rank()
+	p.mu.Lock()
+	st := &p.st[r]
+	st.completed++
+	if st.issued < st.target {
+		seq := st.issued
+		st.issued++
+		p.mu.Unlock()
+		p.Issue(r, seq)
+		return
+	}
+	done := st.completed == st.target
+	gate := p.gate
+	p.mu.Unlock()
+	if done {
+		c.ContinueTo(gate.G, nil)
+	}
+}
+
+// Run primes `window` operations on every rank and returns a gate that
+// fires when each rank has completed perRank operations.
+func (p *Pump) Run(perRank, window int) (*runtime.LCORef, error) {
+	if p.Issue == nil {
+		return nil, fmt.Errorf("workloads: pump has no Issue callback")
+	}
+	if perRank < 1 || window < 1 {
+		return nil, fmt.Errorf("workloads: pump needs perRank>=1 and window>=1, got %d/%d", perRank, window)
+	}
+	if window > perRank {
+		window = perRank
+	}
+	p.gate = p.w.NewAndGate(0, p.w.Ranks())
+	p.mu.Lock()
+	for r := range p.st {
+		p.st[r] = pumpRank{target: perRank}
+	}
+	p.mu.Unlock()
+	for r := 0; r < p.w.Ranks(); r++ {
+		r := r
+		prime := window
+		p.w.Proc(r).Run(func() {
+			p.mu.Lock()
+			p.st[r].issued = prime
+			p.mu.Unlock()
+			for i := 0; i < prime; i++ {
+				p.Issue(r, i)
+			}
+		})
+	}
+	return p.gate, nil
+}

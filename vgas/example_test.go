@@ -1,0 +1,66 @@
+package vgas_test
+
+import (
+	"fmt"
+	"log"
+
+	"nmvgas/vgas"
+)
+
+// ExampleNewWorld shows the core loop: allocate, act on data where it
+// lives, migrate, and keep using the same address.
+func ExampleNewWorld() {
+	w, err := vgas.NewWorld(vgas.Config{Ranks: 4, Mode: vgas.AGASNM})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer w.Stop()
+
+	first := w.Register("first", func(c *vgas.Ctx) {
+		c.Continue([]byte{c.Local(c.P.Target)[0]})
+	})
+	w.Start()
+
+	lay, err := w.AllocCyclic(0, 4096, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := lay.BlockAt(5)
+	w.MustWait(w.Proc(0).Put(g, []byte{42}))
+	v := w.MustWait(w.Proc(3).Call(g, first, nil))
+	fmt.Println("before migration:", v[0])
+
+	w.MustWait(w.Proc(0).Migrate(g, 2))
+	v = w.MustWait(w.Proc(3).Call(g, first, nil))
+	fmt.Println("after migration: ", v[0])
+	// Output:
+	// before migration: 42
+	// after migration:  42
+}
+
+// ExampleWorld_NewReduce shows LCO-based reduction across localities.
+func ExampleWorld_NewReduce() {
+	w, err := vgas.NewWorld(vgas.Config{Ranks: 4, Mode: vgas.PGAS})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer w.Stop()
+	give := w.Register("give", func(c *vgas.Ctx) {
+		c.Continue(vgas.EncodeI64(int64(c.Rank() + 1)))
+	})
+	w.Start()
+
+	red := w.NewReduce(0, 4, vgas.SumI64)
+	for r := 0; r < 4; r++ {
+		r := r
+		w.Proc(r).Run(func() {
+			w.Locality(r).SendParcel(&vgas.Parcel{
+				Action: give, Target: w.LocalityGVA(r),
+				CAction: vgas.LCOSet, CTarget: red.G,
+			})
+		})
+	}
+	fmt.Println("sum:", vgas.DecodeI64(w.MustWait(red)))
+	// Output:
+	// sum: 10
+}

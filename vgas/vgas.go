@@ -1,0 +1,190 @@
+// Package vgas is the public API of the network-managed virtual global
+// address space runtime.
+//
+// # Overview
+//
+// A World is a set of localities connected by a network substrate. Memory
+// is allocated in blocks named by 64-bit global virtual addresses (GVA);
+// computation moves to data as parcels (active messages) that run
+// registered actions at a block's current owner and synchronize through
+// LCOs (futures, gates, reductions). Blocks can migrate between
+// localities without changing their address — and the Mode selects who
+// keeps the translation state that makes that work:
+//
+//   - PGAS: static arithmetic translation, no migration (baseline);
+//   - AGASSW: software-managed AGAS — host-side caches and host
+//     forwarding (baseline);
+//   - AGASNM: network-managed AGAS — NIC-resident translation,
+//     in-network forwarding, NIC table updates (the paper's system).
+//
+// Two engines execute the same protocol code: EngineDES is a
+// deterministic discrete-event simulation with a calibrated cost model
+// (what the experiments use), and EngineGo runs localities as real
+// goroutines.
+//
+// # Quickstart
+//
+//	w, _ := vgas.NewWorld(vgas.Config{Ranks: 4, Mode: vgas.AGASNM})
+//	hello := w.Register("hello", func(c *vgas.Ctx) { c.Continue(c.P.Payload) })
+//	w.Start()
+//	lay, _ := w.AllocCyclic(0, 4096, 8)
+//	fut := w.Proc(0).Call(lay.BlockAt(3), hello, []byte("hi"))
+//	reply := w.MustWait(fut)
+//
+// See the examples/ directory for complete programs.
+package vgas
+
+import (
+	"nmvgas/internal/gas"
+	"nmvgas/internal/lco"
+	"nmvgas/internal/netsim"
+	"nmvgas/internal/parcel"
+	"nmvgas/internal/runtime"
+)
+
+// Core world types.
+type (
+	// World is one running system of localities.
+	World = runtime.World
+	// Config configures NewWorld.
+	Config = runtime.Config
+	// Mode selects the address-space design.
+	Mode = runtime.Mode
+	// EngineKind selects discrete-event or goroutine execution.
+	EngineKind = runtime.EngineKind
+	// Ctx is the context handed to actions.
+	Ctx = runtime.Ctx
+	// Action is a parcel handler.
+	Action = runtime.Action
+	// Proc is a driver-side handle for issuing operations from a
+	// locality.
+	Proc = runtime.Proc
+	// LCORef names an LCO in the global address space.
+	LCORef = runtime.LCORef
+	// Locality is one simulated compute node.
+	Locality = runtime.Locality
+)
+
+// Address-space types.
+type (
+	// GVA is a 64-bit global virtual address.
+	GVA = gas.GVA
+	// BlockID is a globally unique block number.
+	BlockID = gas.BlockID
+	// Layout describes one allocation's distribution.
+	Layout = gas.Layout
+	// Dist selects a block distribution.
+	Dist = gas.Dist
+)
+
+// Messaging types.
+type (
+	// Parcel is an active message.
+	Parcel = parcel.Parcel
+	// ActionID names a registered action.
+	ActionID = parcel.ActionID
+	// Combiner folds reduction contributions.
+	Combiner = lco.Combiner
+	// Model is the simulated fabric's cost model.
+	Model = netsim.Model
+	// VTime is simulated time in nanoseconds.
+	VTime = netsim.VTime
+	// Policy configures NIC behaviour in AGASNM mode.
+	Policy = netsim.Policy
+	// Topology selects the simulated fabric shape.
+	Topology = netsim.Topology
+	// CoalesceConfig enables parcel batching.
+	CoalesceConfig = runtime.CoalesceConfig
+	// TraceEvent is one observable protocol step (see World.SetTracer).
+	TraceEvent = runtime.TraceEvent
+	// TraceKind classifies trace events.
+	TraceKind = runtime.TraceKind
+	// WorldStats aggregates runtime counters.
+	WorldStats = runtime.WorldStats
+)
+
+// Modes.
+const (
+	PGAS   = runtime.PGAS
+	AGASSW = runtime.AGASSW
+	AGASNM = runtime.AGASNM
+)
+
+// Engines.
+const (
+	EngineDES = runtime.EngineDES
+	EngineGo  = runtime.EngineGo
+)
+
+// Distributions.
+const (
+	DistLocal   = gas.DistLocal
+	DistCyclic  = gas.DistCyclic
+	DistBlocked = gas.DistBlocked
+)
+
+// Builtin actions.
+const (
+	// LCOSet delivers a payload into the LCO block it targets.
+	LCOSet = runtime.ALCOSet
+	// Nop does nothing (barriers, wiring).
+	Nop = runtime.ANop
+)
+
+// Trace event kinds (see World.SetTracer and internal/trace).
+const (
+	TraceSend         = runtime.TraceSend
+	TraceExec         = runtime.TraceExec
+	TraceHostForward  = runtime.TraceHostForward
+	TraceHostNack     = runtime.TraceHostNack
+	TraceNICNack      = runtime.TraceNICNack
+	TraceMigrateStart = runtime.TraceMigrateStart
+	TraceMigrateDone  = runtime.TraceMigrateDone
+	TraceQueued       = runtime.TraceQueued
+)
+
+// Migration status codes (decode a Migrate future with MigrateStatus).
+const (
+	MigrateOK        = runtime.MigrateOK
+	MigratePinned    = runtime.MigratePinned
+	MigrateBadTarget = runtime.MigrateBadTarget
+)
+
+// NewWorld builds a world; see Config.
+func NewWorld(cfg Config) (*World, error) { return runtime.NewWorld(cfg) }
+
+// MigrateStatus decodes a Migrate future's value.
+func MigrateStatus(v []byte) int64 { return runtime.MigrateStatus(v) }
+
+// DefaultModel returns the calibrated fabric cost model.
+func DefaultModel() Model { return netsim.DefaultModel() }
+
+// DefaultPolicy returns the paper's NIC policy: in-network forwarding
+// with pushed table updates.
+func DefaultPolicy() Policy { return netsim.DefaultPolicy() }
+
+// Reduction combiners over little-endian int64 records.
+var (
+	SumI64 = lco.SumI64
+	MinI64 = lco.MinI64
+	MaxI64 = lco.MaxI64
+)
+
+// EncodeI64 builds the 8-byte record the int64 combiners consume.
+func EncodeI64(v int64) []byte { return lco.EncodeI64(v) }
+
+// DecodeI64 parses an 8-byte little-endian record.
+func DecodeI64(b []byte) int64 { return lco.DecodeI64(b) }
+
+// EncodeLayout serializes a layout for transport through an LCO (the
+// AllocAsync result format).
+func EncodeLayout(l Layout) []byte { return runtime.EncodeLayout(l) }
+
+// DecodeLayout parses an EncodeLayout record.
+func DecodeLayout(b []byte) Layout { return runtime.DecodeLayout(b) }
+
+// NewTwoTier builds an oversubscribed two-tier topology (pods of podSize
+// behind an oversub× spine).
+func NewTwoTier(podSize int, oversub float64) Topology {
+	return netsim.NewTwoTier(podSize, oversub)
+}
