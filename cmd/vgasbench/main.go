@@ -2,18 +2,21 @@
 //
 // Usage:
 //
-//	vgasbench -list            # show the experiment registry
-//	vgasbench                  # run everything (full scale)
-//	vgasbench -quick T1 F5     # run selected experiments, small sweeps
-//	vgasbench -csv F1          # emit CSV instead of aligned tables
+//	vgasbench -list                 # show the experiment registry
+//	vgasbench                       # run everything (full scale)
+//	vgasbench -quick T1 F5          # run selected experiments, small sweeps
+//	vgasbench -csv F1               # emit CSV instead of aligned tables
+//	vgasbench -modes agas-nm F6     # restrict row-per-mode sweeps
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"nmvgas/internal/exp"
+	"nmvgas/internal/runtime"
 )
 
 func main() {
@@ -21,6 +24,9 @@ func main() {
 	quick := flag.Bool("quick", false, "run reduced sweeps")
 	csv := flag.Bool("csv", false, "emit CSV")
 	seed := flag.Int64("seed", 42, "workload seed")
+	modes := flag.String("modes", "", "comma-separated address-space modes to sweep "+
+		"(pgas, agas-sw, agas-nm; empty = all). Experiments with fixed per-mode "+
+		"columns always sweep every mode.")
 	flag.Parse()
 
 	if *list {
@@ -31,6 +37,16 @@ func main() {
 	}
 
 	o := exp.Options{Quick: *quick, Seed: *seed}
+	if *modes != "" {
+		for _, name := range strings.Split(*modes, ",") {
+			m, err := runtime.ParseMode(strings.TrimSpace(name))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "vgasbench: %v\n", err)
+				os.Exit(2)
+			}
+			o.Spaces = append(o.Spaces, runtime.SpaceFor(m))
+		}
+	}
 	ids := flag.Args()
 	if len(ids) == 0 {
 		ids = exp.IDs()

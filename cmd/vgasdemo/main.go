@@ -1,17 +1,35 @@
 // Command vgasdemo is a guided tour: it walks through the runtime's core
-// operations on a small world and narrates what the network-managed
-// address space is doing underneath.
+// operations on a small world and narrates what the selected address
+// space is doing underneath.
 package main
 
 import (
+	"flag"
 	"fmt"
+	"os"
 
 	"nmvgas/vgas"
 )
 
 func main() {
-	fmt.Println("== network-managed virtual global address space: demo ==")
-	w, err := vgas.NewWorld(vgas.Config{Ranks: 4, Mode: vgas.AGASNM})
+	modeFlag := flag.String("mode", "agas-nm", "address space: pgas, agas-sw, or agas-nm")
+	engineFlag := flag.String("engine", "des", "execution engine: des or go")
+	flag.Parse()
+
+	mode, err := vgas.ParseMode(*modeFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vgasdemo: %v\n", err)
+		os.Exit(2)
+	}
+	engine, err := vgas.ParseEngine(*engineFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vgasdemo: %v\n", err)
+		os.Exit(2)
+	}
+	sp := vgas.SpaceFor(mode)
+
+	fmt.Printf("== virtual global address space demo: %s on %s ==\n", sp, engine)
+	w, err := vgas.NewWorldFor(sp, vgas.Config{Ranks: 4, Engine: engine})
 	if err != nil {
 		panic(err)
 	}
@@ -40,19 +58,41 @@ func main() {
 	reply := w.MustWait(w.Proc(0).Call(g, echo, []byte("ping")))
 	fmt.Printf("   reply: %q\n", reply)
 
+	if !sp.Caps.Migration {
+		fmt.Printf("\n4. %s is static: blocks cannot migrate (Caps.Migration=false).\n", sp)
+		st := w.MustWait(w.Proc(0).Migrate(g, 2))
+		fmt.Printf("   migrate status: %d (1 = pinned/refused)\n", vgas.MigrateStatus(st))
+		fmt.Println("\nDone.")
+		return
+	}
+
 	fmt.Println("\n4. Migrate the block to rank 2 — its address does not change.")
 	st := w.MustWait(w.Proc(0).Migrate(g, 2))
 	fmt.Printf("   migrate status: %d (0 = ok)\n", vgas.MigrateStatus(st))
 
-	fmt.Println("\n5. Send to the SAME address: the home NIC forwards in-network,")
-	fmt.Println("   then pushes the new owner into the source NIC table.")
-	before := w.Fabric().TotalStats().Forwards
-	w.MustWait(w.Proc(0).Call(g, echo, []byte("after-move")))
-	mid := w.Fabric().TotalStats().Forwards
-	w.MustWait(w.Proc(0).Call(g, echo, []byte("again")))
-	after := w.Fabric().TotalStats().Forwards
-	fmt.Printf("   in-network forwards: first send %d, second send %d (learned!)\n",
-		mid-before, after-mid)
+	fmt.Println("\n5. Send to the SAME address: stale translation is repaired")
+	fmt.Println("   by the mode's strategy (host forwarding or NIC tables).")
+	if w.Fabric() != nil && sp.Caps.NICTranslation {
+		before := w.Fabric().TotalStats().Forwards
+		w.MustWait(w.Proc(0).Call(g, echo, []byte("after-move")))
+		mid := w.Fabric().TotalStats().Forwards
+		w.MustWait(w.Proc(0).Call(g, echo, []byte("again")))
+		after := w.Fabric().TotalStats().Forwards
+		fmt.Printf("   in-network forwards: first send %d, second send %d (learned!)\n",
+			mid-before, after-mid)
+	} else {
+		before := w.Locality(g.Home()).Stats.HostForwards.Load()
+		w.MustWait(w.Proc(0).Call(g, echo, []byte("after-move")))
+		mid := w.Locality(g.Home()).Stats.HostForwards.Load()
+		w.MustWait(w.Proc(0).Call(g, echo, []byte("again")))
+		after := w.Locality(g.Home()).Stats.HostForwards.Load()
+		fmt.Printf("   host forwards at the old owner: first send %d, second send %d\n",
+			mid-before, after-mid)
+	}
 
-	fmt.Printf("\nSimulated time elapsed: %v. Done.\n", w.Now())
+	if w.Fabric() != nil {
+		fmt.Printf("\nSimulated time elapsed: %v. Done.\n", w.Now())
+	} else {
+		fmt.Println("\nDone.")
+	}
 }

@@ -5,7 +5,6 @@ import (
 	"nmvgas/internal/gas"
 	"nmvgas/internal/loadbal"
 	"nmvgas/internal/netsim"
-	"nmvgas/internal/runtime"
 	"nmvgas/internal/stats"
 	"nmvgas/internal/workloads"
 )
@@ -30,9 +29,9 @@ func f5GUPS(o Options) *stats.Table {
 		perRank = 80
 	}
 	for _, ranks := range rankSweep {
-		row := make([]float64, len(modes))
-		for mi, mode := range modes {
-			w := newWorld(mode, ranks)
+		row := make([]float64, len(spaces))
+		for mi, sp := range spaces {
+			w := newWorld(sp, ranks)
 			g := workloads.NewGUPS(w, "gups")
 			w.Start()
 			if err := g.Setup(1024, uint32(4*ranks), workloads.KeysUniform, o.Seed); err != nil {
@@ -62,8 +61,8 @@ func f6Chase(o Options) *stats.Table {
 	if o.Quick {
 		nodes, hops = 32, 96
 	}
-	for _, mode := range modes {
-		w := newWorld(mode, ranks)
+	for _, sp := range o.sweep() {
+		w := newWorld(sp, ranks)
 		c := workloads.NewChase(w, "chase")
 		w.Start()
 		if err := c.Setup(nodes, o.Seed); err != nil {
@@ -78,13 +77,13 @@ func f6Chase(o Options) *stats.Table {
 		}
 		scattered := measure()
 		consolidated := scattered
-		if mode != runtime.PGAS {
+		if sp.Caps.Migration {
 			if err := loadbal.Consolidate(w, 0, c.Layout(), 0); err != nil {
 				panic(err)
 			}
 			consolidated = measure()
 		}
-		tb.AddRow(mode.String(), scattered, consolidated, scattered/consolidated)
+		tb.AddRow(sp.String(), scattered, consolidated, scattered/consolidated)
 		w.Stop()
 	}
 	return tb
@@ -103,8 +102,8 @@ func f7BFS(o Options) *stats.Table {
 	if o.Quick {
 		n, deg = 400, 4
 	}
-	for _, mode := range modes {
-		w := newWorld(mode, ranks)
+	for _, sp := range o.sweep() {
+		w := newWorld(sp, ranks)
 		ops := collective.New(w)
 		tr := loadbal.Attach(w)
 		b := workloads.NewBFS(w, ops, "bfs")
@@ -124,7 +123,7 @@ func f7BFS(o Options) *stats.Table {
 		static := teps()
 		cold, warm := static, static
 		moved := 0
-		if mode != runtime.PGAS {
+		if sp.Caps.Migration {
 			var err error
 			moved, err = loadbal.Rebalance(w, 0, b.Layout(), tr)
 			if err != nil {
@@ -133,7 +132,7 @@ func f7BFS(o Options) *stats.Table {
 			cold = teps()
 			warm = teps()
 		}
-		tb.AddRow(mode.String(), static, cold, warm, moved)
+		tb.AddRow(sp.String(), static, cold, warm, moved)
 		w.Stop()
 	}
 	return tb
@@ -156,9 +155,9 @@ func f8Stencil(o Options) *stats.Table {
 		slow[i] = 1
 	}
 	slow[0] = 8
-	for _, mode := range modes {
+	for _, sp := range o.sweep() {
 		run := func(adapt bool) float64 {
-			w := newWorld(mode, ranks)
+			w := newWorld(sp, ranks)
 			s := workloads.NewStencil(w, "st")
 			w.Start()
 			defer w.Stop()
@@ -178,10 +177,10 @@ func f8Stencil(o Options) *stats.Table {
 		}
 		static := run(false)
 		adaptive := static
-		if mode != runtime.PGAS {
+		if sp.Caps.Migration {
 			adaptive = run(true)
 		}
-		tb.AddRow(mode.String(), static, adaptive, static/adaptive)
+		tb.AddRow(sp.String(), static, adaptive, static/adaptive)
 	}
 	return tb
 }
@@ -196,8 +195,8 @@ func f10Histogram(o Options) *stats.Table {
 	if o.Quick {
 		perRank = 80
 	}
-	for _, mode := range modes {
-		w := newWorld(mode, ranks)
+	for _, sp := range o.sweep() {
+		w := newWorld(sp, ranks)
 		tr := loadbal.Attach(w)
 		h := workloads.NewHistogram(w, "hist")
 		w.Start()
@@ -215,7 +214,7 @@ func f10Histogram(o Options) *stats.Table {
 		static := rate()
 		placed := static
 		moved := 0
-		if mode != runtime.PGAS {
+		if sp.Caps.Migration {
 			var err error
 			moved, err = loadbal.Rebalance(w, 0, h.Layout(), tr)
 			if err != nil {
@@ -223,7 +222,7 @@ func f10Histogram(o Options) *stats.Table {
 			}
 			placed = rate()
 		}
-		tb.AddRow(mode.String(), static, placed, moved)
+		tb.AddRow(sp.String(), static, placed, moved)
 		w.Stop()
 	}
 	return tb

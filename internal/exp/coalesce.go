@@ -25,7 +25,7 @@ func f13Coalesce(o Options) *stats.Table {
 		perRank = 80
 	}
 	for _, window := range []int{1, 4, 16, 64} {
-		w := newWorld(runtime.AGASNM, ranks, func(c *runtime.Config) {
+		w := newWorld(runtime.SpaceFor(runtime.AGASNM), ranks, func(c *runtime.Config) {
 			if window > 1 {
 				c.Coalesce = runtime.CoalesceConfig{MaxParcels: window, MaxDelay: 2 * netsim.Microsecond}
 			}

@@ -23,6 +23,18 @@ type Options struct {
 	Quick bool
 	// Seed feeds the deterministic workload generators.
 	Seed int64
+	// Spaces restricts which address spaces row-per-mode experiments
+	// sweep (nil = all built-ins). Experiments whose table columns are
+	// fixed per mode always sweep every built-in space.
+	Spaces []runtime.SpaceSpec
+}
+
+// sweep returns the address spaces a row-per-mode experiment iterates.
+func (o Options) sweep() []runtime.SpaceSpec {
+	if len(o.Spaces) > 0 {
+		return o.Spaces
+	}
+	return spaces
 }
 
 // DefaultOptions returns full-scale settings with a fixed seed.
@@ -74,16 +86,17 @@ func RunAll(o Options, out io.Writer) error {
 	return nil
 }
 
-// modes is the sweep order used in every table.
-var modes = []runtime.Mode{runtime.PGAS, runtime.AGASSW, runtime.AGASNM}
+// spaces is the sweep order used in every table (the runtime's canonical
+// address-space order).
+var spaces = runtime.Spaces()
 
-// newWorld builds a DES world for an experiment run.
-func newWorld(mode runtime.Mode, ranks int, mutate ...func(*runtime.Config)) *runtime.World {
-	cfg := runtime.Config{Ranks: ranks, Mode: mode, Engine: runtime.EngineDES}
+// newWorld builds a DES world running sp's address space.
+func newWorld(sp runtime.SpaceSpec, ranks int, mutate ...func(*runtime.Config)) *runtime.World {
+	cfg := runtime.Config{Ranks: ranks, Engine: runtime.EngineDES}
 	for _, m := range mutate {
 		m(&cfg)
 	}
-	w, err := runtime.NewWorld(cfg)
+	w, err := runtime.NewWorldFor(sp, cfg)
 	if err != nil {
 		panic(fmt.Sprintf("exp: world construction: %v", err))
 	}

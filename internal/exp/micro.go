@@ -27,9 +27,9 @@ func oneSidedLatency(o Options, title string, get bool) *stats.Table {
 		reps = 5
 	}
 	for _, size := range sizesFor(o) {
-		row := make([]float64, len(modes))
-		for mi, mode := range modes {
-			w := newWorld(mode, microRanks)
+		row := make([]float64, len(spaces))
+		for mi, sp := range spaces {
+			w := newWorld(sp, microRanks)
 			w.Start()
 			lay, err := w.AllocCyclic(0, 1<<17, microRanks)
 			if err != nil {
@@ -75,9 +75,9 @@ func f1PutThroughput(o Options) *stats.Table {
 		n = 60
 	}
 	for _, size := range sizesFor(o) {
-		row := make([]float64, len(modes))
-		for mi, mode := range modes {
-			w := newWorld(mode, 2)
+		row := make([]float64, len(spaces))
+		for mi, sp := range spaces {
+			w := newWorld(sp, 2)
 			w.Start()
 			lay, err := w.AllocLocal(1, 1<<18, 4)
 			if err != nil {
@@ -103,9 +103,9 @@ func f2ParcelRTT(o Options) *stats.Table {
 		reps = 5
 	}
 	for _, size := range sizesFor(o) {
-		row := make([]float64, len(modes))
-		for mi, mode := range modes {
-			w := newWorld(mode, 2)
+		row := make([]float64, len(spaces))
+		for mi, sp := range spaces {
+			w := newWorld(sp, 2)
 			echo := w.Register("echo", func(c *runtime.Ctx) { c.Continue(c.P.Payload) })
 			w.Start()
 			lay, err := w.AllocLocal(1, 1<<17, 1)
@@ -137,17 +137,15 @@ func t4Breakdown(o Options) *stats.Table {
 	wire := int64(model.TxTime(8+70) + model.Latency) // payload + parcel/wire header
 	deliver := int64(model.ORecv + model.HandlerDispatch)
 	inject := int64(model.OSend)
-	for _, mode := range modes {
+	for _, sp := range o.sweep() {
 		var translate int64
-		switch mode {
-		case runtime.PGAS:
-			translate = 0
-		case runtime.AGASSW:
-			translate = int64(model.SWLookup)
-		case runtime.AGASNM:
+		switch {
+		case sp.Caps.NICTranslation:
 			translate = int64(model.NICLookup)
+		case sp.Caps.HostTranslation:
+			translate = int64(model.SWLookup)
 		}
-		w := newWorld(mode, 2)
+		w := newWorld(sp, 2)
 		mark := w.Register("mark", func(c *runtime.Ctx) { c.Continue(nil) })
 		w.Start()
 		lay, err := w.AllocLocal(1, 4096, 1)
@@ -162,7 +160,7 @@ func t4Breakdown(o Options) *stats.Table {
 			return w.Proc(0).Call(lay.BlockAt(0), mark, make([]byte, 8))
 		})
 		w.Stop()
-		tb.AddRow(mode.String(), translate, inject, wire, deliver, int64(rtt)/2)
+		tb.AddRow(sp.String(), translate, inject, wire, deliver, int64(rtt)/2)
 	}
 	return tb
 }

@@ -27,9 +27,9 @@ func f11SSSP(o Options) *stats.Table {
 	if o.Quick {
 		n, deg = 300, 4
 	}
-	for _, mode := range modes {
+	for _, sp := range o.sweep() {
 		run := func(dist gas.Dist) (float64, int) {
-			w := newWorld(mode, ranks)
+			w := newWorld(sp, ranks)
 			s := workloads.NewSSSP(w, "sssp")
 			w.Start()
 			defer w.Stop()
@@ -46,7 +46,7 @@ func f11SSSP(o Options) *stats.Table {
 		}
 		cyc, reached := run(gas.DistCyclic)
 		ser, _ := run(gas.DistLocal)
-		tb.AddRow(mode.String(), cyc, ser, reached)
+		tb.AddRow(sp.String(), cyc, ser, reached)
 	}
 	return tb
 }
@@ -59,13 +59,13 @@ func f12Topology(o Options) *stats.Table {
 	tb := stats.NewTable("Fig. 12: two-tier fabric (pods of 4, 2x oversubscribed), inter-pod ops",
 		"metric", "pgas_us", "agas_sw_us", "agas_nm_us")
 	topo := netsim.NewTwoTier(4, 2.0)
-	mk := func(mode runtime.Mode) *runtime.World {
-		return newWorld(mode, 8, func(c *runtime.Config) { c.Topology = topo })
+	mk := func(sp runtime.SpaceSpec) *runtime.World {
+		return newWorld(sp, 8, func(c *runtime.Config) { c.Topology = topo })
 	}
 	// Inter-pod put latency (rank 0 → block homed on rank 7).
 	var put [3]float64
-	for mi, mode := range modes {
-		w := mk(mode)
+	for mi, sp := range spaces {
+		w := mk(sp)
 		w.Start()
 		lay, err := w.AllocCyclic(0, 4096, 8)
 		if err != nil {
@@ -82,8 +82,8 @@ func f12Topology(o Options) *stats.Table {
 	// Post-migration steady state: block homed in pod 0 migrated within
 	// pod 1; sender in pod 0.
 	var steady [3]float64
-	for mi, mode := range modes {
-		w := mk(mode)
+	for mi, sp := range spaces {
+		w := mk(sp)
 		echo := w.Register("echo", func(c *runtime.Ctx) { c.Continue(nil) })
 		w.Start()
 		lay, err := w.AllocLocal(1, 256, 1)
@@ -91,7 +91,7 @@ func f12Topology(o Options) *stats.Table {
 			panic(err)
 		}
 		g := lay.BlockAt(0)
-		if mode != runtime.PGAS {
+		if sp.Caps.Migration {
 			w.MustWait(w.Proc(0).Migrate(g, 6))
 		}
 		w.MustWait(w.Proc(2).Call(g, echo, nil)) // corrective round
@@ -116,9 +116,9 @@ func t5AllToAll(o Options) *stats.Table {
 		sizes = []int{512, 8192}
 	}
 	for _, size := range sizes {
-		row := make([]float64, len(modes))
-		for mi, mode := range modes {
-			w := newWorld(mode, ranks)
+		row := make([]float64, len(spaces))
+		for mi, sp := range spaces {
+			w := newWorld(sp, ranks)
 			w.Start()
 			// One block per (src,dst) pair, homed at dst.
 			lay, err := w.AllocCyclic(0, uint32(size), ranks*ranks)

@@ -23,8 +23,8 @@ func f14Replication(o Options) *stats.Table {
 	if o.Quick {
 		reads = 60
 	}
-	for _, mode := range modes {
-		w := newWorld(mode, ranks)
+	for _, sp := range o.sweep() {
+		w := newWorld(sp, ranks)
 		w.Start()
 		lay, err := w.AllocCyclic(0, 4096, 16)
 		if err != nil {
@@ -45,7 +45,7 @@ func f14Replication(o Options) *stats.Table {
 			panic(err)
 		}
 		replicated := measure()
-		tb.AddRow(mode.String(), remote, replicated, remote/replicated)
+		tb.AddRow(sp.String(), remote, replicated, remote/replicated)
 		w.Stop()
 	}
 	return tb

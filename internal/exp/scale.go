@@ -21,12 +21,12 @@ func t3Scaling(o Options) *stats.Table {
 		sweep = []int{2, 8, 32}
 	}
 	for _, ranks := range sweep {
-		put := make([]float64, len(modes))
+		put := make([]float64, len(spaces))
 		var barrier float64
-		for mi, mode := range modes {
-			w := newWorld(mode, ranks)
+		for mi, sp := range spaces {
+			w := newWorld(sp, ranks)
 			var ops *collective.Ops
-			if mode == runtime.AGASNM {
+			if sp.Caps.NICTranslation {
 				ops = collective.New(w)
 			}
 			w.Start()

@@ -35,9 +35,9 @@ func f3Translation(o Options) *stats.Table {
 	rounds := 3
 	for _, ws := range sweeps {
 		// Network-managed with a bounded NIC table.
-		nmHit, nmUs := translationProbe(o, runtime.AGASNM, tableCap, ws, rounds)
+		nmHit, nmUs := translationProbe(o, runtime.SpaceFor(runtime.AGASNM), tableCap, ws, rounds)
 		// Software-managed with an unbounded cache.
-		swHit, swUs := translationProbe(o, runtime.AGASSW, 0, ws, rounds)
+		swHit, swUs := translationProbe(o, runtime.SpaceFor(runtime.AGASSW), 0, ws, rounds)
 		tb.AddRow(ws, nmHit, nmUs, swHit, swUs)
 	}
 	return tb
@@ -46,8 +46,8 @@ func f3Translation(o Options) *stats.Table {
 // translationProbe migrates ws blocks away from their home and then
 // round-robins accesses over them from a third rank, returning the
 // steady-state source hit rate and mean access latency.
-func translationProbe(o Options, mode runtime.Mode, tableCap int, ws uint32, rounds int) (hitRate, avgUs float64) {
-	w := newWorld(mode, 3, func(c *runtime.Config) { c.NICTableCap = tableCap })
+func translationProbe(o Options, sp runtime.SpaceSpec, tableCap int, ws uint32, rounds int) (hitRate, avgUs float64) {
+	w := newWorld(sp, 3, func(c *runtime.Config) { c.NICTableCap = tableCap })
 	echo := w.Register("echo", func(c *runtime.Ctx) { c.Continue(nil) })
 	w.Start()
 	defer w.Stop()
@@ -64,10 +64,9 @@ func translationProbe(o Options, mode runtime.Mode, tableCap int, ws uint32, rou
 		w.MustWait(w.Proc(0).Call(lay.BlockAt(d), echo, nil))
 	}
 	var h0, m0 uint64
-	switch mode {
-	case runtime.AGASNM:
+	if sp.Caps.NICTranslation {
 		h0, m0, _, _ = w.Fabric().NIC(0).Table.Stats()
-	case runtime.AGASSW:
+	} else {
 		h0, m0, _ = w.Locality(0).Cache().Stats()
 	}
 	var samples []netsim.VTime
@@ -79,10 +78,9 @@ func translationProbe(o Options, mode runtime.Mode, tableCap int, ws uint32, rou
 		}
 	}
 	var h1, m1 uint64
-	switch mode {
-	case runtime.AGASNM:
+	if sp.Caps.NICTranslation {
 		h1, m1, _, _ = w.Fabric().NIC(0).Table.Stats()
-	case runtime.AGASSW:
+	} else {
 		h1, m1, _ = w.Locality(0).Cache().Stats()
 	}
 	if dh, dm := h1-h0, m1-m0; dh+dm > 0 {
@@ -101,10 +99,17 @@ func f4Migration(o Options) *stats.Table {
 	if o.Quick {
 		sizes = []uint32{256, 65536}
 	}
+	var migrating []runtime.SpaceSpec
+	for _, sp := range spaces {
+		if sp.Caps.Migration {
+			migrating = append(migrating, sp)
+		}
+	}
 	for _, bsize := range sizes {
-		var mig, mid [2]float64
-		for mi, mode := range []runtime.Mode{runtime.AGASSW, runtime.AGASNM} {
-			w := newWorld(mode, 4)
+		mig := make([]float64, len(migrating))
+		mid := make([]float64, len(migrating))
+		for mi, sp := range migrating {
+			w := newWorld(sp, 4)
 			w.Start()
 			lay, err := w.AllocLocal(1, bsize, 2)
 			if err != nil {
@@ -148,9 +153,9 @@ func f9Churn(o Options) *stats.Table {
 		updates = 100
 	}
 	for _, nmig := range churns {
-		sw := churnRun(o, runtime.AGASSW, agas.CorrectionUpdate, nmig, updates)
-		swInv := churnRun(o, runtime.AGASSW, agas.CorrectionInvalidate, nmig, updates)
-		nm := churnRun(o, runtime.AGASNM, agas.CorrectionUpdate, nmig, updates)
+		sw := churnRun(o, runtime.SpaceFor(runtime.AGASSW), agas.CorrectionUpdate, nmig, updates)
+		swInv := churnRun(o, runtime.SpaceFor(runtime.AGASSW), agas.CorrectionInvalidate, nmig, updates)
+		nm := churnRun(o, runtime.SpaceFor(runtime.AGASNM), agas.CorrectionUpdate, nmig, updates)
 		tb.AddRow(nmig, sw, swInv, nm)
 	}
 	return tb
@@ -158,9 +163,9 @@ func f9Churn(o Options) *stats.Table {
 
 // churnRun interleaves nmig migrations with the GUPS stream and returns
 // Kops/s of simulated update throughput.
-func churnRun(o Options, mode runtime.Mode, corr agas.CorrectionPolicy, nmig, perRank int) float64 {
+func churnRun(o Options, sp runtime.SpaceSpec, corr agas.CorrectionPolicy, nmig, perRank int) float64 {
 	const ranks = 4
-	w := newWorld(mode, ranks, func(c *runtime.Config) { c.SWCorrection = corr })
+	w := newWorld(sp, ranks, func(c *runtime.Config) { c.SWCorrection = corr })
 	g := workloads.NewGUPS(w, "gups")
 	w.Start()
 	defer w.Stop()
@@ -202,7 +207,7 @@ func a1Forwarding(o Options) *stats.Table {
 		{"forward-only", netsim.Policy{ForwardInNetwork: true, PushUpdates: false}},
 		{"nack", netsim.Policy{ForwardInNetwork: false, PushUpdates: false}},
 	} {
-		w := newWorld(runtime.AGASNM, 4, func(c *runtime.Config) {
+		w := newWorld(runtime.SpaceFor(runtime.AGASNM), 4, func(c *runtime.Config) {
 			c.Policy = pol.p
 			c.PolicySet = true
 		})
@@ -235,7 +240,7 @@ func a2UpdatePolicy(o Options) *stats.Table {
 		{"on-forward", nmagas.UpdateOnForward},
 		{"broadcast", nmagas.UpdateBroadcast},
 	} {
-		w := newWorld(runtime.AGASNM, 8, func(c *runtime.Config) { c.NMUpdate = pol.u })
+		w := newWorld(runtime.SpaceFor(runtime.AGASNM), 8, func(c *runtime.Config) { c.NMUpdate = pol.u })
 		echo := w.Register("echo", func(c *runtime.Ctx) { c.Continue(nil) })
 		w.Start()
 		lay, err := w.AllocLocal(1, 256, 1)

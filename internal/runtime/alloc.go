@@ -56,6 +56,7 @@ func (w *World) alloc(origin int, bsize, nblocks uint32, dist gas.Dist) (gas.Lay
 		if _, err := w.locs[home].store.Create(base+gas.BlockID(d), bsize); err != nil {
 			return gas.Layout{}, err
 		}
+		w.locs[home].space.InstallInitial(base + gas.BlockID(d))
 	}
 	return l, nil
 }
@@ -68,11 +69,7 @@ func (w *World) Free(l gas.Layout) error {
 	for d := uint32(0); d < l.NBlocks; d++ {
 		b := l.Base.Block() + gas.BlockID(d)
 		home := l.HomeOf(d)
-		owner := home
-		if w.cfg.Mode != PGAS {
-			owner = w.locs[home].dir.Resolve(b, home)
-			w.locs[home].dir.Drop(b)
-		}
+		owner := w.locs[home].space.HomeOwner(b)
 		if _, ok := w.locs[owner].store.Remove(b); !ok {
 			return fmt.Errorf("runtime: free of non-resident block %d (owner %d)", b, owner)
 		}
@@ -82,12 +79,7 @@ func (w *World) Free(l gas.Layout) error {
 				loc.store.Remove(b)
 			}
 		}
-		if w.cfg.Mode == AGASSW {
-			for _, loc := range w.locs {
-				loc.tombs.Drop(b)
-			}
-		}
-		w.net.dropAll(b)
+		w.dropTranslation(b, home)
 	}
 	return nil
 }

@@ -31,6 +31,7 @@ func allocBlocks(c *Ctx) {
 		if _, err := c.l.store.Create(id, bsize); err != nil {
 			c.l.w.fail("rank %d: alloc: %v", c.l.rank, err)
 		}
+		c.l.space.InstallInitial(id)
 	}
 	c.Continue(nil)
 }
@@ -120,9 +121,8 @@ func (p *Proc) FreeAsync(lay gas.Layout) *LCORef {
 }
 
 // freeBlock executes at a block's current owner: it removes the block and
-// sweeps translation state (directory entry at home is dropped by the
-// network sweep; tombstones would only mislead future traffic, so they go
-// too).
+// sweeps all translation state for it (per-locality strategy state plus
+// network-held routes and tombstones).
 func freeBlock(c *Ctx) {
 	l := c.l
 	b := c.P.Target.Block()
@@ -134,15 +134,6 @@ func freeBlock(c *Ctx) {
 		l.w.fail("rank %d: free of pinned/non-data block %d", l.rank, b)
 	}
 	l.store.Remove(b)
-	if l.tombs != nil {
-		for _, loc := range l.w.locs {
-			loc.tombs.Drop(b)
-		}
-	}
-	home := c.P.Target.Home()
-	if l.w.locs[home].dir != nil {
-		l.w.locs[home].dir.Drop(b)
-	}
-	l.w.net.dropAll(b)
+	l.w.dropTranslation(b, c.P.Target.Home())
 	c.Continue(nil)
 }

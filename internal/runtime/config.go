@@ -60,6 +60,32 @@ func (e EngineKind) String() string {
 	return "des"
 }
 
+// ParseMode parses a mode name as produced by Mode.String, including the
+// numeric "mode(N)" fallback form, so the two round-trip.
+func ParseMode(s string) (Mode, error) {
+	for _, m := range []Mode{PGAS, AGASSW, AGASNM} {
+		if s == m.String() {
+			return m, nil
+		}
+	}
+	var d uint8
+	if n, err := fmt.Sscanf(s, "mode(%d)", &d); n == 1 && err == nil {
+		return Mode(d), nil
+	}
+	return 0, fmt.Errorf("runtime: unknown mode %q (want pgas, agas-sw, or agas-nm)", s)
+}
+
+// ParseEngine parses an engine name as produced by EngineKind.String.
+func ParseEngine(s string) (EngineKind, error) {
+	switch s {
+	case "des":
+		return EngineDES, nil
+	case "go":
+		return EngineGo, nil
+	}
+	return 0, fmt.Errorf("runtime: unknown engine %q (want des or go)", s)
+}
+
 // Config configures a world.
 type Config struct {
 	// Ranks is the number of localities (>= 1).
@@ -97,6 +123,9 @@ type Config struct {
 	Workers int
 	// Seed feeds deterministic components (scheduler victim selection).
 	Seed int64
+	// RequireMigration declares that the program will migrate blocks;
+	// NewWorld rejects the config when the selected address space cannot.
+	RequireMigration bool
 }
 
 // normalized fills defaults and validates.
@@ -117,4 +146,13 @@ func (c Config) normalized() (Config, error) {
 		c.Policy = netsim.DefaultPolicy()
 	}
 	return c, nil
+}
+
+// validate checks the config against the selected address space's
+// capabilities (normalized has already run).
+func (c Config) validate(caps Caps) error {
+	if c.RequireMigration && !caps.Migration {
+		return fmt.Errorf("runtime: config requires migration, but address space %q is static (blocks cannot move); pick a migrating mode such as agas-sw or agas-nm", caps.Name)
+	}
+	return nil
 }

@@ -37,13 +37,13 @@ func (w *World) DumpState(out io.Writer) error {
 				return err
 			}
 		}
-		if l.dir != nil && l.dir.Len() > 0 {
-			if _, err := fmt.Fprintf(out, "  directory: %d away-from-home entries\n", l.dir.Len()); err != nil {
+		if dir := l.space.Directory(); dir != nil && dir.Len() > 0 {
+			if _, err := fmt.Fprintf(out, "  directory: %d away-from-home entries\n", dir.Len()); err != nil {
 				return err
 			}
 		}
-		if l.tombs != nil && l.tombs.Len() > 0 {
-			if _, err := fmt.Fprintf(out, "  tombstones: %d\n", l.tombs.Len()); err != nil {
+		if tombs := l.space.Tombstones(); tombs != nil && tombs.Len() > 0 {
+			if _, err := fmt.Fprintf(out, "  tombstones: %d\n", tombs.Len()); err != nil {
 				return err
 			}
 		}

@@ -65,11 +65,9 @@ type Locality struct {
 	store *gas.Store
 	exec  Executor
 
-	// dir is authoritative for blocks homed here (AGAS modes).
-	dir *agas.Directory
-	// cache and tombs exist in software-managed mode only.
-	cache *agas.SWCache
-	tombs *agas.Tombstones
+	// space is the mode's address-translation strategy (see space.go);
+	// all per-mode protocol behaviour lives behind it.
+	space AddressSpace
 
 	mu     sync.Mutex
 	moving map[gas.BlockID]*moveState
@@ -87,7 +85,7 @@ type Locality struct {
 	Stats     LocStats
 }
 
-func newLocality(w *World, rank int) *Locality {
+func newLocality(w *World, rank int, bld spaceBuilder) *Locality {
 	l := &Locality{
 		w:      w,
 		rank:   rank,
@@ -96,13 +94,7 @@ func newLocality(w *World, rank int) *Locality {
 		active: make(map[gas.BlockID]int),
 		ops:    make(map[uint64]*opState),
 	}
-	if w.cfg.Mode != PGAS {
-		l.dir = agas.NewDirectory()
-	}
-	if w.cfg.Mode == AGASSW {
-		l.cache = agas.NewSWCache(w.cfg.SWCacheCap, w.cfg.SWCorrection)
-		l.tombs = agas.NewTombstones()
-	}
+	l.space = bld.newLocal(l)
 	if w.cfg.Coalesce.enabled() {
 		l.coal = newCoalescer(l, w.cfg.Coalesce)
 	}
@@ -119,11 +111,20 @@ func (l *Locality) World() *World { return l.w }
 // setup).
 func (l *Locality) Store() *gas.Store { return l.store }
 
-// Cache exposes the software translation cache (nil outside AGASSW).
-func (l *Locality) Cache() *agas.SWCache { return l.cache }
+// Space exposes the locality's address-space strategy.
+func (l *Locality) Space() AddressSpace { return l.space }
 
-// Directory exposes the home directory (nil under PGAS).
-func (l *Locality) Directory() *agas.Directory { return l.dir }
+// Cache exposes the software translation cache (nil where the strategy
+// has none).
+func (l *Locality) Cache() *agas.SWCache { return l.space.Cache() }
+
+// Directory exposes the home directory (nil where the strategy has
+// none).
+func (l *Locality) Directory() *agas.Directory { return l.space.Directory() }
+
+// Tombstones exposes the host forwarding tombstones (nil where the
+// strategy has none).
+func (l *Locality) Tombstones() *agas.Tombstones { return l.space.Tombstones() }
 
 // Moving reports whether block b is pinned by an in-flight migration at
 // this locality (drivers use it to time mid-migration experiments).
@@ -187,14 +188,14 @@ func (l *Locality) SendParcel(p *parcel.Parcel) {
 	l.routeMsg(m)
 }
 
-// routeMsg performs source-side translation for m per the world's mode
-// and either delivers locally or injects into the network. It is also the
-// re-send path after corrections, NACKs, and migration flushes.
+// routeMsg performs source-side translation for m via the address-space
+// strategy and either delivers locally or injects into the network. It
+// is also the re-send path after corrections, NACKs, and migration
+// flushes.
 func (l *Locality) routeMsg(m *netsim.Message) {
 	m.Hops = 0
 	b := m.Target.Block()
 	m.Block = b
-	model := l.w.cfg.Model
 
 	// Read-only replica fast path: a frozen block's local copy (master
 	// or replica) serves one-sided reads without the network.
@@ -214,53 +215,15 @@ func (l *Locality) routeMsg(m *netsim.Message) {
 	}
 
 	if l.coal != nil && m.Kind == kParcel {
-		if dst := l.coalesceDst(m); dst != l.rank {
+		// The strategy's zero-cost owner guess picks the batching
+		// destination; wrong guesses are re-routed at the batch target.
+		if dst := l.space.OwnerHint(b, m.Target.Home()); dst != l.rank {
 			l.coal.add(dst, m.Payload.([]byte))
 			return
 		}
 	}
 
-	switch l.w.cfg.Mode {
-	case PGAS:
-		l.inject(m, m.Target.Home())
-	case AGASSW:
-		// Software translation on the host's dime.
-		l.exec.Charge(model.SWLookup)
-		l.Stats.SWLookups.Inc()
-		dst := m.Target.Home()
-		if l.rank == dst {
-			// We are home: the directory is local and authoritative.
-			dst = l.dir.Resolve(b, l.rank)
-			if dst == l.rank {
-				// Directory says it is here but it is not resident:
-				// the block was never allocated.
-				l.w.fail("rank %d: send to unallocated block %d", l.rank, b)
-			}
-		} else if o, ok := l.cache.Lookup(b); ok && o != l.rank {
-			dst = o
-		}
-		l.inject(m, dst)
-	case AGASNM:
-		// The NIC translates; software only injects.
-		l.inject(m, netsim.ByGVA)
-	}
-}
-
-// coalesceDst picks the batching destination for a parcel: the best
-// cheap guess at its owner. Wrong guesses are corrected at the batch
-// target by re-routing.
-func (l *Locality) coalesceDst(m *netsim.Message) int {
-	b := m.Target.Block()
-	home := m.Target.Home()
-	if l.rank == home && l.dir != nil {
-		return l.dir.Resolve(b, home)
-	}
-	if l.cache != nil {
-		if o, ok := l.cache.Lookup(b); ok {
-			return o
-		}
-	}
-	return home
+	l.inject(m, l.space.Translate(m.Target))
 }
 
 // inject charges host injection overhead and hands m to the network. The
@@ -307,9 +270,7 @@ func (l *Locality) onHostMsg(m *netsim.Message) {
 	case kHostNack:
 		l.onHostNack(m)
 	case kOwnerUpd:
-		if l.cache != nil {
-			l.cache.Correct(m.Block, m.Owner)
-		}
+		l.space.LearnOwner(m.Block, m.Owner)
 	case kBatch:
 		l.onBatch(m)
 	default:
@@ -333,7 +294,7 @@ func (l *Locality) execParcel(p *parcel.Parcel, m *netsim.Message) {
 			return
 		}
 		if _, ok := l.store.Get(p.Target.Block()); !ok {
-			l.parcelFault(p, m)
+			l.space.OnStaleDelivery(m, p)
 			return
 		}
 		l.Stats.ParcelsRun.Inc()
@@ -361,7 +322,7 @@ func (l *Locality) execParcel(p *parcel.Parcel, m *netsim.Message) {
 			l.mu.Unlock()
 		}()
 		if _, ok := l.store.Get(b); !ok {
-			l.parcelFault(p, m)
+			l.space.OnStaleDelivery(m, p)
 			return
 		}
 		l.Stats.ParcelsRun.Inc()
@@ -369,82 +330,6 @@ func (l *Locality) execParcel(p *parcel.Parcel, m *netsim.Message) {
 		l.trace(TraceExec, b, uint64(p.Action))
 		act(&Ctx{l: l, P: p})
 	})
-}
-
-// parcelFault handles a parcel for a block that is not resident here.
-func (l *Locality) parcelFault(p *parcel.Parcel, m *netsim.Message) {
-	b := p.Target.Block()
-	switch l.w.cfg.Mode {
-	case AGASSW:
-		// Host-level forwarding: the old owner (tombstone) or the home
-		// (directory) redirects, then teaches the source.
-		if owner, ok := l.forwardTarget(b, p.Target.Home()); ok {
-			l.Stats.HostForwards.Inc()
-			l.trace(TraceHostForward, b, uint64(owner))
-			l.exec.Charge(l.w.cfg.Model.OSend)
-			fwd := *m
-			fwd.Dst = owner
-			fwd.Hops = m.Hops + 1
-			l.w.net.send(l.rank, &fwd)
-			if p.Src != l.rank {
-				l.inject(&netsim.Message{
-					Kind:   kOwnerUpd,
-					Src:    l.rank,
-					Target: p.Target,
-					Owner:  owner,
-					Wire:   32,
-				}, p.Src)
-			}
-			return
-		}
-		l.w.fail("rank %d: parcel %v for unallocated block %d", l.rank, p, b)
-	case AGASNM:
-		// The NIC normally repairs this below the host; reaching here
-		// means the message was host-delivered in the window between a
-		// NIC routing decision and a migration completing. The NIC's
-		// authoritative state (tombstone or home mirror) or the home
-		// directory knows where the block went — rescue by re-routing.
-		if owner, ok := l.nmRescueTarget(b, p.Target.Home()); ok {
-			fwd := *m
-			l.routeToExplicit(&fwd, owner)
-			return
-		}
-		l.w.fail("rank %d (nm): parcel %v for non-resident block %d", l.rank, p, b)
-	default:
-		l.w.fail("rank %d (pgas): parcel %v for non-resident block %d", l.rank, p, b)
-	}
-}
-
-// forwardTarget finds where to redirect traffic for a non-resident block:
-// at the home the directory is authoritative (a tombstone here may be
-// stale after the block moved on); elsewhere only the tombstone knows.
-func (l *Locality) forwardTarget(b gas.BlockID, home int) (int, bool) {
-	if l.rank == home && l.dir != nil {
-		if o, ok := l.dir.Owner(b); ok && o != l.rank {
-			return o, true
-		}
-	}
-	if l.tombs != nil {
-		if o, ok := l.tombs.Get(b); ok {
-			return o, true
-		}
-	}
-	return 0, false
-}
-
-// nmRescueTarget finds where to redirect host-delivered traffic for a
-// block that left this locality mid-delivery (network-managed mode): the
-// NIC's authoritative route first, then the home directory.
-func (l *Locality) nmRescueTarget(b gas.BlockID, home int) (int, bool) {
-	if owner, ok := l.w.net.route(l.rank, b); ok && owner != l.rank {
-		return owner, true
-	}
-	if l.rank == home && l.dir != nil {
-		if owner, ok := l.dir.Owner(b); ok && owner != l.rank {
-			return owner, true
-		}
-	}
-	return 0, false
 }
 
 // routeToExplicit re-sends m to a known destination, charging injection.
@@ -477,8 +362,8 @@ func (l *Locality) onHostNack(m *netsim.Message) {
 	if m.Nacked == nil {
 		l.w.fail("rank %d: host NACK without original message", l.rank)
 	}
-	if l.cache != nil && m.Owner >= 0 {
-		l.cache.Correct(m.Block, m.Owner)
+	if m.Owner >= 0 {
+		l.space.LearnOwner(m.Block, m.Owner)
 	}
 	l.routeMsg(m.Nacked)
 }
@@ -610,7 +495,7 @@ func (l *Locality) hostPut(m *netsim.Message) {
 		l.inject(&netsim.Message{Kind: kPutAck, Src: l.rank, Dst: m.Src, Wire: 32, OpID: m.OpID}, m.Src)
 		return
 	}
-	l.dataFault(m)
+	l.space.OnStaleDelivery(m, nil)
 }
 
 // hostGet mirrors hostPut for reads.
@@ -637,44 +522,5 @@ func (l *Locality) hostGet(m *netsim.Message) {
 		l.inject(&netsim.Message{Kind: kGetRep, Src: l.rank, Dst: m.Src, Wire: 32 + len(data), Payload: data, OpID: m.OpID}, m.Src)
 		return
 	}
-	l.dataFault(m)
-}
-
-// dataFault repairs a one-sided operation that landed on a non-owner.
-func (l *Locality) dataFault(m *netsim.Message) {
-	b := m.Target.Block()
-	switch l.w.cfg.Mode {
-	case AGASSW:
-		owner, ok := l.forwardTarget(b, m.Target.Home())
-		if !ok {
-			l.w.fail("rank %d: one-sided op on unallocated block %d", l.rank, b)
-		}
-		if m.Src == l.rank {
-			// Our own op raced a migration: re-route directly.
-			if l.cache != nil {
-				l.cache.Correct(b, owner)
-			}
-			l.routeMsg(m)
-			return
-		}
-		l.Stats.HostNacks.Inc()
-		l.inject(&netsim.Message{
-			Kind:   kHostNack,
-			Src:    l.rank,
-			Target: m.Target,
-			Block:  b,
-			Owner:  owner,
-			Wire:   32,
-			Nacked: m,
-		}, m.Src)
-	case AGASNM:
-		if owner, ok := l.nmRescueTarget(b, m.Target.Home()); ok {
-			fwd := *m
-			l.routeToExplicit(&fwd, owner)
-			return
-		}
-		l.w.fail("rank %d (nm): one-sided fault on block %d", l.rank, b)
-	default:
-		l.w.fail("rank %d (pgas): one-sided op on non-resident block %d", l.rank, b)
-	}
+	l.space.OnStaleDelivery(m, nil)
 }

@@ -126,7 +126,8 @@ func migrateReq(c *Ctx) {
 		status(MigratePinned)
 		return
 	}
-	if l.w.cfg.Mode == PGAS {
+	if !l.space.Caps().Migration {
+		// Static address spaces cannot move blocks; refuse before pinning.
 		status(MigratePinned)
 		return
 	}
@@ -152,10 +153,7 @@ func migrateReq(c *Ctx) {
 	l.moving[b] = &moveState{dst: mp.to}
 	l.mu.Unlock()
 	l.trace(TraceMigrateStart, b, uint64(mp.to))
-	if l.w.cfg.Mode == AGASNM {
-		l.exec.Charge(l.w.cfg.Model.NICUpdate)
-		l.w.net.installRoute(l.rank, b, l.rank)
-	}
+	l.space.BeginMigrate(b)
 
 	snapshot := append([]byte(nil), blk.Data...)
 	l.exec.Charge(l.w.cfg.Model.CopyTime(len(snapshot)))
@@ -180,10 +178,7 @@ func migrateData(c *Ctx) {
 	if err := l.store.Insert(nb); err != nil {
 		l.w.fail("rank %d: migrate install: %v", l.rank, err)
 	}
-	if l.w.cfg.Mode == AGASNM {
-		l.exec.Charge(l.w.cfg.Model.NICUpdate)
-		l.w.net.clearResident(l.rank, b)
-	}
+	l.space.InstallMigrated(b)
 	mp.data = nil
 	l.SendParcel(&parcel.Parcel{
 		Action:  aMigrateCommit,
@@ -198,11 +193,7 @@ func migrateCommit(c *Ctx) {
 	mp := decodeMig(c.P.Payload)
 	b := mp.g.Block()
 
-	l.dir.Set(b, mp.to, l.rank)
-	if l.w.cfg.Mode == AGASNM {
-		l.exec.Charge(l.w.cfg.Model.NICUpdate)
-		l.w.net.commitAtHome(l.rank, b, mp.to)
-	}
+	l.space.CommitMigrate(b, mp.to)
 	l.SendParcel(&parcel.Parcel{
 		Action:  aMigrateDone,
 		Target:  l.w.LocalityGVA(mp.oldOwner),
@@ -219,14 +210,7 @@ func migrateDone(c *Ctx) {
 	if _, ok := l.store.Remove(b); !ok {
 		l.w.fail("rank %d: migrate.done without resident block %d", l.rank, b)
 	}
-	switch l.w.cfg.Mode {
-	case AGASSW:
-		l.tombs.Put(b, mp.to)
-		l.cache.Learn(b, mp.to)
-	case AGASNM:
-		l.exec.Charge(l.w.cfg.Model.NICUpdate)
-		l.w.net.installRoute(l.rank, b, mp.to)
-	}
+	l.space.FinishMigrate(b, mp.to)
 
 	l.mu.Lock()
 	st := l.moving[b]

@@ -122,8 +122,8 @@ func (n *goNICState) route(b gas.BlockID) (int, bool) {
 
 func (c *chanNet) send(from int, m *netsim.Message) {
 	if m.Dst == netsim.ByGVA {
-		if c.w.cfg.Mode != AGASNM {
-			c.w.fail("chanNet: ByGVA send in mode %v", c.w.cfg.Mode)
+		if !c.w.caps.NICTranslation {
+			c.w.fail("chanNet: ByGVA send under address space %q", c.w.caps.Name)
 		}
 		if o, ok := c.nics[from].lookup(m.Block); ok {
 			m.Dst = o
@@ -167,7 +167,7 @@ func (c *chanNet) arrive(l *Locality, m *netsim.Message) {
 		l.onHostMsg(m)
 		return
 	}
-	if c.w.cfg.Mode != AGASNM {
+	if !c.w.caps.NICTranslation {
 		// Dumb NIC: the host sorts it out (queueing, forwarding,
 		// faulting).
 		l.onHostMsg(m)

@@ -26,10 +26,7 @@ func (w *World) Replicate(lay gas.Layout) error {
 	for d := uint32(0); d < lay.NBlocks; d++ {
 		b := lay.Base.Block() + gas.BlockID(d)
 		home := lay.HomeOf(d)
-		owner := home
-		if w.cfg.Mode != PGAS {
-			owner = w.locs[home].dir.Resolve(b, home)
-		}
+		owner := w.locs[home].space.HomeOwner(b)
 		master, ok := w.locs[owner].store.Get(b)
 		if !ok {
 			return fmt.Errorf("runtime: replicate of non-resident block %d", b)

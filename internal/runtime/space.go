@@ -1,0 +1,171 @@
+package runtime
+
+import (
+	"fmt"
+
+	"nmvgas/internal/agas"
+	"nmvgas/internal/gas"
+	"nmvgas/internal/netsim"
+	"nmvgas/internal/parcel"
+)
+
+// The address-space strategy layer. Everything the three translation
+// designs (static PGAS, software-managed AGAS, network-managed AGAS) do
+// differently on the protocol paths lives behind the AddressSpace
+// interface: send-side translation, stale-delivery repair, the
+// per-phase migration hooks, and free-time cleanup. The shared protocol
+// code in locality.go / migrate.go / alloc*.go never inspects
+// Config.Mode — it calls the strategy. spaceBuilderFor below is the one
+// place a Mode is mapped to an implementation; adding a fourth mode
+// means writing one new implementation file and one new case there (see
+// DESIGN.md §3).
+
+// Caps describes what an address space can do. The runtime uses it for
+// capability gating (e.g. refusing migration under static addressing)
+// and for wiring the engines (NICTranslation turns on fabric GVA
+// routing); experiment drivers use it instead of switching on Mode.
+type Caps struct {
+	// Name is the canonical short name ("pgas", "agas-sw", "agas-nm").
+	Name string
+	// Migration reports whether blocks can move after allocation.
+	Migration bool
+	// NICTranslation reports that the NIC resolves GVAs (sends are
+	// injected with netsim.ByGVA and the fabric routes by ownership).
+	NICTranslation bool
+	// HostTranslation reports that host software resolves GVAs (caches,
+	// host forwarding, host repair of stale one-sided operations).
+	HostTranslation bool
+}
+
+// AddressSpace is the per-locality translation strategy. One instance
+// exists per Locality; methods run on that locality's execution context
+// unless noted otherwise. Implementations charge their own simulated
+// costs (SWLookup, NICUpdate, OSend for host forwards) so the shared
+// protocol code stays cost-model-agnostic.
+type AddressSpace interface {
+	// Caps returns the capability descriptor (same value for every
+	// locality of a world).
+	Caps() Caps
+
+	// InstallInitial records a block just created at this locality
+	// (its home). The three built-in spaces derive initial ownership
+	// from the address arithmetic and need no state; the hook exists so
+	// a fourth mode (e.g. hash-distributed directories) can seed per-
+	// block state at allocation time. Called from setup-phase code.
+	InstallInitial(b gas.BlockID)
+
+	// Translate resolves the send-side destination for traffic to g:
+	// a rank, or netsim.ByGVA to delegate translation to the NIC.
+	Translate(g gas.GVA) int
+
+	// OwnerHint is Translate's zero-cost sibling for coalescing: the
+	// best cheap owner guess for b, with no simulated charge and no
+	// failure mode (wrong guesses are repaired at the batch target).
+	OwnerHint(b gas.BlockID, home int) int
+
+	// OnStaleDelivery repairs m, delivered to this locality although
+	// the block is not resident here (it migrated away, or the sender's
+	// translation was stale). p is the decoded parcel for two-sided
+	// traffic and nil for one-sided operations. The implementation
+	// must forward, bounce, or fail loudly.
+	OnStaleDelivery(m *netsim.Message, p *parcel.Parcel)
+
+	// LearnOwner records host-software owner advice for b (correction
+	// messages, NACK advice). NIC-table repair is not routed through
+	// here — it stays on the NIC path (see Locality.onNICNack).
+	LearnOwner(b gas.BlockID, owner int)
+
+	// BeginMigrate runs at the current owner when a migration of b is
+	// pinned, before the snapshot leaves.
+	BeginMigrate(b gas.BlockID)
+	// InstallMigrated runs at the destination after the block's bytes
+	// are installed.
+	InstallMigrated(b gas.BlockID)
+	// CommitMigrate runs at the block's home: flip the authoritative
+	// directory to newOwner and propagate per the mode's policy.
+	CommitMigrate(b gas.BlockID, newOwner int)
+	// FinishMigrate runs at the old owner once the home has committed:
+	// leave whatever forwarding state the mode needs for stale traffic.
+	FinishMigrate(b gas.BlockID, newOwner int)
+	// AbortMigrate undoes BeginMigrate at the owner without moving the
+	// block. The current protocol never aborts (migrations that cannot
+	// proceed are refused before pinning), but the hook keeps the
+	// interface total for strategies and tests that need it.
+	AbortMigrate(b gas.BlockID)
+
+	// HomeOwner returns the current owner of b as known at its home.
+	// Must be called on the home locality's space (setup-phase paths:
+	// Free, Replicate).
+	HomeOwner(b gas.BlockID) int
+	// OnFree forgets all translation state for b held at this locality
+	// (home is b's home rank). Network-held state is swept separately.
+	OnFree(b gas.BlockID, home int)
+
+	// Directory, Cache, and Tombstones expose the underlying agas
+	// structures where the strategy has them, and nil where it does
+	// not. Drivers and the load balancer use these read-mostly.
+	Directory() *agas.Directory
+	Cache() *agas.SWCache
+	Tombstones() *agas.Tombstones
+}
+
+// spaceBuilder bundles what a World needs to instantiate one address
+// space: its capability descriptor, a world-level hook (run once, after
+// the engine substrate exists), and the per-locality factory.
+type spaceBuilder struct {
+	caps      Caps
+	initWorld func(*World)
+	newLocal  func(*Locality) AddressSpace
+}
+
+// spaceBuilderFor is the single Mode-dispatch point in the runtime. All
+// other protocol code consults the AddressSpace it produces.
+func spaceBuilderFor(m Mode) (spaceBuilder, error) {
+	switch m {
+	case PGAS:
+		return pgasBuilder(), nil
+	case AGASSW:
+		return swBuilder(), nil
+	case AGASNM:
+		return nmBuilder(), nil
+	}
+	return spaceBuilder{}, fmt.Errorf("runtime: no address space for mode %v", m)
+}
+
+// SpaceSpec pairs a Mode with its address space's capability
+// descriptor, so callers can enumerate and select translation
+// strategies — and gate on what each can do — without switching on the
+// Mode enum.
+type SpaceSpec struct {
+	Mode Mode
+	Caps Caps
+}
+
+func (s SpaceSpec) String() string { return s.Caps.Name }
+
+// SpaceFor returns the spec for m. It panics on an unknown mode (specs
+// exist exactly for the modes NewWorld accepts).
+func SpaceFor(m Mode) SpaceSpec {
+	bld, err := spaceBuilderFor(m)
+	if err != nil {
+		panic(err)
+	}
+	return SpaceSpec{Mode: m, Caps: bld.caps}
+}
+
+// Spaces returns every built-in address space in canonical sweep order
+// (the column/row order used by the experiment tables).
+func Spaces() []SpaceSpec {
+	out := make([]SpaceSpec, 0, int(AGASNM)+1)
+	for m := PGAS; m <= AGASNM; m++ {
+		out = append(out, SpaceFor(m))
+	}
+	return out
+}
+
+// NewWorldFor builds a world running spec's address space; cfg.Mode is
+// overridden by the spec.
+func NewWorldFor(spec SpaceSpec, cfg Config) (*World, error) {
+	cfg.Mode = spec.Mode
+	return NewWorld(cfg)
+}

@@ -1,0 +1,175 @@
+package runtime
+
+import (
+	"nmvgas/internal/agas"
+	"nmvgas/internal/gas"
+	"nmvgas/internal/netsim"
+	"nmvgas/internal/parcel"
+)
+
+// swSpace is software-managed AGAS: every send pays a host-side lookup
+// (home directory when sending from home, else a bounded translation
+// cache), stale deliveries are repaired by host forwarding with
+// correction messages back to the source, and old owners keep host
+// tombstones so traffic chases migrated blocks.
+
+var swCaps = Caps{Name: "agas-sw", Migration: true, HostTranslation: true}
+
+func swBuilder() spaceBuilder {
+	return spaceBuilder{
+		caps:      swCaps,
+		initWorld: func(*World) {},
+		newLocal: func(l *Locality) AddressSpace {
+			return &swSpace{
+				l:     l,
+				dir:   agas.NewDirectory(),
+				cache: agas.NewSWCache(l.w.cfg.SWCacheCap, l.w.cfg.SWCorrection),
+				tombs: agas.NewTombstones(),
+			}
+		},
+	}
+}
+
+type swSpace struct {
+	l *Locality
+	// dir is authoritative for blocks homed at this locality.
+	dir   *agas.Directory
+	cache *agas.SWCache
+	tombs *agas.Tombstones
+}
+
+func (s *swSpace) Caps() Caps { return swCaps }
+
+func (s *swSpace) InstallInitial(gas.BlockID) {}
+
+func (s *swSpace) Translate(g gas.GVA) int {
+	// Software translation on the host's dime.
+	l := s.l
+	l.exec.Charge(l.w.cfg.Model.SWLookup)
+	l.Stats.SWLookups.Inc()
+	b := g.Block()
+	dst := g.Home()
+	if l.rank == dst {
+		// We are home: the directory is local and authoritative.
+		dst = s.dir.Resolve(b, l.rank)
+		if dst == l.rank {
+			// Directory says it is here but it is not resident: the
+			// block was never allocated.
+			l.w.fail("rank %d: send to unallocated block %d", l.rank, b)
+		}
+	} else if o, ok := s.cache.Lookup(b); ok && o != l.rank {
+		dst = o
+	}
+	return dst
+}
+
+func (s *swSpace) OwnerHint(b gas.BlockID, home int) int {
+	if s.l.rank == home {
+		return s.dir.Resolve(b, home)
+	}
+	if o, ok := s.cache.Lookup(b); ok {
+		return o
+	}
+	return home
+}
+
+func (s *swSpace) OnStaleDelivery(m *netsim.Message, p *parcel.Parcel) {
+	l := s.l
+	b := m.Target.Block()
+	if p != nil {
+		// Host-level forwarding: the old owner (tombstone) or the home
+		// (directory) redirects, then teaches the source.
+		owner, ok := s.forwardTarget(b, p.Target.Home())
+		if !ok {
+			l.w.fail("rank %d: parcel %v for unallocated block %d", l.rank, p, b)
+		}
+		l.Stats.HostForwards.Inc()
+		l.trace(TraceHostForward, b, uint64(owner))
+		l.exec.Charge(l.w.cfg.Model.OSend)
+		fwd := *m
+		fwd.Dst = owner
+		fwd.Hops = m.Hops + 1
+		l.w.net.send(l.rank, &fwd)
+		if p.Src != l.rank {
+			l.inject(&netsim.Message{
+				Kind:   kOwnerUpd,
+				Src:    l.rank,
+				Target: p.Target,
+				Owner:  owner,
+				Wire:   32,
+			}, p.Src)
+		}
+		return
+	}
+	owner, ok := s.forwardTarget(b, m.Target.Home())
+	if !ok {
+		l.w.fail("rank %d: one-sided op on unallocated block %d", l.rank, b)
+	}
+	if m.Src == l.rank {
+		// Our own op raced a migration: re-route directly.
+		s.cache.Correct(b, owner)
+		l.routeMsg(m)
+		return
+	}
+	l.Stats.HostNacks.Inc()
+	l.inject(&netsim.Message{
+		Kind:   kHostNack,
+		Src:    l.rank,
+		Target: m.Target,
+		Block:  b,
+		Owner:  owner,
+		Wire:   32,
+		Nacked: m,
+	}, m.Src)
+}
+
+// forwardTarget finds where to redirect traffic for a non-resident
+// block: at the home the directory is authoritative (a tombstone here
+// may be stale after the block moved on); elsewhere only the tombstone
+// knows.
+func (s *swSpace) forwardTarget(b gas.BlockID, home int) (int, bool) {
+	if s.l.rank == home {
+		if o, ok := s.dir.Owner(b); ok && o != s.l.rank {
+			return o, true
+		}
+	}
+	if o, ok := s.tombs.Get(b); ok {
+		return o, true
+	}
+	return 0, false
+}
+
+func (s *swSpace) LearnOwner(b gas.BlockID, owner int) {
+	s.cache.Correct(b, owner)
+}
+
+func (s *swSpace) BeginMigrate(gas.BlockID)    {}
+func (s *swSpace) InstallMigrated(gas.BlockID) {}
+
+func (s *swSpace) CommitMigrate(b gas.BlockID, newOwner int) {
+	s.dir.Set(b, newOwner, s.l.rank)
+}
+
+func (s *swSpace) FinishMigrate(b gas.BlockID, newOwner int) {
+	s.tombs.Put(b, newOwner)
+	s.cache.Learn(b, newOwner)
+}
+
+func (s *swSpace) AbortMigrate(gas.BlockID) {}
+
+func (s *swSpace) HomeOwner(b gas.BlockID) int {
+	return s.dir.Resolve(b, s.l.rank)
+}
+
+func (s *swSpace) OnFree(b gas.BlockID, home int) {
+	// Tombstones would only mislead future traffic for a reused
+	// address; the home also forgets its directory entry.
+	s.tombs.Drop(b)
+	if s.l.rank == home {
+		s.dir.Drop(b)
+	}
+}
+
+func (s *swSpace) Directory() *agas.Directory   { return s.dir }
+func (s *swSpace) Cache() *agas.SWCache         { return s.cache }
+func (s *swSpace) Tombstones() *agas.Tombstones { return s.tombs }

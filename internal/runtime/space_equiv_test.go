@@ -1,0 +1,168 @@
+package runtime
+
+import (
+	"fmt"
+	"testing"
+
+	"nmvgas/internal/parcel"
+)
+
+// TestAddressSpaceEquivalence pins the per-mode protocol behavior across
+// the address-space strategy refactor: a fixed, fully serialized workload
+// must produce exactly the golden runtime counters in every mode, on both
+// engines. The goldens were captured from the pre-refactor mode-switch
+// implementation, so any drift in translation, forwarding, repair, or
+// migration behavior shows up as a counter diff.
+
+// equivCounters is the engine-independent slice of WorldStats the test
+// compares (fabric counters are DES-only and excluded).
+type equivCounters struct {
+	ParcelsSent  int64
+	ParcelsRun   int64
+	LocalRuns    int64
+	HostForwards int64
+	HostNacks    int64
+	NICNacks     int64
+	Queued       int64
+	SWLookups    int64
+	PutOps       int64
+	GetOps       int64
+	PutBytes     int64
+	GetBytes     int64
+	Migrations   int64
+}
+
+func (c equivCounters) String() string {
+	return fmt.Sprintf("{ParcelsSent: %d, ParcelsRun: %d, LocalRuns: %d, HostForwards: %d, HostNacks: %d, NICNacks: %d, Queued: %d, SWLookups: %d, PutOps: %d, GetOps: %d, PutBytes: %d, GetBytes: %d, Migrations: %d}",
+		c.ParcelsSent, c.ParcelsRun, c.LocalRuns, c.HostForwards, c.HostNacks,
+		c.NICNacks, c.Queued, c.SWLookups, c.PutOps, c.GetOps, c.PutBytes,
+		c.GetBytes, c.Migrations)
+}
+
+// equivGolden holds the expected counters per mode, identical across
+// engines because the workload serializes every operation and every
+// stale-translation repair sits on a waited op's critical path. Captured
+// from the pre-refactor mode-switch implementation at PR 1.
+var equivGolden = map[Mode]equivCounters{
+	PGAS: {ParcelsSent: 66, ParcelsRun: 66, LocalRuns: 18,
+		PutOps: 4, GetOps: 4, PutBytes: 64, GetBytes: 32},
+	AGASSW: {ParcelsSent: 121, ParcelsRun: 121, LocalRuns: 33,
+		HostForwards: 8, HostNacks: 2, SWLookups: 100,
+		PutOps: 6, GetOps: 5, PutBytes: 80, GetBytes: 40, Migrations: 5},
+	AGASNM: {ParcelsSent: 121, ParcelsRun: 121, LocalRuns: 33,
+		PutOps: 6, GetOps: 5, PutBytes: 80, GetBytes: 40, Migrations: 5},
+}
+
+// runEquivWorkload drives a deterministic protocol workout: fan-out
+// parcels (local and remote), one-sided puts and gets, and — in the
+// migrating modes — a migration wave followed by stale-translation
+// traffic that exercises each mode's repair path. Every operation is
+// waited, so the counter totals are exact, not racy.
+func runEquivWorkload(t *testing.T, mode Mode, eng EngineKind) equivCounters {
+	t.Helper()
+	const ranks = 4
+	const nblocks = 8
+	w := testWorld(t, Config{Ranks: ranks, Mode: mode, Engine: eng})
+	incr := w.Register("incr", func(c *Ctx) {
+		data := c.Local(c.P.Target)
+		v := parcel.U64(data, 0)
+		copy(data, parcel.PutU64(nil, v+1))
+		c.Continue(nil)
+	})
+	w.Start()
+	lay, err := w.AllocCyclic(0, 128, nblocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 1: every rank touches every block with an action.
+	for r := 0; r < ranks; r++ {
+		for d := uint32(0); d < nblocks; d++ {
+			w.MustWait(w.Proc(r).Call(lay.BlockAt(d), incr, nil))
+		}
+	}
+	// Phase 2: one-sided traffic, local and remote targets.
+	for r := 0; r < ranks; r++ {
+		w.MustWait(w.Proc(r).Put(lay.BlockAt(uint32(r+1)%nblocks), make([]byte, 16)))
+		v := w.MustWait(w.Proc(r).Get(lay.BlockAt(uint32(r+3)%nblocks), 8))
+		if len(v) != 8 {
+			t.Fatalf("get returned %d bytes", len(v))
+		}
+	}
+	// Phase 3 (migrating modes): move the first four blocks one rank to
+	// the right, then hit each exactly once per rank with a parcel so
+	// every send is a first touch of stale translation state — the counts
+	// are then independent of when fire-and-forget corrections land,
+	// which keeps the goldens engine-independent. Finally, bounce a
+	// one-sided op off a freshly migrated block to exercise the stale
+	// one-sided repair path on the op's own critical path.
+	if mode != PGAS {
+		for d := uint32(0); d < 4; d++ {
+			st := w.MustWait(w.Proc(0).Migrate(lay.BlockAt(d), (int(d)+1)%ranks))
+			if MigrateStatus(st) != MigrateOK {
+				t.Fatalf("migrate block %d: status %d", d, MigrateStatus(st))
+			}
+		}
+		for r := 0; r < ranks; r++ {
+			for d := uint32(0); d < 4; d++ {
+				w.MustWait(w.Proc(r).Call(lay.BlockAt(d), incr, nil))
+			}
+		}
+		st := w.MustWait(w.Proc(1).Migrate(lay.BlockAt(5), 3))
+		if MigrateStatus(st) != MigrateOK {
+			t.Fatalf("migrate block 5: status %d", MigrateStatus(st))
+		}
+		// Stale put: repaired by host NACK (sw) or in-network forward
+		// (nm); the repair completes before the future fires, so the
+		// follow-up get and put go direct off the corrected state.
+		w.MustWait(w.Proc(0).Put(lay.BlockAt(5), make([]byte, 8)))
+		w.MustWait(w.Proc(0).Get(lay.BlockAt(5), 8))
+		w.MustWait(w.Proc(0).Put(lay.BlockAt(5), make([]byte, 8)))
+	} else {
+		// Static addressing refuses migration with a status, not a hang.
+		st := w.MustWait(w.Proc(0).Migrate(lay.BlockAt(0), 1))
+		if MigrateStatus(st) != MigratePinned {
+			t.Fatalf("pgas migrate: status %d, want MigratePinned", MigrateStatus(st))
+		}
+	}
+	if err := w.Free(lay); err != nil {
+		t.Fatal(err)
+	}
+	w.Stop()
+
+	s := w.Stats()
+	return equivCounters{
+		ParcelsSent:  s.ParcelsSent,
+		ParcelsRun:   s.ParcelsRun,
+		LocalRuns:    s.LocalRuns,
+		HostForwards: s.HostForwards,
+		HostNacks:    s.HostNacks,
+		NICNacks:     s.NICNacks,
+		Queued:       s.Queued,
+		SWLookups:    s.SWLookups,
+		PutOps:       s.PutOps,
+		GetOps:       s.GetOps,
+		PutBytes:     s.PutBytes,
+		GetBytes:     s.GetBytes,
+		Migrations:   s.Migrations,
+	}
+}
+
+func TestAddressSpaceEquivalence(t *testing.T) {
+	for _, mode := range allModes {
+		for _, eng := range allEngines {
+			mode, eng := mode, eng
+			t.Run(mode.String()+"/"+eng.String(), func(t *testing.T) {
+				got := runEquivWorkload(t, mode, eng)
+				want, ok := equivGolden[mode]
+				if !ok {
+					t.Logf("GOLDEN %v: %v", mode, got)
+					t.Skip("no golden recorded for mode")
+				}
+				if got != want {
+					t.Errorf("counters diverged from pre-refactor golden\n got: %v\nwant: %v", got, want)
+				}
+			})
+		}
+	}
+}

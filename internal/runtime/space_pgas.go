@@ -1,0 +1,77 @@
+package runtime
+
+import (
+	"nmvgas/internal/agas"
+	"nmvgas/internal/gas"
+	"nmvgas/internal/netsim"
+	"nmvgas/internal/parcel"
+	"nmvgas/internal/pgas"
+)
+
+// pgasSpace is the static-translation baseline: ownership is a pure
+// function of the address (wrapping pgas.Resolver), so there is no
+// translation state to maintain, nothing can be stale, and blocks never
+// move.
+
+var pgasCaps = Caps{Name: "pgas"}
+
+func pgasBuilder() spaceBuilder {
+	return spaceBuilder{
+		caps:      pgasCaps,
+		initWorld: func(*World) {},
+		newLocal: func(l *Locality) AddressSpace {
+			return &pgasSpace{l: l, res: pgas.NewResolver(l.w.cfg.Ranks)}
+		},
+	}
+}
+
+type pgasSpace struct {
+	l   *Locality
+	res *pgas.Resolver
+}
+
+func (s *pgasSpace) Caps() Caps { return pgasCaps }
+
+func (s *pgasSpace) InstallInitial(gas.BlockID) {}
+
+func (s *pgasSpace) Translate(g gas.GVA) int {
+	o, err := s.res.Owner(g)
+	if err != nil {
+		s.l.w.fail("rank %d (pgas): translate %v: %v", s.l.rank, g, err)
+	}
+	return o
+}
+
+func (s *pgasSpace) OwnerHint(b gas.BlockID, home int) int { return home }
+
+func (s *pgasSpace) OnStaleDelivery(m *netsim.Message, p *parcel.Parcel) {
+	// Static addressing cannot be stale: a non-resident delivery means
+	// the target was never allocated (or already freed).
+	if p != nil {
+		s.l.w.fail("rank %d (pgas): parcel %v for non-resident block %d", s.l.rank, p, m.Target.Block())
+	}
+	s.l.w.fail("rank %d (pgas): one-sided op on non-resident block %d", s.l.rank, m.Target.Block())
+}
+
+func (s *pgasSpace) LearnOwner(gas.BlockID, int) {}
+
+// The migration hooks are unreachable: migrateReq refuses before
+// pinning because Caps().Migration is false. Reaching one is a protocol
+// bug, reported with the package's canonical error.
+func (s *pgasSpace) BeginMigrate(b gas.BlockID)         { s.noMigration(b) }
+func (s *pgasSpace) InstallMigrated(b gas.BlockID)      { s.noMigration(b) }
+func (s *pgasSpace) CommitMigrate(b gas.BlockID, _ int) { s.noMigration(b) }
+func (s *pgasSpace) FinishMigrate(b gas.BlockID, _ int) { s.noMigration(b) }
+func (s *pgasSpace) AbortMigrate(b gas.BlockID)         { s.noMigration(b) }
+
+func (s *pgasSpace) noMigration(b gas.BlockID) {
+	s.l.w.fail("rank %d: migration hook for block %d: %v", s.l.rank, b, pgas.ErrNoMigration)
+}
+
+func (s *pgasSpace) HomeOwner(gas.BlockID) int { return s.l.rank }
+
+func (s *pgasSpace) OnFree(gas.BlockID, int) {}
+
+func (s *pgasSpace) Directory() *agas.Directory   { return nil }
+func (s *pgasSpace) Cache() *agas.SWCache         { return nil }
+func (s *pgasSpace) Tombstones() *agas.Tombstones { return nil }

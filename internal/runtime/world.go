@@ -16,9 +16,10 @@ import (
 // World is one running system: cfg.Ranks localities, their address-space
 // state, and the execution engine that connects them.
 type World struct {
-	cfg Config
-	reg *Registry
-	seq *gas.Sequence
+	cfg  Config
+	caps Caps
+	reg  *Registry
+	seq  *gas.Sequence
 
 	locs []*Locality
 	net  network
@@ -71,11 +72,18 @@ func NewWorld(cfg Config) (*World, error) {
 	if err != nil {
 		return nil, err
 	}
-	w := &World{cfg: cfg, reg: newRegistry(), seq: gas.NewSequence()}
+	bld, err := spaceBuilderFor(cfg.Mode)
+	if err != nil {
+		return nil, err
+	}
+	if err := cfg.validate(bld.caps); err != nil {
+		return nil, err
+	}
+	w := &World{cfg: cfg, caps: bld.caps, reg: newRegistry(), seq: gas.NewSequence()}
 	w.registerBuiltins()
 
 	for r := 0; r < cfg.Ranks; r++ {
-		w.locs = append(w.locs, newLocality(w, r))
+		w.locs = append(w.locs, newLocality(w, r, bld))
 	}
 
 	switch cfg.Engine {
@@ -84,14 +92,11 @@ func NewWorld(cfg Config) (*World, error) {
 		w.fab = netsim.NewFabric(w.eng, netsim.FabricConfig{
 			Ranks:       cfg.Ranks,
 			Model:       cfg.Model,
-			GVARouting:  cfg.Mode == AGASNM,
+			GVARouting:  bld.caps.NICTranslation,
 			Policy:      cfg.Policy,
 			NICTableCap: cfg.NICTableCap,
 			Topology:    cfg.Topology,
 		})
-		if cfg.Mode == AGASNM {
-			w.mirror = nmagas.NewMirror(w.fab, cfg.NMUpdate)
-		}
 		w.net = &desNet{w: w}
 		for r, l := range w.locs {
 			l.exec = &desExec{eng: w.eng}
@@ -114,6 +119,9 @@ func NewWorld(cfg Config) (*World, error) {
 	default:
 		return nil, fmt.Errorf("runtime: unknown engine %d", cfg.Engine)
 	}
+	// World-level strategy wiring (e.g. the NM directory→NIC mirror) runs
+	// once the engine substrate exists.
+	bld.initWorld(w)
 
 	// Per-locality infrastructure blocks: parcels that address "the
 	// locality" (collectives wiring, migration control) target these.
@@ -133,6 +141,18 @@ func NewWorld(cfg Config) (*World, error) {
 
 // Config returns the world's (normalized) configuration.
 func (w *World) Config() Config { return w.cfg }
+
+// Caps returns the capability descriptor of the world's address space.
+func (w *World) Caps() Caps { return w.caps }
+
+// dropTranslation forgets every locality's and the network's translation
+// state for a freed block.
+func (w *World) dropTranslation(b gas.BlockID, home int) {
+	for _, loc := range w.locs {
+		loc.space.OnFree(b, home)
+	}
+	w.net.dropAll(b)
+}
 
 // Ranks returns the number of localities.
 func (w *World) Ranks() int { return w.cfg.Ranks }

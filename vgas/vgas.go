@@ -17,6 +17,18 @@
 //   - AGASNM: network-managed AGAS — NIC-resident translation,
 //     in-network forwarding, NIC table updates (the paper's system).
 //
+// # Mode selection
+//
+// Set Config.Mode directly, or work with address-space descriptors:
+// Spaces() enumerates every built-in space with its capabilities,
+// SpaceFor(mode) returns one descriptor, and NewWorldFor(spec, cfg)
+// builds a world running it. ParseMode/ParseEngine turn the String()
+// names ("pgas", "agas-sw", "agas-nm"; "des", "go") back into values for
+// command-line flags. Gate mode-dependent behaviour on the Caps fields
+// (Migration, NICTranslation, HostTranslation) instead of comparing Mode
+// values; a Config with RequireMigration set is rejected by NewWorld
+// when the selected space cannot move blocks.
+//
 // Two engines execute the same protocol code: EngineDES is a
 // deterministic discrete-event simulation with a calibrated cost model
 // (what the experiments use), and EngineGo runs localities as real
@@ -63,6 +75,12 @@ type (
 	LCORef = runtime.LCORef
 	// Locality is one simulated compute node.
 	Locality = runtime.Locality
+	// AddressSpace is the per-locality translation strategy interface.
+	AddressSpace = runtime.AddressSpace
+	// Caps describes what an address space can do.
+	Caps = runtime.Caps
+	// SpaceSpec pairs a Mode with its address space's capabilities.
+	SpaceSpec = runtime.SpaceSpec
 )
 
 // Address-space types.
@@ -152,6 +170,24 @@ const (
 
 // NewWorld builds a world; see Config.
 func NewWorld(cfg Config) (*World, error) { return runtime.NewWorld(cfg) }
+
+// NewWorldFor builds a world running spec's address space (cfg.Mode is
+// overridden by the spec).
+func NewWorldFor(spec SpaceSpec, cfg Config) (*World, error) {
+	return runtime.NewWorldFor(spec, cfg)
+}
+
+// Spaces enumerates every built-in address space in canonical order.
+func Spaces() []SpaceSpec { return runtime.Spaces() }
+
+// SpaceFor returns the address-space descriptor for m.
+func SpaceFor(m Mode) SpaceSpec { return runtime.SpaceFor(m) }
+
+// ParseMode parses a Mode.String name ("pgas", "agas-sw", "agas-nm").
+func ParseMode(s string) (Mode, error) { return runtime.ParseMode(s) }
+
+// ParseEngine parses an EngineKind.String name ("des", "go").
+func ParseEngine(s string) (EngineKind, error) { return runtime.ParseEngine(s) }
 
 // MigrateStatus decodes a Migrate future's value.
 func MigrateStatus(v []byte) int64 { return runtime.MigrateStatus(v) }
