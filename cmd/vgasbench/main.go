@@ -7,6 +7,7 @@
 //	vgasbench -quick T1 F5          # run selected experiments, small sweeps
 //	vgasbench -csv F1               # emit CSV instead of aligned tables
 //	vgasbench -modes agas-nm F6     # restrict row-per-mode sweeps
+//	vgasbench -loss 0.05 -dup 0.02 -reorder C1   # extra chaos fault plan
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"strings"
 
 	"nmvgas/internal/exp"
+	"nmvgas/internal/netsim"
 	"nmvgas/internal/runtime"
 )
 
@@ -27,6 +29,9 @@ func main() {
 	modes := flag.String("modes", "", "comma-separated address-space modes to sweep "+
 		"(pgas, agas-sw, agas-nm; empty = all). Experiments with fixed per-mode "+
 		"columns always sweep every mode.")
+	loss := flag.Float64("loss", 0, "message drop probability [0,1) for the chaos experiment's extra plan")
+	dup := flag.Float64("dup", 0, "message duplication probability [0,1) for the chaos experiment's extra plan")
+	reorder := flag.Bool("reorder", false, "randomize per-message delay (reordering) in the chaos experiment's extra plan")
 	flag.Parse()
 
 	if *list {
@@ -37,6 +42,9 @@ func main() {
 	}
 
 	o := exp.Options{Quick: *quick, Seed: *seed}
+	if *loss != 0 || *dup != 0 || *reorder {
+		o.Faults = netsim.FaultPlan{Drop: *loss, Duplicate: *dup, Reorder: *reorder, Seed: *seed}
+	}
 	if *modes != "" {
 		for _, name := range strings.Split(*modes, ",") {
 			m, err := runtime.ParseMode(strings.TrimSpace(name))

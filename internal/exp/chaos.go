@@ -1,0 +1,154 @@
+package exp
+
+import (
+	"bytes"
+
+	"nmvgas/internal/gas"
+	"nmvgas/internal/netsim"
+	"nmvgas/internal/parcel"
+	"nmvgas/internal/runtime"
+	"nmvgas/internal/stats"
+)
+
+func init() {
+	register("C1", "Chaos: golden equivalence and recovery cost under fault injection", c1Chaos)
+}
+
+// c1Chaos sweeps loss rate × address space on a faulty fabric and checks
+// that the application-visible outcome — counter totals and final memory
+// contents — is identical to each mode's perfect-fabric baseline. The
+// degradation (retransmits, suppressed duplicates, ack traffic) is
+// reported alongside, so the table reads as "the fabric misbehaved this
+// much, and the application could not tell".
+func c1Chaos(o Options) *stats.Table {
+	tb := stats.NewTable("Chaos: golden equivalence under faults (4 ranks, 8x128B, waves+puts+migrations)",
+		"mode", "plan", "golden", "tracked", "retrans", "dups_suppr", "acks", "abandoned", "dropped", "duplicated")
+	losses := []float64{0.01, 0.05, 0.10}
+	if o.Quick {
+		losses = []float64{0.05}
+	}
+	plans := []netsim.FaultPlan{{}} // index 0: perfect-fabric baseline
+	for _, p := range losses {
+		plans = append(plans, netsim.FaultPlan{Drop: p, Duplicate: 0.02, Reorder: true})
+	}
+	if o.Faults.Enabled() {
+		plans = append(plans, o.Faults)
+	}
+	for _, sp := range o.sweep() {
+		var base c1Counters
+		for i, plan := range plans {
+			res := c1Run(sp, plan, o.Seed)
+			if i == 0 {
+				base = res.counters
+			}
+			golden := "no"
+			if res.counters == base && res.dataOK {
+				golden = "yes"
+			}
+			d := res.delivery
+			tb.AddRow(sp.String(), plan.String(), golden, d.Tracked, d.Retransmits,
+				d.DupsSuppressed, d.AcksSent, d.Abandoned, d.Faults.Dropped, d.Faults.Duplicated)
+		}
+	}
+	return tb
+}
+
+// c1Counters is the application-visible counter subset the equivalence
+// check compares (repair-path counters vary with the fault schedule by
+// design and are excluded).
+type c1Counters struct {
+	sent, run, local               int64
+	puts, gets, putBytes, getBytes int64
+	migrations                     int64
+}
+
+type c1Result struct {
+	counters c1Counters
+	dataOK   bool
+	delivery runtime.DeliveryStats
+}
+
+// c1Run drives one world through increment waves (counters at offset 0),
+// one-sided traffic at offset 64, and — in migrating modes — a migration
+// wave followed by more increments, then audits the final memory image.
+func c1Run(sp runtime.SpaceSpec, plan netsim.FaultPlan, seed int64) c1Result {
+	const ranks, nblocks = 4, 8
+	w := newWorld(sp, ranks, func(c *runtime.Config) {
+		c.Seed = seed
+		c.Faults = plan
+	})
+	incr := w.Register("cincr", func(c *runtime.Ctx) {
+		data := c.Local(c.P.Target)
+		v := parcel.U64(data, 0)
+		copy(data, parcel.PutU64(nil, v+1))
+		c.Continue(nil)
+	})
+	w.Start()
+	defer w.Stop()
+	lay, err := w.AllocCyclic(0, 128, nblocks)
+	if err != nil {
+		panic(err)
+	}
+	at64 := func(d uint32) gas.GVA {
+		g := lay.BlockAt(d)
+		return gas.New(g.Home(), g.Block(), 64)
+	}
+
+	// Phase 1: every rank increments every block once.
+	for r := 0; r < ranks; r++ {
+		for d := uint32(0); d < nblocks; d++ {
+			w.MustWait(w.Proc(r).Call(lay.BlockAt(d), incr, nil))
+		}
+	}
+	// Phase 2: one-sided writes clear of the counters (offset 64).
+	for r := 0; r < ranks; r++ {
+		pat := bytes.Repeat([]byte{byte(0xA0 + r)}, 16)
+		w.MustWait(w.Proc(r).Put(at64(uint32(r+1)), pat))
+	}
+	// Phase 3 (migrating modes): rotate the first half of the blocks one
+	// rank right, then a second increment wave chases the moved blocks.
+	if sp.Caps.Migration {
+		for d := uint32(0); d < nblocks/2; d++ {
+			st := w.MustWait(w.Proc(0).Migrate(lay.BlockAt(d), (int(d)+1)%ranks))
+			if runtime.MigrateStatus(st) != runtime.MigrateOK {
+				panic("chaos: migration refused")
+			}
+		}
+		for r := 0; r < ranks; r++ {
+			for d := uint32(0); d < nblocks/2; d++ {
+				w.MustWait(w.Proc(r).Call(lay.BlockAt(d), incr, nil))
+			}
+		}
+	}
+
+	// Audit: counters and put payloads must hold the exact expected image
+	// regardless of what the fabric did in between.
+	dataOK := true
+	for d := uint32(0); d < nblocks; d++ {
+		want := uint64(ranks)
+		if sp.Caps.Migration && d < nblocks/2 {
+			want = 2 * ranks
+		}
+		v := w.MustWait(w.Proc(int(d) % ranks).Get(lay.BlockAt(d), 8))
+		if parcel.U64(v, 0) != want {
+			dataOK = false
+		}
+	}
+	for r := 0; r < ranks; r++ {
+		v := w.MustWait(w.Proc(r).Get(at64(uint32(r+1)), 16))
+		if !bytes.Equal(v, bytes.Repeat([]byte{byte(0xA0 + r)}, 16)) {
+			dataOK = false
+		}
+	}
+
+	s := w.Stats()
+	return c1Result{
+		counters: c1Counters{
+			sent: s.ParcelsSent, run: s.ParcelsRun, local: s.LocalRuns,
+			puts: s.PutOps, gets: s.GetOps, putBytes: s.PutBytes, getBytes: s.GetBytes,
+			migrations: s.Migrations,
+		},
+		dataOK:   dataOK,
+		delivery: s.Delivery,
+	}
+}

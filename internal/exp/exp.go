@@ -27,6 +27,10 @@ type Options struct {
 	// sweep (nil = all built-ins). Experiments whose table columns are
 	// fixed per mode always sweep every built-in space.
 	Spaces []runtime.SpaceSpec
+	// Faults, when enabled, is appended to the chaos experiment's fault
+	// sweep as an extra operator-chosen plan (vgasbench maps -loss/-dup/
+	// -reorder here).
+	Faults netsim.FaultPlan
 }
 
 // sweep returns the address spaces a row-per-mode experiment iterates.

@@ -343,6 +343,37 @@ func TestF14ReplicationShape(t *testing.T) {
 	}
 }
 
+func TestC1ChaosShape(t *testing.T) {
+	tb := mustRun(t, "C1")
+	// Quick: 3 modes × (baseline + one lossy plan) = 6 rows, every one
+	// golden — faults must never leak into application-visible results.
+	if got := tb.NumRows(); got != 6 {
+		t.Fatalf("row count %d, want 6", got)
+	}
+	for r := 0; r < tb.NumRows(); r++ {
+		if g := tb.Rows()[r][2]; g != "yes" {
+			t.Fatalf("row %d (%s, %s) not golden", r, tb.Rows()[r][0], tb.Rows()[r][1])
+		}
+	}
+	// The lossy rows (odd index per mode pair) really exercised the fault
+	// path: DES replays the same schedule, so at 5% drop over this
+	// workload drops and retransmissions are guaranteed.
+	for r := 1; r < tb.NumRows(); r += 2 {
+		if dropped := cell(t, tb, r, 8); dropped == 0 {
+			t.Fatalf("row %d: lossy plan dropped nothing", r)
+		}
+		if retrans := cell(t, tb, r, 4); retrans == 0 {
+			t.Fatalf("row %d: drops occurred but nothing retransmitted", r)
+		}
+	}
+	// Baseline rows: perfect fabric, zero degradation.
+	for r := 0; r < tb.NumRows(); r += 2 {
+		if cell(t, tb, r, 4) != 0 || cell(t, tb, r, 7) != 0 {
+			t.Fatalf("row %d: baseline shows retransmits/abandons", r)
+		}
+	}
+}
+
 func mustRun(t *testing.T, id string) *stats.Table {
 	t.Helper()
 	e, ok := Find(id)

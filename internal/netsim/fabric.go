@@ -21,6 +21,9 @@ type FabricConfig struct {
 	NICTableCap int
 	// Topology defaults to Crossbar when nil.
 	Topology Topology
+	// Faults injects seeded delivery faults into every link; the zero
+	// plan is a perfect network.
+	Faults FaultPlan
 }
 
 // Fabric is a full-crossbar network of NICs driven by one discrete-event
@@ -31,6 +34,8 @@ type Fabric struct {
 	Model Model
 	Topo  Topology
 	NICs  []*NIC
+	// Faults is nil on a perfect fabric.
+	Faults *FaultInjector
 }
 
 // NewFabric builds a fabric with cfg.Ranks NICs on the given engine.
@@ -42,7 +47,13 @@ func NewFabric(eng *Engine, cfg FabricConfig) *Fabric {
 	if topo == nil {
 		topo = Crossbar{}
 	}
-	f := &Fabric{Eng: eng, Model: cfg.Model, Topo: topo, NICs: make([]*NIC, cfg.Ranks)}
+	f := &Fabric{
+		Eng:    eng,
+		Model:  cfg.Model,
+		Topo:   topo,
+		NICs:   make([]*NIC, cfg.Ranks),
+		Faults: NewFaultInjector(cfg.Faults),
+	}
 	for r := range f.NICs {
 		f.NICs[r] = &NIC{
 			Rank:       r,
@@ -75,6 +86,11 @@ func (f *Fabric) TotalStats() NICStats {
 		t.TableUpdatesRx += n.Stats.TableUpdatesRx
 		t.DMADelivered += n.Stats.DMADelivered
 		t.HostDelivered += n.Stats.HostDelivered
+		t.Dropped += n.Stats.Dropped
+		t.Duplicated += n.Stats.Duplicated
+		t.Delayed += n.Stats.Delayed
+		t.TableLost += n.Stats.TableLost
+		t.LoopNacks += n.Stats.LoopNacks
 	}
 	return t
 }

@@ -20,6 +20,11 @@ const (
 	// resends. Owner carries the correct owner when the NACKing side
 	// knew it, else -1.
 	CtlNack
+	// CtlNackLoop is a CtlNack raised because a message exhausted its
+	// forward-hop budget (Policy.MaxHops). Owner carries the home rank as
+	// a fresh routing hint; the source counts bounces and eventually
+	// abandons the message instead of chasing a broken route forever.
+	CtlNackLoop
 )
 
 // Message is one unit of fabric traffic. Payload is opaque to the fabric;
@@ -63,6 +68,22 @@ type Message struct {
 
 	// N is a request length for one-sided reads, carried opaquely.
 	N uint32
+
+	// RelChan/RelSeq/RelCum belong to the runtime's reliable-delivery
+	// layer and are carried opaquely: the channel key, the per-channel
+	// sequence number (0 = untracked), and the cumulative ack horizon on
+	// ack messages.
+	RelChan int32
+	RelSeq  uint64
+	RelCum  uint64
+
+	// MigCtl marks migration-protocol parcels so retransmissions of them
+	// can be reported separately (a lost commit is the interesting case).
+	MigCtl bool
+
+	// Bounces counts hop-budget NACKs this message has already suffered
+	// at its sender; past a small cap the sender abandons it.
+	Bounces int
 }
 
 // wireHeader approximates the fixed per-message header size the codec and

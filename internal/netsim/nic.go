@@ -6,9 +6,8 @@ import (
 	"nmvgas/internal/gas"
 )
 
-// maxHops bounds in-network forwarding chains; exceeding it means the
-// ownership protocol is broken, which must fail loudly.
-const maxHops = 16
+// DefaultMaxHops is the forward-hop budget when Policy.MaxHops is zero.
+const DefaultMaxHops = 16
 
 // Policy selects how a GVA-routing NIC reacts to traffic for blocks it
 // does not own. The defaults (both true) are the paper's design; the
@@ -21,12 +20,24 @@ type Policy struct {
 	// PushUpdates makes a forwarding NIC push the correct owner to the
 	// source NIC's table so later traffic goes direct.
 	PushUpdates bool
+	// MaxHops bounds in-network forwarding chains (0 = DefaultMaxHops).
+	// A message exceeding the budget is NACKed back to its sender with
+	// the home as owner hint instead of chasing a broken route forever.
+	MaxHops int
+}
+
+// HopCap returns the effective forward-hop budget.
+func (p Policy) HopCap() int {
+	if p.MaxHops > 0 {
+		return p.MaxHops
+	}
+	return DefaultMaxHops
 }
 
 // DefaultPolicy returns the paper's configuration: in-network forwarding
 // with pushed table updates.
 func DefaultPolicy() Policy {
-	return Policy{ForwardInNetwork: true, PushUpdates: true}
+	return Policy{ForwardInNetwork: true, PushUpdates: true, MaxHops: DefaultMaxHops}
 }
 
 // NICStats are cumulative per-NIC counters.
@@ -38,6 +49,15 @@ type NICStats struct {
 	TableUpdatesRx   uint64
 	DMADelivered     uint64
 	HostDelivered    uint64
+
+	// Fault-injection counters (all zero on a healthy fabric). Dropped,
+	// Duplicated and Delayed are charged to the transmitting NIC;
+	// TableLost and LoopNacks to the receiving one.
+	Dropped    uint64
+	Duplicated uint64
+	Delayed    uint64
+	TableLost  uint64
+	LoopNacks  uint64
 }
 
 // NIC models one locality's network interface. When GVARouting is on (the
@@ -153,12 +173,34 @@ func (n *NIC) transmit(m *Message, extra VTime) {
 	n.Stats.Sent++
 	n.Stats.BytesTx += uint64(wire)
 	arrive := n.txFree + model.Latency*VTime(hops)
+	if fi := n.fab.Faults; fi != nil {
+		act := fi.Decide(m)
+		if act.Drop {
+			n.Stats.Dropped++
+			return
+		}
+		if act.Duplicate {
+			n.Stats.Duplicated++
+			cp := *m
+			n.scheduleArrival(&cp, wire, bw, arrive+act.DupDelay)
+		}
+		if act.Delay > 0 {
+			n.Stats.Delayed++
+			arrive += act.Delay
+		}
+	}
+	n.scheduleArrival(m, wire, bw, arrive)
+}
+
+// scheduleArrival lands m on the destination NIC at the given time,
+// modeling rx-link occupancy: an isolated arrival delivers immediately
+// (its serialization was already paid at the sender), but the receive
+// link drains at link rate, so concurrent senders to one NIC (incast)
+// queue behind each other.
+func (n *NIC) scheduleArrival(m *Message, wire int, bw float64, arrive VTime) {
+	eng, model := n.fab.Eng, n.fab.Model
 	dst := n.fab.NICs[m.Dst]
 	eng.At(arrive, func() {
-		// Rx-link occupancy: an isolated arrival delivers immediately
-		// (its serialization was already paid at the sender), but the
-		// receive link drains at link rate, so concurrent senders to one
-		// NIC (incast) queue behind each other.
 		ready := eng.Now()
 		if dst.rxFree > ready {
 			ready = dst.rxFree
@@ -191,10 +233,19 @@ func (n *NIC) receive(m *Message) {
 			n.Table.Update(m.Block, m.Owner)
 		})
 		return
-	case CtlNack:
+	case CtlNack, CtlNackLoop:
 		// NACKs terminate at the source host.
 		n.deliverHost(m)
 		return
+	}
+
+	if fi := n.fab.Faults; fi != nil && n.GVARouting {
+		// Soft-error model: receiving traffic may scribble over one
+		// translation-table entry. Only the LRU cache is vulnerable;
+		// authoritative routes are assumed protected (ECC directory).
+		if fi.MaybeLoseEntry(n.Table) {
+			n.Stats.TableLost++
+		}
 	}
 
 	if m.Target.IsNull() {
@@ -255,8 +306,23 @@ func (n *NIC) misroute(m *Message) {
 		return
 	}
 	m.Hops++
-	if m.Hops > maxHops {
-		panic(fmt.Sprintf("netsim: forwarding loop for block %d (hops=%d)", m.Block, m.Hops))
+	if m.Hops > n.Policy.HopCap() {
+		// Hop budget exhausted: the routing state is inconsistent (stale
+		// tombstone chains, lost updates). Bounce to the sender with the
+		// home as a fresh hint instead of panicking — a lossy fabric can
+		// legitimately produce this.
+		n.Stats.LoopNacks++
+		nk := &Message{
+			Ctl:    CtlNackLoop,
+			Src:    n.Rank,
+			Dst:    m.Src,
+			Block:  m.Block,
+			Owner:  m.Target.Home(),
+			Wire:   wireHeader,
+			Nacked: m,
+		}
+		n.transmit(nk, model.NICForward)
+		return
 	}
 	n.Stats.Forwards++
 	if n.Policy.PushUpdates && m.Src != n.Rank {

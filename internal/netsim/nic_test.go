@@ -6,20 +6,33 @@ import (
 	"nmvgas/internal/gas"
 )
 
-func TestForwardingLoopGuardPanics(t *testing.T) {
+func TestForwardingLoopBoundedNack(t *testing.T) {
 	// Two NICs with authoritative routes pointing at each other and the
-	// block resident nowhere: a broken ownership protocol. The fabric
-	// must fail loudly rather than bounce forever.
+	// block resident nowhere: a broken ownership protocol. Instead of
+	// bouncing forever (or panicking), the hop budget expires and the
+	// sender gets a loop NACK carrying the home as the owner hint.
 	h := newHarness(t, 3, true, Policy{ForwardInNetwork: true}, 0)
 	h.fab.NIC(1).InstallRoute(50, 2)
 	h.fab.NIC(2).InstallRoute(50, 1)
 	h.fab.NIC(0).Send(&Message{Src: 0, Dst: ByGVA, Target: gas.New(1, 50, 0), Wire: 32})
-	defer func() {
-		if recover() == nil {
-			t.Fatal("forwarding loop did not panic")
-		}
-	}()
 	h.eng.Run()
+	if len(h.hostRx[0]) != 1 {
+		t.Fatalf("sender host got %d messages, want 1 loop NACK", len(h.hostRx[0]))
+	}
+	nk := h.hostRx[0][0]
+	if nk.Ctl != CtlNackLoop {
+		t.Fatalf("Ctl = %v, want CtlNackLoop", nk.Ctl)
+	}
+	if nk.Owner != 1 {
+		t.Fatalf("owner hint %d, want home 1", nk.Owner)
+	}
+	if nk.Nacked == nil || nk.Nacked.Block != 50 {
+		t.Fatalf("NACK does not carry the original message: %+v", nk.Nacked)
+	}
+	loops := h.fab.NIC(1).Stats.LoopNacks + h.fab.NIC(2).Stats.LoopNacks
+	if loops != 1 {
+		t.Fatalf("LoopNacks = %d, want 1", loops)
+	}
 }
 
 func TestMissingHostHandlerPanics(t *testing.T) {

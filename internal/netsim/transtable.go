@@ -87,6 +87,25 @@ func (t *TransTable) Invalidate(block gas.BlockID) bool {
 	return true
 }
 
+// DropIndex removes the i-th entry in LRU order (0 = most recently
+// used), reporting which block was lost. It models a soft error erasing
+// one arbitrary table entry: the fault injector picks the index. Unlike
+// Update's capacity eviction it does not count as an eviction, because
+// the entry did not age out — it was destroyed.
+func (t *TransTable) DropIndex(i int) (gas.BlockID, bool) {
+	if i < 0 || i >= t.order.Len() {
+		return 0, false
+	}
+	el := t.order.Front()
+	for ; i > 0; i-- {
+		el = el.Next()
+	}
+	b := el.Value.(*ttEntry).block
+	t.order.Remove(el)
+	delete(t.m, b)
+	return b, true
+}
+
 // Len returns the number of resident entries.
 func (t *TransTable) Len() int { return t.order.Len() }
 

@@ -118,3 +118,83 @@ func TestTransTableUnboundedGrows(t *testing.T) {
 		t.Fatalf("unbounded table evicted %d entries", ev)
 	}
 }
+
+func TestTransTableDropIndex(t *testing.T) {
+	tt := NewTransTable(0)
+	tt.Update(1, 0)
+	tt.Update(2, 0)
+	tt.Update(3, 0) // LRU order (MRU first): 3, 2, 1
+	if b, ok := tt.DropIndex(1); !ok || b != 2 {
+		t.Fatalf("DropIndex(1) = %d,%v, want 2,true", b, ok)
+	}
+	if _, ok := tt.Peek(2); ok {
+		t.Fatal("dropped entry still present")
+	}
+	for _, b := range []gas.BlockID{1, 3} {
+		if _, ok := tt.Peek(b); !ok {
+			t.Fatalf("innocent entry %d destroyed", b)
+		}
+	}
+	if _, ok := tt.DropIndex(5); ok {
+		t.Fatal("out-of-range DropIndex reported a loss")
+	}
+	if _, ok := tt.DropIndex(-1); ok {
+		t.Fatal("negative DropIndex reported a loss")
+	}
+	// A soft-error loss is not an eviction: the entry did not age out.
+	_, _, ev, _ := tt.Stats()
+	if ev != 0 {
+		t.Fatalf("DropIndex counted %d evictions", ev)
+	}
+}
+
+func TestEntryLossFallsBackToHome(t *testing.T) {
+	// A stale cached translation (block migrated away from rank 2, the
+	// correcting update lost) that is then destroyed by a soft error must
+	// degrade to routing via the authoritative home — never to acting on
+	// the stale entry.
+	h := newHarness(t, 3, true, DefaultPolicy(), 0)
+	h.resident[1][50] = true // block 50 lives at its home, rank 1
+	nic := h.fab.NIC(0)
+	nic.Table.Update(50, 2) // stale: points at the old owner
+
+	fi := NewFaultInjector(FaultPlan{Seed: 3, TableLoss: 1})
+	if !fi.MaybeLoseEntry(nic.Table) {
+		t.Fatal("forced entry loss did not fire")
+	}
+	if _, ok := nic.Table.Peek(50); ok {
+		t.Fatal("stale entry survived forced loss")
+	}
+
+	h.fab.NIC(0).Send(&Message{Src: 0, Dst: ByGVA, Target: gas.New(1, 50, 0), Wire: 32})
+	h.eng.Run()
+	if len(h.hostRx[1]) != 1 {
+		t.Fatalf("home got %d deliveries, want 1", len(h.hostRx[1]))
+	}
+	if got := h.hostRx[1][0].Hops; got != 0 {
+		t.Fatalf("delivery took %d hops, want direct-to-home", got)
+	}
+	if len(h.hostRx[2])+len(h.dmaRx[2]) != 0 {
+		t.Fatal("message chased the stale owner despite the entry being gone")
+	}
+}
+
+func TestEntryLossNeverTouchesAuthoritativeRoutes(t *testing.T) {
+	// The soft-error model only scrubs the evictable translation cache;
+	// authoritative route entries (home mirror, tombstones) are host-
+	// installed state and survive any amount of table loss.
+	h := newHarness(t, 2, true, DefaultPolicy(), 4)
+	nic := h.fab.NIC(0)
+	nic.InstallRoute(7, 1)
+	nic.Table.Update(7, 1)
+	fi := NewFaultInjector(FaultPlan{Seed: 1, TableLoss: 1})
+	for i := 0; i < 4; i++ {
+		fi.MaybeLoseEntry(nic.Table)
+	}
+	if nic.Table.Len() != 0 {
+		t.Fatal("table not fully scrubbed")
+	}
+	if o, ok := nic.Route(7); !ok || o != 1 {
+		t.Fatalf("authoritative route lost: %d,%v", o, ok)
+	}
+}

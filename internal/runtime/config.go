@@ -121,8 +121,16 @@ type Config struct {
 	// Workers adds per-locality worker goroutines in EngineGo mode; 0
 	// runs actions inline on the locality actor.
 	Workers int
-	// Seed feeds deterministic components (scheduler victim selection).
+	// Seed feeds deterministic components (scheduler victim selection,
+	// fault injection).
 	Seed int64
+	// Faults injects seeded delivery faults into the transport (both
+	// engines); the zero plan is a perfect network. A zero Faults.Seed
+	// inherits Seed, so one knob replays a whole faulty run.
+	Faults netsim.FaultPlan
+	// Reliability tunes the end-to-end reliable-delivery layer, which
+	// activates automatically when Faults is nonzero (or Force is set).
+	Reliability ReliabilityConfig
 	// RequireMigration declares that the program will migrate blocks;
 	// NewWorld rejects the config when the selected address space cannot.
 	RequireMigration bool
@@ -145,6 +153,13 @@ func (c Config) normalized() (Config, error) {
 	if !c.PolicySet && c.Policy == (netsim.Policy{}) {
 		c.Policy = netsim.DefaultPolicy()
 	}
+	if c.Faults.Seed == 0 {
+		c.Faults.Seed = c.Seed
+	}
+	if c.Faults.Drop < 0 || c.Faults.Drop >= 1 {
+		return c, fmt.Errorf("runtime: fault drop probability %v outside [0,1)", c.Faults.Drop)
+	}
+	c.Reliability = c.Reliability.withDefaults()
 	return c, nil
 }
 

@@ -26,6 +26,8 @@ const (
 	kOwnerUpd
 	// kBatch is a coalesced bundle of parcels addressed to a locality.
 	kBatch
+	// kRelAck is a reliable-delivery acknowledgement (see reliable.go).
+	kRelAck
 )
 
 // LocStats are per-locality runtime counters (distinct from the fabric's
@@ -44,6 +46,7 @@ type LocStats struct {
 	PutBytes     stats.Counter
 	GetBytes     stats.Counter
 	Migrations   stats.Counter // completed with this locality as old owner
+	LoopNacks    stats.Counter // hop-budget NACKs processed as original sender
 }
 
 type moveState struct {
@@ -81,6 +84,10 @@ type Locality struct {
 	// coal batches outgoing parcels when coalescing is configured.
 	coal *coalescer
 
+	// rel is the reliable-delivery send state (nil when the world has no
+	// faults configured; see reliable.go).
+	rel *relLoc
+
 	parcelSeq atomic.Uint64
 	Stats     LocStats
 }
@@ -97,6 +104,9 @@ func newLocality(w *World, rank int, bld spaceBuilder) *Locality {
 	l.space = bld.newLocal(l)
 	if w.cfg.Coalesce.enabled() {
 		l.coal = newCoalescer(l, w.cfg.Coalesce)
+	}
+	if w.relw != nil {
+		l.rel = &relLoc{tx: make(map[int32]*relTxChan)}
 	}
 	return l
 }
@@ -184,6 +194,7 @@ func (l *Locality) SendParcel(p *parcel.Parcel) {
 		Target:  p.Target,
 		Payload: enc,
 		Wire:    len(enc),
+		MigCtl:  p.Action >= aMigrateReq && p.Action <= aMigrateDone,
 	}
 	l.routeMsg(m)
 }
@@ -214,7 +225,10 @@ func (l *Locality) routeMsg(m *netsim.Message) {
 		return
 	}
 
-	if l.coal != nil && m.Kind == kParcel {
+	if l.coal != nil && m.Kind == kParcel && m.RelSeq == 0 {
+		// Already-tracked parcels (NACK resends) must keep their message
+		// identity — folding one into a batch would strand its
+		// retransmission state.
 		// The strategy's zero-cost owner guess picks the batching
 		// destination; wrong guesses are re-routed at the batch target.
 		if dst := l.space.OwnerHint(b, m.Target.Home()); dst != l.rank {
@@ -232,8 +246,17 @@ func (l *Locality) routeMsg(m *netsim.Message) {
 // serialization is exactly the overhead the paper's design removes.
 func (l *Locality) inject(m *netsim.Message, dst int) {
 	m.Dst = dst
+	l.relTrack(m)
 	l.exec.Charge(l.w.cfg.Model.OSend)
 	l.exec.Exec(0, func() { l.w.net.send(l.rank, m) })
+}
+
+// nicInject sends from NIC context (DMA completions), enrolling the
+// message in reliable delivery so a lost completion is retransmitted by
+// the owner rather than regenerated by a deduplicated request.
+func (l *Locality) nicInject(m *netsim.Message) {
+	l.relTrack(m)
+	l.w.net.nicSend(l.rank, m)
 }
 
 // deliverLocal executes m on this locality without touching the network.
@@ -248,7 +271,7 @@ func (l *Locality) deliverLocal(m *netsim.Message) {
 // onHostMsg handles everything the NIC delivers up to the host, plus
 // local deliveries. It runs on the locality executor.
 func (l *Locality) onHostMsg(m *netsim.Message) {
-	if m.Ctl == netsim.CtlNack {
+	if m.Ctl == netsim.CtlNack || m.Ctl == netsim.CtlNackLoop {
 		l.onNICNack(m)
 		return
 	}
@@ -264,15 +287,32 @@ func (l *Locality) onHostMsg(m *netsim.Message) {
 	case kGetReq:
 		l.hostGet(m)
 	case kPutAck:
+		if !l.relAccept(m) {
+			return
+		}
 		l.completeOp(m.OpID, nil)
 	case kGetRep:
+		if !l.relAccept(m) {
+			return
+		}
 		l.completeOp(m.OpID, m.Payload.([]byte))
 	case kHostNack:
+		if !l.relAccept(m) {
+			return
+		}
 		l.onHostNack(m)
 	case kOwnerUpd:
+		if !l.relAccept(m) {
+			return
+		}
 		l.space.LearnOwner(m.Block, m.Owner)
 	case kBatch:
+		if !l.relAccept(m) {
+			return
+		}
 		l.onBatch(m)
+	case kRelAck:
+		l.relOnAck(m)
 	default:
 		l.w.fail("rank %d: unknown message kind %d", l.rank, m.Kind)
 	}
@@ -297,6 +337,12 @@ func (l *Locality) execParcel(p *parcel.Parcel, m *netsim.Message) {
 			l.space.OnStaleDelivery(m, p)
 			return
 		}
+		if !l.relAccept(m) {
+			// A duplicated control parcel (LCO set, migration step) must
+			// not run twice: gates would double-count and the migration
+			// protocol would replay.
+			return
+		}
 		l.Stats.ParcelsRun.Inc()
 		l.trace(TraceExec, p.Target.Block(), uint64(p.Action))
 		act(&Ctx{l: l, P: p})
@@ -304,6 +350,11 @@ func (l *Locality) execParcel(p *parcel.Parcel, m *netsim.Message) {
 	}
 	l.exec.Offload(func() {
 		b := p.Target.Block()
+		if l.relDupPeek(m) {
+			// A copy that already ran here must not even transiently take
+			// an active-count (that could defer a racing migration).
+			return
+		}
 		l.mu.Lock()
 		if st, moving := l.moving[b]; moving {
 			st.queued = append(st.queued, m)
@@ -325,6 +376,9 @@ func (l *Locality) execParcel(p *parcel.Parcel, m *netsim.Message) {
 			l.space.OnStaleDelivery(m, p)
 			return
 		}
+		if !l.relAccept(m) {
+			return
+		}
 		l.Stats.ParcelsRun.Inc()
 		l.w.noteAccess(l.rank, b)
 		l.trace(TraceExec, b, uint64(p.Action))
@@ -338,20 +392,36 @@ func (l *Locality) routeToExplicit(m *netsim.Message, dst int) {
 	l.inject(m, dst)
 }
 
-// onNICNack handles the fabric's CtlNack (the no-in-network-forwarding
-// ablation): repair the NIC table from the host, then resend.
+// onNICNack handles the fabric's NACKs at the original sender: CtlNack
+// (the no-in-network-forwarding ablation) repairs the NIC table and
+// resends; CtlNackLoop (hop budget exhausted) additionally counts
+// bounces and abandons the message once the routing state has proven
+// itself broken, instead of chasing it forever.
 func (l *Locality) onNICNack(m *netsim.Message) {
-	l.Stats.NICNacks.Inc()
-	l.trace(TraceNICNack, m.Block, uint64(int64(m.Owner)))
 	orig := m.Nacked
 	if orig == nil {
 		l.w.fail("rank %d: NACK without original message", l.rank)
+	}
+	if m.Ctl == netsim.CtlNackLoop {
+		l.Stats.LoopNacks.Inc()
+		l.trace(TraceLoopNack, m.Block, uint64(int64(m.Owner)))
+		orig.Bounces++
+		if orig.Bounces > relBounceCap {
+			l.relAbandon(orig)
+			return
+		}
+	} else {
+		l.Stats.NICNacks.Inc()
+		l.trace(TraceNICNack, m.Block, uint64(int64(m.Owner)))
 	}
 	if m.Owner >= 0 {
 		l.exec.Charge(l.w.cfg.Model.NICUpdate)
 		l.w.net.updateTable(l.rank, m.Block, m.Owner)
 	}
-	l.routeMsg(orig)
+	// Resend a copy: a duplicated NACK can deliver twice, and both
+	// resends must not alias one Message crossing the fabric twice.
+	cp := *orig
+	l.routeMsg(&cp)
 }
 
 // onHostNack handles the software-managed repair of a bounced one-sided
@@ -427,6 +497,9 @@ func (l *Locality) completeOp(id uint64, data []byte) {
 	delete(l.ops, id)
 	l.mu.Unlock()
 	if !ok {
+		if l.relLateCompletion() {
+			return
+		}
 		l.w.fail("rank %d: completion for unknown op %d", l.rank, id)
 	}
 	if st.done != nil {
@@ -446,6 +519,11 @@ func (l *Locality) onDMA(m *netsim.Message) {
 		l.w.fail("rank %d: DMA against non-data block %d", l.rank, b)
 	}
 	l.w.noteAccess(l.rank, b)
+	if !l.relAccept(m) {
+		// Duplicate one-sided request: the first copy applied the effect
+		// and its (retransmitted-until-acked) reply completes the op.
+		return
+	}
 	switch m.Kind {
 	case kPutReq:
 		if blk.Frozen {
@@ -454,13 +532,13 @@ func (l *Locality) onDMA(m *netsim.Message) {
 		if err := l.store.WriteAt(b, m.Target.Offset(), m.Payload.([]byte)); err != nil {
 			l.w.fail("rank %d: %v", l.rank, err)
 		}
-		l.w.net.nicSend(l.rank, &netsim.Message{Kind: kPutAck, Src: l.rank, Dst: m.Src, Wire: 32, OpID: m.OpID})
+		l.nicInject(&netsim.Message{Kind: kPutAck, Src: l.rank, Dst: m.Src, Wire: 32, OpID: m.OpID})
 	case kGetReq:
 		data := make([]byte, m.N)
 		if err := l.store.ReadAt(b, m.Target.Offset(), data); err != nil {
 			l.w.fail("rank %d: %v", l.rank, err)
 		}
-		l.w.net.nicSend(l.rank, &netsim.Message{
+		l.nicInject(&netsim.Message{
 			Kind: kGetRep, Src: l.rank, Dst: m.Src, Wire: 32 + len(data), Payload: data, OpID: m.OpID,
 		})
 	default:
@@ -482,6 +560,9 @@ func (l *Locality) hostPut(m *netsim.Message) {
 		}
 		if blk.Frozen {
 			l.w.fail("rank %d: put to frozen (replicated) block %d", l.rank, b)
+		}
+		if !l.relAccept(m) {
+			return
 		}
 		l.w.noteAccess(l.rank, b)
 		l.exec.Charge(l.w.cfg.Model.CopyTime(len(m.Payload.([]byte))))
@@ -508,6 +589,9 @@ func (l *Locality) hostGet(m *netsim.Message) {
 	if ok {
 		if blk.Kind != gas.KindData {
 			l.w.fail("rank %d: get from non-data block %d", l.rank, b)
+		}
+		if !l.relAccept(m) {
+			return
 		}
 		l.w.noteAccess(l.rank, b)
 		data := make([]byte, m.N)

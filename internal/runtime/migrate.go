@@ -222,6 +222,11 @@ func migrateDone(c *Ctx) {
 	l.Stats.Migrations.Inc()
 	l.trace(TraceMigrateDone, b, uint64(mp.to))
 	for _, qm := range st.queued {
+		// A duplicate that was queued while its original executed here
+		// must not chase the block to the new owner.
+		if !l.relFlushOK(qm) {
+			continue
+		}
 		l.routeMsg(qm)
 	}
 	if !mp.cTarget.IsNull() {

@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"sync"
+	"time"
 
 	"nmvgas/internal/gas"
 	"nmvgas/internal/netsim"
@@ -134,7 +135,34 @@ func (c *chanNet) send(from int, m *netsim.Message) {
 	if m.Dst < 0 || m.Dst >= len(c.nics) {
 		c.w.fail("chanNet: send to bad rank %d", m.Dst)
 	}
+	if fi := c.w.faults; fi != nil {
+		act := fi.Decide(m)
+		if act.Drop {
+			return
+		}
+		if act.Duplicate {
+			// Clone: both copies cross independent receive paths that
+			// mutate hop counts and tables.
+			cp := *m
+			c.deliver(&cp, act.DupDelay)
+		}
+		c.deliver(m, act.Delay)
+		return
+	}
+	c.deliver(m, 0)
+}
+
+// deliver hands m to the destination actor, optionally after a real-time
+// delay (the goroutine transport has no simulated clock; a wall-clock
+// hold is enough to reorder the message past later traffic).
+func (c *chanNet) deliver(m *netsim.Message, delay netsim.VTime) {
 	dst := c.w.locs[m.Dst]
+	if delay > 0 {
+		time.AfterFunc(time.Duration(delay), func() {
+			dst.exec.Exec(0, func() { c.arrive(dst, m) })
+		})
+		return
+	}
 	dst.exec.Exec(0, func() { c.arrive(dst, m) })
 }
 
@@ -150,9 +178,16 @@ func (c *chanNet) arrive(l *Locality, m *netsim.Message) {
 		st.table.Update(m.Block, m.Owner)
 		st.mu.Unlock()
 		return
-	case netsim.CtlNack:
+	case netsim.CtlNack, netsim.CtlNackLoop:
 		l.onHostMsg(m)
 		return
+	}
+	if fi := c.w.faults; fi != nil && c.w.caps.NICTranslation {
+		// Soft-error model, mirroring netsim.NIC.receive: arrivals may
+		// scribble over one evictable translation entry.
+		st.mu.Lock()
+		fi.MaybeLoseEntry(st.table)
+		st.mu.Unlock()
 	}
 	if m.Target.IsNull() {
 		l.onHostMsg(m)
@@ -205,8 +240,21 @@ func (c *chanNet) misroute(l *Locality, st *goNICState, m *netsim.Message) {
 		return
 	}
 	m.Hops++
-	if m.Hops > 16 {
-		c.w.fail("chanNet: forwarding loop for block %d", m.Block)
+	if m.Hops > pol.HopCap() {
+		// Hop budget exhausted: bounded fallback instead of the old hard
+		// failure — NACK to the sender with the home as owner hint, which
+		// counts bounces and eventually abandons (see onNICNack).
+		nk := &netsim.Message{
+			Ctl:    netsim.CtlNackLoop,
+			Src:    l.rank,
+			Dst:    m.Src,
+			Block:  m.Block,
+			Owner:  m.Target.Home(),
+			Wire:   32,
+			Nacked: m,
+		}
+		c.send(l.rank, nk)
+		return
 	}
 	if pol.PushUpdates && m.Src != l.rank {
 		src := c.nics[m.Src]

@@ -66,6 +66,9 @@ func (s *nmSpace) OnStaleDelivery(m *netsim.Message, p *parcel.Parcel) {
 		l.routeToExplicit(&fwd, owner)
 		return
 	}
+	if l.relStaleDrop(m) {
+		return
+	}
 	if p != nil {
 		l.w.fail("rank %d (nm): parcel %v for non-resident block %d", l.rank, p, b)
 	}

@@ -81,6 +81,9 @@ func (s *swSpace) OnStaleDelivery(m *netsim.Message, p *parcel.Parcel) {
 		// (directory) redirects, then teaches the source.
 		owner, ok := s.forwardTarget(b, p.Target.Home())
 		if !ok {
+			if l.relStaleDrop(m) {
+				return
+			}
 			l.w.fail("rank %d: parcel %v for unallocated block %d", l.rank, p, b)
 		}
 		l.Stats.HostForwards.Inc()
@@ -103,6 +106,9 @@ func (s *swSpace) OnStaleDelivery(m *netsim.Message, p *parcel.Parcel) {
 	}
 	owner, ok := s.forwardTarget(b, m.Target.Home())
 	if !ok {
+		if l.relStaleDrop(m) {
+			return
+		}
 		l.w.fail("rank %d: one-sided op on unallocated block %d", l.rank, b)
 	}
 	if m.Src == l.rank {

@@ -58,11 +58,15 @@ var equivGolden = map[Mode]equivCounters{
 // migrating modes — a migration wave followed by stale-translation
 // traffic that exercises each mode's repair path. Every operation is
 // waited, so the counter totals are exact, not racy.
-func runEquivWorkload(t *testing.T, mode Mode, eng EngineKind) equivCounters {
+func runEquivWorkload(t *testing.T, mode Mode, eng EngineKind, mutate ...func(*Config)) (equivCounters, *World) {
 	t.Helper()
 	const ranks = 4
 	const nblocks = 8
-	w := testWorld(t, Config{Ranks: ranks, Mode: mode, Engine: eng})
+	cfg := Config{Ranks: ranks, Mode: mode, Engine: eng}
+	for _, fn := range mutate {
+		fn(&cfg)
+	}
+	w := testWorld(t, cfg)
 	incr := w.Register("incr", func(c *Ctx) {
 		data := c.Local(c.P.Target)
 		v := parcel.U64(data, 0)
@@ -145,7 +149,7 @@ func runEquivWorkload(t *testing.T, mode Mode, eng EngineKind) equivCounters {
 		PutBytes:     s.PutBytes,
 		GetBytes:     s.GetBytes,
 		Migrations:   s.Migrations,
-	}
+	}, w
 }
 
 func TestAddressSpaceEquivalence(t *testing.T) {
@@ -153,7 +157,7 @@ func TestAddressSpaceEquivalence(t *testing.T) {
 		for _, eng := range allEngines {
 			mode, eng := mode, eng
 			t.Run(mode.String()+"/"+eng.String(), func(t *testing.T) {
-				got := runEquivWorkload(t, mode, eng)
+				got, _ := runEquivWorkload(t, mode, eng)
 				want, ok := equivGolden[mode]
 				if !ok {
 					t.Logf("GOLDEN %v: %v", mode, got)

@@ -46,7 +46,12 @@ func (s *pgasSpace) OwnerHint(b gas.BlockID, home int) int { return home }
 
 func (s *pgasSpace) OnStaleDelivery(m *netsim.Message, p *parcel.Parcel) {
 	// Static addressing cannot be stale: a non-resident delivery means
-	// the target was never allocated (or already freed).
+	// the target was never allocated (or already freed). Under the
+	// reliability layer a duplicated message can outlive a free — drop
+	// it with an ack instead of dying.
+	if s.l.relStaleDrop(m) {
+		return
+	}
 	if p != nil {
 		s.l.w.fail("rank %d (pgas): parcel %v for non-resident block %d", s.l.rank, p, m.Target.Block())
 	}

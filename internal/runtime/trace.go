@@ -30,6 +30,14 @@ const (
 	TraceMigrateDone
 	// TraceQueued is a message parked behind a moving block.
 	TraceQueued
+	// TraceLoopNack is a hop-budget NACK processed by the original
+	// sender (Info = advised owner).
+	TraceLoopNack
+	// TraceRetransmit is a reliable-delivery resend (Info = sequence).
+	TraceRetransmit
+	// TraceDupSuppressed is a delivery rejected as already applied
+	// (Info = sequence).
+	TraceDupSuppressed
 )
 
 func (k TraceKind) String() string {
@@ -50,6 +58,12 @@ func (k TraceKind) String() string {
 		return "migrate-done"
 	case TraceQueued:
 		return "queued"
+	case TraceLoopNack:
+		return "loop-nack"
+	case TraceRetransmit:
+		return "retransmit"
+	case TraceDupSuppressed:
+		return "dup-suppressed"
 	}
 	return "unknown"
 }

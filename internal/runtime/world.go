@@ -31,6 +31,13 @@ type World struct {
 
 	// Goroutine engine state (nil under EngineDES).
 	pool *sched.Pool
+	// faults is the goroutine transport's injector (the DES fabric owns
+	// its own); nil without faults.
+	faults *netsim.FaultInjector
+
+	// Reliable-delivery state (nil unless cfg.reliable()).
+	relw   *relWorld
+	relCfg ReliabilityConfig
 
 	// locBase is the first of the per-locality infrastructure blocks;
 	// locality r's block is locBase + r.
@@ -81,6 +88,10 @@ func NewWorld(cfg Config) (*World, error) {
 	}
 	w := &World{cfg: cfg, caps: bld.caps, reg: newRegistry(), seq: gas.NewSequence()}
 	w.registerBuiltins()
+	w.relCfg = cfg.Reliability
+	if cfg.reliable() {
+		w.relw = newRelWorld()
+	}
 
 	for r := 0; r < cfg.Ranks; r++ {
 		w.locs = append(w.locs, newLocality(w, r, bld))
@@ -96,6 +107,7 @@ func NewWorld(cfg Config) (*World, error) {
 			Policy:      cfg.Policy,
 			NICTableCap: cfg.NICTableCap,
 			Topology:    cfg.Topology,
+			Faults:      cfg.Faults,
 		})
 		w.net = &desNet{w: w}
 		for r, l := range w.locs {
@@ -109,6 +121,7 @@ func NewWorld(cfg Config) (*World, error) {
 			nic.DMADeliver = loc.onDMA
 		}
 	case EngineGo:
+		w.faults = netsim.NewFaultInjector(cfg.Faults)
 		if cfg.Workers > 0 {
 			w.pool = sched.NewPool(cfg.Ranks*cfg.Workers, cfg.Seed)
 		}

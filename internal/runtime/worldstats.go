@@ -18,12 +18,17 @@ type WorldStats struct {
 	PutBytes      int64
 	GetBytes      int64
 	Migrations    int64
+	LoopNacks     int64
 	NetSent       uint64
 	NetBytes      uint64
 	NetForwards   uint64
 	NetNacks      uint64
 	NICTableUpds  uint64
 	DMADeliveries uint64
+
+	// Delivery is the reliable-delivery and fault-injection report (all
+	// zero when neither faults nor Reliability.Force are configured).
+	Delivery DeliveryStats
 }
 
 // Stats sums the per-locality counters and, on the DES engine, the fabric
@@ -44,7 +49,9 @@ func (w *World) Stats() WorldStats {
 		s.PutBytes += l.Stats.PutBytes.Load()
 		s.GetBytes += l.Stats.GetBytes.Load()
 		s.Migrations += l.Stats.Migrations.Load()
+		s.LoopNacks += l.Stats.LoopNacks.Load()
 	}
+	s.Delivery = w.DeliveryStats()
 	if w.fab != nil {
 		n := w.fab.TotalStats()
 		s.NetSent = n.Sent
@@ -83,5 +90,15 @@ func (w *World) StatsTable() *stats.Table {
 	add("net.nacks", s.NetNacks)
 	add("net.table_updates", s.NICTableUpds)
 	add("net.dma_deliveries", s.DMADeliveries)
+	d := s.Delivery
+	add("rel.tracked", d.Tracked)
+	add("rel.retransmits", d.Retransmits)
+	add("rel.dups_suppressed", d.DupsSuppressed)
+	add("rel.abandoned", d.Abandoned)
+	add("rel.loop_nacks", d.HopCapNacks)
+	add("faults.dropped", d.Faults.Dropped)
+	add("faults.duplicated", d.Faults.Duplicated)
+	add("faults.delayed", d.Faults.Delayed)
+	add("faults.table_lost", d.Faults.TableEntriesLost)
 	return tb
 }
