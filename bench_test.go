@@ -18,6 +18,7 @@ import (
 
 	"nmvgas/internal/exp"
 	"nmvgas/internal/gas"
+	"nmvgas/internal/microbench"
 	"nmvgas/internal/netsim"
 	"nmvgas/internal/parcel"
 	"nmvgas/internal/runtime"
@@ -154,22 +155,7 @@ func BenchmarkTransTableUpdateWithEviction(b *testing.B) {
 	}
 }
 
-func BenchmarkDESEngineEventThroughput(b *testing.B) {
-	eng := netsim.NewEngine()
-	n := 0
-	var pump func()
-	pump = func() {
-		n++
-		if n < b.N {
-			eng.After(1, pump)
-		}
-	}
-	eng.After(1, pump)
-	eng.Run()
-	if n < b.N {
-		b.Fatal("engine starved")
-	}
-}
+func BenchmarkDESEngineEventThroughput(b *testing.B) { microbench.DESEngineEvents(b) }
 
 func BenchmarkSchedPoolSubmit(b *testing.B) {
 	p := sched.NewPool(4, 1)
@@ -188,24 +174,18 @@ func BenchmarkSchedPoolSubmit(b *testing.B) {
 	<-done
 }
 
+// The wall-clock fast-path microbenchmarks live in internal/microbench,
+// shared with vgasbench's -bench-json emitter so `go test -bench` and
+// BENCH_PR3.json report the exact same workloads.
+
 // BenchmarkGoEnginePutThroughput measures real concurrent one-sided
 // throughput on the goroutine engine (wall clock, not simulated).
-func BenchmarkGoEnginePutThroughput(b *testing.B) {
-	w, err := vgas.NewWorld(vgas.Config{Ranks: 2, Mode: vgas.AGASNM, Engine: vgas.EngineGo})
-	if err != nil {
-		b.Fatal(err)
-	}
-	defer w.Stop()
-	w.Start()
-	lay, err := w.AllocLocal(1, 4096, 1)
-	if err != nil {
-		b.Fatal(err)
-	}
-	g := lay.BlockAt(0)
-	buf := make([]byte, 64)
-	b.SetBytes(64)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		w.MustWait(w.Proc(0).Put(g, buf))
-	}
-}
+func BenchmarkGoEnginePutThroughput(b *testing.B) { microbench.GoEnginePut(b) }
+
+// BenchmarkGoEnginePumpThroughput is the send→deliver pump workload on
+// the goroutine engine (msgs/sec and allocs/op for the whole fast path).
+func BenchmarkGoEnginePumpThroughput(b *testing.B) { microbench.GoEnginePump(b) }
+
+// BenchmarkDESEnginePutThroughput measures the wall-clock cost of one
+// simulated put round trip on the DES engine.
+func BenchmarkDESEnginePutThroughput(b *testing.B) { microbench.DESEnginePut(b) }

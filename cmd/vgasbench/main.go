@@ -8,15 +8,20 @@
 //	vgasbench -csv F1               # emit CSV instead of aligned tables
 //	vgasbench -modes agas-nm F6     # restrict row-per-mode sweeps
 //	vgasbench -loss 0.05 -dup 0.02 -reorder C1   # extra chaos fault plan
+//	vgasbench -bench-json BENCH.json             # fast-path microbenchmarks as JSON
+//	vgasbench -cpuprofile cpu.out -quick F5      # pprof the run
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strings"
 
 	"nmvgas/internal/exp"
+	"nmvgas/internal/microbench"
 	"nmvgas/internal/netsim"
 	"nmvgas/internal/runtime"
 )
@@ -32,11 +37,55 @@ func main() {
 	loss := flag.Float64("loss", 0, "message drop probability [0,1) for the chaos experiment's extra plan")
 	dup := flag.Float64("dup", 0, "message duplication probability [0,1) for the chaos experiment's extra plan")
 	reorder := flag.Bool("reorder", false, "randomize per-message delay (reordering) in the chaos experiment's extra plan")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	benchJSON := flag.String("bench-json", "", "run the fast-path microbenchmarks and write results as JSON to this file ('-' = stdout), then exit")
 	flag.Parse()
 
 	if *list {
 		for _, e := range exp.Registry {
 			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatalf("vgasbench: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("vgasbench: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fatalf("vgasbench: %v", err)
+			}
+			defer f.Close()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatalf("vgasbench: %v", err)
+			}
+		}()
+	}
+
+	if *benchJSON != "" {
+		results := microbench.RunAll()
+		enc, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			fatalf("vgasbench: %v", err)
+		}
+		enc = append(enc, '\n')
+		if *benchJSON == "-" {
+			os.Stdout.Write(enc)
+			return
+		}
+		if err := os.WriteFile(*benchJSON, enc, 0o644); err != nil {
+			fatalf("vgasbench: %v", err)
 		}
 		return
 	}
@@ -76,4 +125,9 @@ func main() {
 		}
 		fmt.Println()
 	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
 }

@@ -1,0 +1,150 @@
+// Package microbench holds the wall-clock microbenchmark bodies for the
+// runtime's own fast paths, shared between the `go test -bench` harness
+// (bench_test.go) and the vgasbench -bench-json emitter so both report
+// the exact same workloads. Each body follows testing.B conventions and
+// can be driven by testing.Benchmark from a plain binary.
+package microbench
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"nmvgas/internal/netsim"
+	"nmvgas/internal/runtime"
+	"nmvgas/vgas"
+)
+
+// Result is one benchmark outcome in machine-readable form.
+type Result struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// MsgsPerSec is the send→deliver rate where the benchmark measures
+	// one (0 elsewhere).
+	MsgsPerSec float64 `json:"msgs_per_sec,omitempty"`
+	N          int     `json:"n"`
+}
+
+// GoEnginePump is the send→deliver pump on the goroutine engine: rank 0
+// fires b.N no-continuation parcels at a block on rank 1 and waits for
+// the last to execute. It measures the whole fast path — SendParcel,
+// source translation, transport delivery, the destination actor's
+// mailbox, and action dispatch — as wall-clock msgs/sec and allocs/op.
+func GoEnginePump(b *testing.B) {
+	w, err := vgas.NewWorld(vgas.Config{Ranks: 2, Mode: vgas.AGASNM, Engine: vgas.EngineGo})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Stop()
+	var ran atomic.Int64
+	done := make(chan struct{})
+	target := int64(b.N)
+	count := w.Register("count", func(c *runtime.Ctx) {
+		if ran.Add(1) == target {
+			close(done)
+		}
+	})
+	w.Start()
+	lay, err := w.AllocLocal(1, 64, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := lay.BlockAt(0)
+	p := w.Proc(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		p.Invoke(g, count, nil)
+	}
+	<-done
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "msgs/sec")
+}
+
+// enginePut measures one put round trip (send path + completion) per
+// iteration on the given engine.
+func enginePut(b *testing.B, eng vgas.EngineKind) {
+	w, err := vgas.NewWorld(vgas.Config{Ranks: 2, Mode: vgas.AGASNM, Engine: eng})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Stop()
+	w.Start()
+	lay, err := w.AllocLocal(1, 4096, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := lay.BlockAt(0)
+	buf := make([]byte, 64)
+	b.SetBytes(64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.MustWait(w.Proc(0).Put(g, buf))
+	}
+}
+
+// GoEnginePut is the wall-clock one-sided put round trip on the
+// goroutine engine.
+func GoEnginePut(b *testing.B) { enginePut(b, vgas.EngineGo) }
+
+// DESEnginePut is the wall-clock cost of one simulated put round trip on
+// the DES engine (event-queue overhead plus protocol handlers; simulated
+// time is free).
+func DESEnginePut(b *testing.B) { enginePut(b, vgas.EngineDES) }
+
+// DESEngineEvents measures raw event schedule+dispatch cost on the
+// 4-ary flat-heap engine.
+func DESEngineEvents(b *testing.B) {
+	b.ReportAllocs()
+	eng := netsim.NewEngine()
+	n := 0
+	var pump func()
+	pump = func() {
+		n++
+		if n < b.N {
+			eng.After(1, pump)
+		}
+	}
+	eng.After(1, pump)
+	eng.Run()
+	if n < b.N {
+		b.Fatal("engine starved")
+	}
+}
+
+// headline is the benchmark set RunAll executes — the metrics
+// BENCH_PR3.json tracks.
+var headline = []struct {
+	name string
+	fn   func(*testing.B)
+}{
+	{"GoEnginePumpThroughput", GoEnginePump},
+	{"GoEnginePutThroughput", GoEnginePut},
+	{"DESEnginePutThroughput", DESEnginePut},
+	{"DESEngineEventThroughput", DESEngineEvents},
+}
+
+// RunAll executes the headline microbenchmarks via testing.Benchmark and
+// returns their results.
+func RunAll() []Result {
+	out := make([]Result, 0, len(headline))
+	for _, h := range headline {
+		r := testing.Benchmark(h.fn)
+		res := Result{
+			Name:        h.name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			N:           r.N,
+		}
+		if v, ok := r.Extra["msgs/sec"]; ok {
+			res.MsgsPerSec = v
+		}
+		out = append(out, res)
+	}
+	return out
+}

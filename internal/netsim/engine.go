@@ -12,7 +12,6 @@
 package netsim
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -48,27 +47,81 @@ type event struct {
 	fn  func()
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// evLess orders events by (at, seq); seq is unique, so the order is a
+// strict total order and pop sequence is independent of heap shape.
+func evLess(a, b event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
-func (h eventHeap) peek() event   { return h[0] }
+
+// eventQueue is an index-typed 4-ary min-heap over a flat event slice.
+// Compared to container/heap it pays no interface-boxing allocation per
+// push and half the tree height per sift; popped slots are zeroed and
+// reused in place on the next push, so the backing array doubles as the
+// event free-list and a steady-state engine allocates nothing per event
+// beyond the scheduled closure itself.
+type eventQueue []event
+
+func (q *eventQueue) push(ev event) {
+	h := append(*q, ev)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !evLess(ev, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = ev
+	*q = h
+}
+
+func (q *eventQueue) pop() event {
+	h := *q
+	root := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = event{} // release the closure: the slot becomes free-list space
+	h = h[:n]
+	*q = h
+	if n > 0 {
+		i := 0
+		for {
+			c := i<<2 + 1
+			if c >= n {
+				break
+			}
+			m := c
+			end := c + 4
+			if end > n {
+				end = n
+			}
+			for j := c + 1; j < end; j++ {
+				if evLess(h[j], h[m]) {
+					m = j
+				}
+			}
+			if !evLess(h[m], last) {
+				break
+			}
+			h[i] = h[m]
+			i = m
+		}
+		h[i] = last
+	}
+	return root
+}
 
 // Engine is a single-threaded discrete-event simulator. All simulated
 // work — NIC activity, host handlers, runtime actions — runs as events on
 // one goroutine, which makes every run bit-for-bit deterministic.
 type Engine struct {
-	heap eventHeap
-	now  VTime
-	seq  uint64
+	q   eventQueue
+	now VTime
+	seq uint64
 	// processed counts executed events, exposed for sanity checks and the
 	// engine-overhead ablation.
 	processed uint64
@@ -84,7 +137,7 @@ func (e *Engine) Now() VTime { return e.now }
 func (e *Engine) Processed() uint64 { return e.processed }
 
 // Pending returns the number of scheduled-but-unexecuted events.
-func (e *Engine) Pending() int { return len(e.heap) }
+func (e *Engine) Pending() int { return len(e.q) }
 
 // At schedules fn to run at absolute simulated time t. Scheduling in the
 // past is a protocol bug and panics.
@@ -93,7 +146,7 @@ func (e *Engine) At(t VTime, fn func()) {
 		panic(fmt.Sprintf("netsim: scheduling at %v before now %v", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.heap, event{at: t, seq: e.seq, fn: fn})
+	e.q.push(event{at: t, seq: e.seq, fn: fn})
 }
 
 // After schedules fn to run d after the current simulated time.
@@ -106,10 +159,10 @@ func (e *Engine) After(d VTime, fn func()) {
 
 // Step executes the next event, returning false when the queue is empty.
 func (e *Engine) Step() bool {
-	if len(e.heap) == 0 {
+	if len(e.q) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.heap).(event)
+	ev := e.q.pop()
 	e.now = ev.at
 	e.processed++
 	ev.fn()
@@ -140,7 +193,7 @@ func (e *Engine) RunUntil(done func() bool) bool {
 // RunFor executes events with timestamps up to and including deadline.
 func (e *Engine) RunFor(d VTime) {
 	deadline := e.now + d
-	for len(e.heap) > 0 && e.heap.peek().at <= deadline {
+	for len(e.q) > 0 && e.q[0].at <= deadline {
 		e.Step()
 	}
 	if e.now < deadline {

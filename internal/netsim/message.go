@@ -1,6 +1,10 @@
 package netsim
 
-import "nmvgas/internal/gas"
+import (
+	"sync"
+
+	"nmvgas/internal/gas"
+)
 
 // ByGVA as a destination asks the source NIC to resolve the destination
 // from the message's Target address (the network-managed path). Explicit
@@ -46,7 +50,9 @@ type Message struct {
 	// are two-sided and always cross the host on delivery.
 	DMA bool
 
-	Payload any
+	// Payload is the opaque application bytes. A typed slice (rather than
+	// any) keeps the hot path free of interface-boxing allocations.
+	Payload []byte
 	Wire    int
 
 	// Hops counts in-network forwards, for stats and loop detection.
@@ -89,3 +95,31 @@ type Message struct {
 // wireHeader approximates the fixed per-message header size the codec and
 // NIC descriptors contribute.
 const wireHeader = 32
+
+// msgPool recycles Message structs on the wall-clock (goroutine) engine's
+// fast path. The DES engine never recycles: its NIC model legitimately
+// retains delivered messages inside deferred table-update events, so
+// pooling there would hand a live message to a new sender.
+var msgPool = sync.Pool{New: func() any { return new(Message) }}
+
+// NewMessage returns a zeroed Message, reusing a pooled one when
+// available.
+//
+// Ownership rules (see DESIGN.md "Fast path & cost of the substrate"):
+// a Message has exactly one owner at a time. The sender owns it until it
+// hands it to the transport; the transport owns it until it hands it to a
+// host handler; the handler that consumes a message terminally — runs its
+// action, completes its op, or answers it — is the one that may Release
+// it. Paths that retain the message (queueIfMoving parks, CtlNack's
+// Nacked back-pointer, stale-delivery re-routes) transfer ownership with
+// the pointer and must NOT Release.
+func NewMessage() *Message { return msgPool.Get().(*Message) }
+
+// Release zeroes m and returns it to the pool. After Release the caller
+// must not touch m. Zeroing drops the Payload/Nacked pointers but does
+// not disturb their referents, so slices aliased out of a released
+// message's payload stay valid.
+func (m *Message) Release() {
+	*m = Message{}
+	msgPool.Put(m)
+}

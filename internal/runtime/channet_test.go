@@ -32,7 +32,7 @@ func TestChanNetForwardAndPushUpdates(t *testing.T) {
 	// and teach the source table; the second goes direct.
 	w.MustWait(w.Proc(2).Call(g, echo, nil))
 	cn := w.net.(*chanNet)
-	if o, ok := cn.nics[2].table.Peek(g.Block()); !ok || o != 3 {
+	if o, ok := cn.nics[2].peekTable(g.Block()); !ok || o != 3 {
 		t.Fatalf("source table not taught: %d,%v", o, ok)
 	}
 	w.MustWait(w.Proc(2).Call(g, echo, nil))
@@ -74,7 +74,7 @@ func TestChanNetNoPushKeepsBouncing(t *testing.T) {
 		w.MustWait(w.Proc(2).Call(g, echo, nil))
 	}
 	cn := w.net.(*chanNet)
-	if _, ok := cn.nics[2].table.Peek(g.Block()); ok {
+	if _, ok := cn.nics[2].peekTable(g.Block()); ok {
 		t.Fatal("source table updated despite PushUpdates=false")
 	}
 }
@@ -94,10 +94,7 @@ func TestChanNetBoundedTableCapacity(t *testing.T) {
 		w.MustWait(w.Proc(0).Call(lay.BlockAt(d), echo, nil))
 	}
 	cn := w.net.(*chanNet)
-	cn.nics[0].mu.Lock()
-	n := cn.nics[0].table.Len()
-	cn.nics[0].mu.Unlock()
-	if n > 2 {
+	if n := cn.nics[0].tableLen(); n > 2 {
 		t.Fatalf("go-engine NIC table grew to %d (cap 2)", n)
 	}
 }

@@ -25,8 +25,8 @@ type CoalesceConfig struct {
 	// (0 = 64 KiB default).
 	MaxBytes int
 	// MaxDelay bounds how long a lone parcel may wait for companions
-	// (simulated time under DES; real time under the goroutine engine;
-	// 0 = 2 µs default).
+	// (simulated time; under the goroutine engine it is scaled to wall
+	// clock through Config.GoTimeScale; 0 = 2 µs default).
 	MaxDelay netsim.VTime
 }
 
@@ -91,7 +91,7 @@ func (c *coalescer) add(dst int, enc []byte) {
 		if c.l.w.eng != nil {
 			c.l.w.eng.After(c.cfg.maxDelay(), func() { c.flush(dst) })
 		} else {
-			time.AfterFunc(time.Duration(c.cfg.maxDelay()), func() { c.flush(dst) })
+			time.AfterFunc(c.l.w.goWall(c.cfg.maxDelay()), func() { c.flush(dst) })
 		}
 	}
 }
@@ -117,13 +117,12 @@ func (c *coalescer) flush(dst int) {
 		payload = parcel.PutU32(payload, uint32(len(e)))
 		payload = append(payload, e...)
 	}
-	m := &netsim.Message{
-		Kind:    kBatch,
-		Src:     c.l.rank,
-		Target:  c.l.w.LocalityGVA(dst),
-		Payload: payload,
-		Wire:    len(payload),
-	}
+	m := netsim.NewMessage()
+	m.Kind = kBatch
+	m.Src = c.l.rank
+	m.Target = c.l.w.LocalityGVA(dst)
+	m.Payload = payload
+	m.Wire = len(payload)
 	// A batch targets the locality block, which is always resident, so
 	// routing is plain rank addressing in every mode.
 	c.l.exec.Exec(0, func() { c.l.inject(m, dst) })
@@ -150,7 +149,7 @@ func (l *Locality) FlushAll() {
 // directly; others re-route (the added hop coalescing risks under
 // migration).
 func (l *Locality) onBatch(m *netsim.Message) {
-	payload := m.Payload.([]byte)
+	payload := m.Payload
 	for off := 0; off+4 <= len(payload); {
 		n := int(parcel.U32(payload, off))
 		off += 4
@@ -160,14 +159,16 @@ func (l *Locality) onBatch(m *netsim.Message) {
 		if err != nil {
 			l.w.fail("rank %d: undecodable batched parcel: %v", l.rank, err)
 		}
-		sub := &netsim.Message{
-			Kind:    kParcel,
-			Src:     p.Src,
-			Target:  p.Target,
-			Payload: enc,
-			Wire:    len(enc),
-			Block:   p.Target.Block(),
-		}
+		// Sub-messages alias the batch payload's backing array; recycling
+		// the batch envelope only drops its pointer, so the aliases stay
+		// valid.
+		sub := netsim.NewMessage()
+		sub.Kind = kParcel
+		sub.Src = p.Src
+		sub.Target = p.Target
+		sub.Payload = enc
+		sub.Wire = len(enc)
+		sub.Block = p.Target.Block()
 		if l.resident(p.Target.Block()) {
 			l.exec.Charge(l.w.cfg.Model.HandlerDispatch)
 			l.execParcel(p, sub)

@@ -121,6 +121,13 @@ type Config struct {
 	// Workers adds per-locality worker goroutines in EngineGo mode; 0
 	// runs actions inline on the locality actor.
 	Workers int
+	// GoTimeScale is the EngineGo clock ratio: wall-clock nanoseconds per
+	// simulated nanosecond (0 = default 10). The goroutine engine has no
+	// simulated clock, but fault-injected delays and reliability
+	// retransmit timers are specified in simulated netsim.VTime; this one
+	// knob converts them to real durations instead of a silent 1:1 cast.
+	// EngineDES ignores it.
+	GoTimeScale int
 	// Seed feeds deterministic components (scheduler victim selection,
 	// fault injection).
 	Seed int64
@@ -155,6 +162,9 @@ func (c Config) normalized() (Config, error) {
 	}
 	if c.Faults.Seed == 0 {
 		c.Faults.Seed = c.Seed
+	}
+	if c.GoTimeScale <= 0 {
+		c.GoTimeScale = 10
 	}
 	if c.Faults.Drop < 0 || c.Faults.Drop >= 1 {
 		return c, fmt.Errorf("runtime: fault drop probability %v outside [0,1)", c.Faults.Drop)

@@ -52,19 +52,47 @@ func (e *desExec) Charge(extra netsim.VTime) {
 
 func (e *desExec) Offload(fn func()) { e.Exec(0, fn) }
 
+// task is one mailbox entry on the goroutine engine. The common case is a
+// typed message (m != nil) delivered by the transport or a local send —
+// no capturing closure, no per-message allocation. fn covers everything
+// else (timers, control actions, test hooks).
+type task struct {
+	fn    func()
+	m     *netsim.Message
+	local bool // m came from this locality (bypass the NIC receive path)
+}
+
+// execBatch bounds how many tasks the actor loop claims per lock
+// acquisition: large enough to amortize the lock, small enough to keep
+// stop() latency and memory bounded.
+const execBatch = 128
+
 // goExec is one locality actor: an unbounded mailbox drained by a single
 // goroutine, optionally paired with a worker pool for user action bodies.
+// The mailbox is a growable power-of-two ring buffer; the drain loop
+// claims up to execBatch tasks under one lock acquisition, so enqueue and
+// dequeue are both O(1) and a deep backlog no longer costs a slice shift
+// per message.
 type goExec struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
-	queue   []func()
+	ring    []task // len(ring) is a power of two
+	head    int    // index of the oldest queued task
+	n       int    // number of queued tasks
 	stopped bool
 	wg      sync.WaitGroup
 	pool    *sched.Pool // nil when Workers == 0
+
+	// onMsg and onLocal are the typed delivery handlers, wired by
+	// newChanNet / NewWorld before the actor starts: onMsg is the NIC
+	// receive path (chanNet.arrive), onLocal the loopback host path
+	// (onHostMsg).
+	onMsg   func(*netsim.Message)
+	onLocal func(*netsim.Message)
 }
 
 func newGoExec(pool *sched.Pool) *goExec {
-	e := &goExec{pool: pool}
+	e := &goExec{pool: pool, ring: make([]task, 64)}
 	e.cond = sync.NewCond(&e.mu)
 	return e
 }
@@ -74,23 +102,57 @@ func (e *goExec) start() {
 	go e.loop()
 }
 
+// push appends t to the ring, growing it when full. Caller holds e.mu.
+func (e *goExec) push(t task) {
+	if e.n == len(e.ring) {
+		bigger := make([]task, len(e.ring)*2)
+		p := copy(bigger, e.ring[e.head:])
+		copy(bigger[p:], e.ring[:e.head])
+		e.ring = bigger
+		e.head = 0
+	}
+	e.ring[(e.head+e.n)&(len(e.ring)-1)] = t
+	e.n++
+	e.cond.Signal()
+}
+
 func (e *goExec) loop() {
 	defer e.wg.Done()
+	var batch [execBatch]task
 	for {
 		e.mu.Lock()
-		for len(e.queue) == 0 && !e.stopped {
+		for e.n == 0 && !e.stopped {
 			e.cond.Wait()
 		}
-		if len(e.queue) == 0 && e.stopped {
+		if e.n == 0 && e.stopped {
 			e.mu.Unlock()
 			return
 		}
-		fn := e.queue[0]
-		copy(e.queue, e.queue[1:])
-		e.queue[len(e.queue)-1] = nil
-		e.queue = e.queue[:len(e.queue)-1]
+		k := e.n
+		if k > execBatch {
+			k = execBatch
+		}
+		mask := len(e.ring) - 1
+		for i := 0; i < k; i++ {
+			j := (e.head + i) & mask
+			batch[i] = e.ring[j]
+			e.ring[j] = task{}
+		}
+		e.head = (e.head + k) & mask
+		e.n -= k
 		e.mu.Unlock()
-		fn()
+		for i := 0; i < k; i++ {
+			t := &batch[i]
+			switch {
+			case t.m != nil && t.local:
+				e.onLocal(t.m)
+			case t.m != nil:
+				e.onMsg(t.m)
+			default:
+				t.fn()
+			}
+			*t = task{}
+		}
 	}
 }
 
@@ -109,8 +171,32 @@ func (e *goExec) Exec(_ netsim.VTime, fn func()) {
 		e.mu.Unlock()
 		return
 	}
-	e.queue = append(e.queue, fn)
-	e.cond.Signal()
+	e.push(task{fn: fn})
+	e.mu.Unlock()
+}
+
+// execMsg enqueues a transport-delivered message for the NIC receive path
+// without allocating a closure. Messages enqueued after stop are dropped,
+// matching Exec's stopped semantics.
+func (e *goExec) execMsg(m *netsim.Message) {
+	e.mu.Lock()
+	if e.stopped {
+		e.mu.Unlock()
+		return
+	}
+	e.push(task{m: m})
+	e.mu.Unlock()
+}
+
+// execLocal enqueues a locally-originated message straight for the host
+// handler, bypassing the NIC receive path.
+func (e *goExec) execLocal(m *netsim.Message) {
+	e.mu.Lock()
+	if e.stopped {
+		e.mu.Unlock()
+		return
+	}
+	e.push(task{m: m, local: true})
 	e.mu.Unlock()
 }
 

@@ -188,15 +188,25 @@ func (l *Locality) SendParcel(p *parcel.Parcel) {
 	l.Stats.ParcelsSent.Inc()
 	l.trace(TraceSend, p.Target.Block(), uint64(p.Action))
 	enc := parcel.Encode(p)
-	m := &netsim.Message{
-		Kind:    kParcel,
-		Src:     l.rank,
-		Target:  p.Target,
-		Payload: enc,
-		Wire:    len(enc),
-		MigCtl:  p.Action >= aMigrateReq && p.Action <= aMigrateDone,
-	}
+	m := netsim.NewMessage()
+	m.Kind = kParcel
+	m.Src = l.rank
+	m.Target = p.Target
+	m.Payload = enc
+	m.Wire = len(enc)
+	m.MigCtl = p.Action >= aMigrateReq && p.Action <= aMigrateDone
 	l.routeMsg(m)
+}
+
+// recycle returns a consumed message to the pool — goroutine engine
+// only. The DES fabric legitimately retains delivered messages inside
+// deferred table-update events, so recycling there would corrupt live
+// state; on DES consumed messages are left to the garbage collector.
+// Callers must hold sole ownership of m (see netsim.NewMessage).
+func (l *Locality) recycle(m *netsim.Message) {
+	if l.w.eng == nil {
+		m.Release()
+	}
 }
 
 // routeMsg performs source-side translation for m via the address-space
@@ -232,7 +242,11 @@ func (l *Locality) routeMsg(m *netsim.Message) {
 		// The strategy's zero-cost owner guess picks the batching
 		// destination; wrong guesses are re-routed at the batch target.
 		if dst := l.space.OwnerHint(b, m.Target.Home()); dst != l.rank {
-			l.coal.add(dst, m.Payload.([]byte))
+			// The coalescer keeps only the encoded bytes; the envelope is
+			// consumed here.
+			payload := m.Payload
+			l.recycle(m)
+			l.coal.add(dst, payload)
 			return
 		}
 	}
@@ -248,6 +262,13 @@ func (l *Locality) inject(m *netsim.Message, dst int) {
 	m.Dst = dst
 	l.relTrack(m)
 	l.exec.Charge(l.w.cfg.Model.OSend)
+	if l.w.eng == nil {
+		// The goroutine transport is thread-safe and there is no host-busy
+		// horizon to respect: send inline instead of paying a mailbox round
+		// trip and a capturing closure per message.
+		l.w.net.send(l.rank, m)
+		return
+	}
 	l.exec.Exec(0, func() { l.w.net.send(l.rank, m) })
 }
 
@@ -260,8 +281,14 @@ func (l *Locality) nicInject(m *netsim.Message) {
 }
 
 // deliverLocal executes m on this locality without touching the network.
+// On the goroutine engine it uses the typed mailbox lane straight to the
+// host handler (no closure); on DES it charges handler dispatch.
 func (l *Locality) deliverLocal(m *netsim.Message) {
 	l.Stats.LocalRuns.Inc()
+	if ex, ok := l.exec.(*goExec); ok {
+		ex.execLocal(m)
+		return
+	}
 	l.exec.Exec(l.w.cfg.Model.HandlerDispatch, func() { l.onHostMsg(m) })
 }
 
@@ -272,12 +299,16 @@ func (l *Locality) deliverLocal(m *netsim.Message) {
 // local deliveries. It runs on the locality executor.
 func (l *Locality) onHostMsg(m *netsim.Message) {
 	if m.Ctl == netsim.CtlNack || m.Ctl == netsim.CtlNackLoop {
+		// The NACK envelope is consumed here; the nacked original's
+		// ownership moves to the resend path (or the GC — a duplicated
+		// NACK's clones share one original, so it is never pooled).
 		l.onNICNack(m)
+		l.recycle(m)
 		return
 	}
 	switch m.Kind {
 	case kParcel:
-		p, err := parcel.Decode(m.Payload.([]byte))
+		p, err := parcel.Decode(m.Payload)
 		if err != nil {
 			l.w.fail("rank %d: undecodable parcel: %v", l.rank, err)
 		}
@@ -287,32 +318,35 @@ func (l *Locality) onHostMsg(m *netsim.Message) {
 	case kGetReq:
 		l.hostGet(m)
 	case kPutAck:
-		if !l.relAccept(m) {
-			return
+		if l.relAccept(m) {
+			l.completeOp(m.OpID, nil)
 		}
-		l.completeOp(m.OpID, nil)
+		l.recycle(m)
 	case kGetRep:
-		if !l.relAccept(m) {
-			return
+		if l.relAccept(m) {
+			// completeOp may retain the payload slice; Release only drops
+			// the envelope's pointer to it, never the backing array.
+			l.completeOp(m.OpID, m.Payload)
 		}
-		l.completeOp(m.OpID, m.Payload.([]byte))
+		l.recycle(m)
 	case kHostNack:
-		if !l.relAccept(m) {
-			return
+		if l.relAccept(m) {
+			l.onHostNack(m)
 		}
-		l.onHostNack(m)
+		l.recycle(m)
 	case kOwnerUpd:
-		if !l.relAccept(m) {
-			return
+		if l.relAccept(m) {
+			l.space.LearnOwner(m.Block, m.Owner)
 		}
-		l.space.LearnOwner(m.Block, m.Owner)
+		l.recycle(m)
 	case kBatch:
-		if !l.relAccept(m) {
-			return
+		if l.relAccept(m) {
+			l.onBatch(m)
 		}
-		l.onBatch(m)
+		l.recycle(m)
 	case kRelAck:
 		l.relOnAck(m)
+		l.recycle(m)
 	default:
 		l.w.fail("rank %d: unknown message kind %d", l.rank, m.Kind)
 	}
@@ -341,49 +375,65 @@ func (l *Locality) execParcel(p *parcel.Parcel, m *netsim.Message) {
 			// A duplicated control parcel (LCO set, migration step) must
 			// not run twice: gates would double-count and the migration
 			// protocol would replay.
+			l.recycle(m)
 			return
 		}
 		l.Stats.ParcelsRun.Inc()
 		l.trace(TraceExec, p.Target.Block(), uint64(p.Action))
 		act(&Ctx{l: l, P: p})
+		l.recycle(m)
 		return
 	}
-	l.exec.Offload(func() {
-		b := p.Target.Block()
-		if l.relDupPeek(m) {
-			// A copy that already ran here must not even transiently take
-			// an active-count (that could defer a racing migration).
-			return
-		}
-		l.mu.Lock()
-		if st, moving := l.moving[b]; moving {
-			st.queued = append(st.queued, m)
-			l.Stats.Queued.Inc()
-			l.mu.Unlock()
-			return
-		}
-		l.active[b]++
-		l.mu.Unlock()
+	if ex, ok := l.exec.(*goExec); ok && ex.pool == nil {
+		// No worker pool: the body runs on this (actor) goroutine anyway,
+		// so skip the Offload closure and the mailbox round trip.
+		l.runUserParcel(act, p, m)
+		return
+	}
+	l.exec.Offload(func() { l.runUserParcel(act, p, m) })
+}
 
-		defer func() {
-			l.mu.Lock()
-			if l.active[b]--; l.active[b] == 0 {
-				delete(l.active, b)
-			}
-			l.mu.Unlock()
-		}()
-		if _, ok := l.store.Get(b); !ok {
-			l.space.OnStaleDelivery(m, p)
-			return
+// runUserParcel is the user-action half of execParcel: dup suppression,
+// migration queueing, the per-block active-count, and dispatch. It runs
+// on a worker when the engine has a pool, else on the locality actor.
+func (l *Locality) runUserParcel(act Action, p *parcel.Parcel, m *netsim.Message) {
+	b := p.Target.Block()
+	if l.relDupPeek(m) {
+		// A copy that already ran here must not even transiently take
+		// an active-count (that could defer a racing migration).
+		l.recycle(m)
+		return
+	}
+	l.mu.Lock()
+	if st, moving := l.moving[b]; moving {
+		st.queued = append(st.queued, m)
+		l.Stats.Queued.Inc()
+		l.mu.Unlock()
+		return
+	}
+	l.active[b]++
+	l.mu.Unlock()
+
+	defer func() {
+		l.mu.Lock()
+		if l.active[b]--; l.active[b] == 0 {
+			delete(l.active, b)
 		}
-		if !l.relAccept(m) {
-			return
-		}
-		l.Stats.ParcelsRun.Inc()
-		l.w.noteAccess(l.rank, b)
-		l.trace(TraceExec, b, uint64(p.Action))
-		act(&Ctx{l: l, P: p})
-	})
+		l.mu.Unlock()
+	}()
+	if _, ok := l.store.Get(b); !ok {
+		l.space.OnStaleDelivery(m, p)
+		return
+	}
+	if !l.relAccept(m) {
+		l.recycle(m)
+		return
+	}
+	l.Stats.ParcelsRun.Inc()
+	l.w.noteAccess(l.rank, b)
+	l.trace(TraceExec, b, uint64(p.Action))
+	act(&Ctx{l: l, P: p})
+	l.recycle(m)
 }
 
 // routeToExplicit re-sends m to a known destination, charging injection.
@@ -419,9 +469,12 @@ func (l *Locality) onNICNack(m *netsim.Message) {
 		l.w.net.updateTable(l.rank, m.Block, m.Owner)
 	}
 	// Resend a copy: a duplicated NACK can deliver twice, and both
-	// resends must not alias one Message crossing the fabric twice.
-	cp := *orig
-	l.routeMsg(&cp)
+	// resends must not alias one Message crossing the fabric twice. The
+	// copy is pooled; orig stays off the pool because duplicated NACK
+	// clones share it.
+	cp := netsim.NewMessage()
+	*cp = *orig
+	l.routeMsg(cp)
 }
 
 // onHostNack handles the software-managed repair of a bounced one-sided
@@ -453,15 +506,14 @@ func (l *Locality) PutAsync(dst gas.GVA, data []byte, done func()) {
 		}
 	})
 	buf := append([]byte(nil), data...)
-	m := &netsim.Message{
-		Kind:    kPutReq,
-		Src:     l.rank,
-		Target:  dst,
-		DMA:     true,
-		Payload: buf,
-		Wire:    32 + len(buf),
-		OpID:    id,
-	}
+	m := netsim.NewMessage()
+	m.Kind = kPutReq
+	m.Src = l.rank
+	m.Target = dst
+	m.DMA = true
+	m.Payload = buf
+	m.Wire = 32 + len(buf)
+	m.OpID = id
 	l.routeMsg(m)
 }
 
@@ -471,15 +523,14 @@ func (l *Locality) GetAsync(src gas.GVA, n uint32, done func(data []byte)) {
 	l.Stats.GetOps.Inc()
 	l.Stats.GetBytes.Add(int64(n))
 	id := l.newOp(done)
-	m := &netsim.Message{
-		Kind:   kGetReq,
-		Src:    l.rank,
-		Target: src,
-		DMA:    true,
-		Wire:   32,
-		N:      n,
-		OpID:   id,
-	}
+	m := netsim.NewMessage()
+	m.Kind = kGetReq
+	m.Src = l.rank
+	m.Target = src
+	m.DMA = true
+	m.Wire = 32
+	m.N = n
+	m.OpID = id
 	l.routeMsg(m)
 }
 
@@ -522,6 +573,7 @@ func (l *Locality) onDMA(m *netsim.Message) {
 	if !l.relAccept(m) {
 		// Duplicate one-sided request: the first copy applied the effect
 		// and its (retransmitted-until-acked) reply completes the op.
+		l.recycle(m)
 		return
 	}
 	switch m.Kind {
@@ -529,21 +581,33 @@ func (l *Locality) onDMA(m *netsim.Message) {
 		if blk.Frozen {
 			l.w.fail("rank %d: DMA put to frozen (replicated) block %d", l.rank, b)
 		}
-		if err := l.store.WriteAt(b, m.Target.Offset(), m.Payload.([]byte)); err != nil {
+		if err := l.store.WriteAt(b, m.Target.Offset(), m.Payload); err != nil {
 			l.w.fail("rank %d: %v", l.rank, err)
 		}
-		l.nicInject(&netsim.Message{Kind: kPutAck, Src: l.rank, Dst: m.Src, Wire: 32, OpID: m.OpID})
+		ack := netsim.NewMessage()
+		ack.Kind = kPutAck
+		ack.Src = l.rank
+		ack.Dst = m.Src
+		ack.Wire = 32
+		ack.OpID = m.OpID
+		l.nicInject(ack)
 	case kGetReq:
 		data := make([]byte, m.N)
 		if err := l.store.ReadAt(b, m.Target.Offset(), data); err != nil {
 			l.w.fail("rank %d: %v", l.rank, err)
 		}
-		l.nicInject(&netsim.Message{
-			Kind: kGetRep, Src: l.rank, Dst: m.Src, Wire: 32 + len(data), Payload: data, OpID: m.OpID,
-		})
+		rep := netsim.NewMessage()
+		rep.Kind = kGetRep
+		rep.Src = l.rank
+		rep.Dst = m.Src
+		rep.Wire = 32 + len(data)
+		rep.Payload = data
+		rep.OpID = m.OpID
+		l.nicInject(rep)
 	default:
 		l.w.fail("rank %d: DMA with kind %d", l.rank, m.Kind)
 	}
+	l.recycle(m)
 }
 
 // hostPut is the host-side put path: local fast path, migration queueing,
@@ -562,18 +626,28 @@ func (l *Locality) hostPut(m *netsim.Message) {
 			l.w.fail("rank %d: put to frozen (replicated) block %d", l.rank, b)
 		}
 		if !l.relAccept(m) {
+			l.recycle(m)
 			return
 		}
 		l.w.noteAccess(l.rank, b)
-		l.exec.Charge(l.w.cfg.Model.CopyTime(len(m.Payload.([]byte))))
-		if err := l.store.WriteAt(b, m.Target.Offset(), m.Payload.([]byte)); err != nil {
+		l.exec.Charge(l.w.cfg.Model.CopyTime(len(m.Payload)))
+		if err := l.store.WriteAt(b, m.Target.Offset(), m.Payload); err != nil {
 			l.w.fail("rank %d: %v", l.rank, err)
 		}
 		if m.Src == l.rank {
-			l.completeOp(m.OpID, nil)
+			opID := m.OpID
+			l.recycle(m)
+			l.completeOp(opID, nil)
 			return
 		}
-		l.inject(&netsim.Message{Kind: kPutAck, Src: l.rank, Dst: m.Src, Wire: 32, OpID: m.OpID}, m.Src)
+		ack := netsim.NewMessage()
+		ack.Kind = kPutAck
+		ack.Src = l.rank
+		ack.Dst = m.Src
+		ack.Wire = 32
+		ack.OpID = m.OpID
+		l.recycle(m)
+		l.inject(ack, ack.Dst)
 		return
 	}
 	l.space.OnStaleDelivery(m, nil)
@@ -591,6 +665,7 @@ func (l *Locality) hostGet(m *netsim.Message) {
 			l.w.fail("rank %d: get from non-data block %d", l.rank, b)
 		}
 		if !l.relAccept(m) {
+			l.recycle(m)
 			return
 		}
 		l.w.noteAccess(l.rank, b)
@@ -600,10 +675,20 @@ func (l *Locality) hostGet(m *netsim.Message) {
 			l.w.fail("rank %d: %v", l.rank, err)
 		}
 		if m.Src == l.rank {
-			l.completeOp(m.OpID, data)
+			opID := m.OpID
+			l.recycle(m)
+			l.completeOp(opID, data)
 			return
 		}
-		l.inject(&netsim.Message{Kind: kGetRep, Src: l.rank, Dst: m.Src, Wire: 32 + len(data), Payload: data, OpID: m.OpID}, m.Src)
+		rep := netsim.NewMessage()
+		rep.Kind = kGetRep
+		rep.Src = l.rank
+		rep.Dst = m.Src
+		rep.Wire = 32 + len(data)
+		rep.Payload = data
+		rep.OpID = m.OpID
+		l.recycle(m)
+		l.inject(rep, rep.Dst)
 		return
 	}
 	l.space.OnStaleDelivery(m, nil)

@@ -81,44 +81,135 @@ func (n *desNet) dropAll(b gas.BlockID) {
 // role of the NIC translation state, guarded by locks instead of the
 // event loop.
 type chanNet struct {
-	w    *World
-	nics []*goNICState
+	w     *World
+	nics  []*goNICState
+	execs []*goExec // per-rank actors, for typed (closure-free) delivery
 }
 
+// nicShards is the shard count for an unbounded translation table. A
+// bounded table (NICTableCap > 0) collapses to one shard so the LRU
+// capacity stays a single global budget, exactly as on the DES NIC.
+const nicShards = 8
+
+// goNICState shards the per-rank translation state by block so
+// concurrent senders resolving different blocks stop serializing on one
+// mutex. Each shard is an RWMutex: translation lookups on an unbounded
+// table are pure reads (Peek) and proceed in parallel; only route
+// installs, table updates, and bounded-LRU lookups (which must touch
+// recency) take the write lock.
 type goNICState struct {
-	mu     sync.Mutex
+	shards  []nicShard
+	mask    uint64
+	bounded bool // capacity-limited table: lookups must maintain LRU order
+}
+
+type nicShard struct {
+	mu     sync.RWMutex
 	table  *netsim.TransTable
 	routes map[gas.BlockID]int
+}
+
+func newGoNICState(tableCap int) *goNICState {
+	n := nicShards
+	if tableCap > 0 {
+		n = 1
+	}
+	st := &goNICState{
+		shards:  make([]nicShard, n),
+		mask:    uint64(n - 1),
+		bounded: tableCap > 0,
+	}
+	for i := range st.shards {
+		st.shards[i].table = netsim.NewTransTable(tableCap)
+		st.shards[i].routes = make(map[gas.BlockID]int)
+	}
+	return st
+}
+
+func (n *goNICState) shard(b gas.BlockID) *nicShard {
+	return &n.shards[uint64(b)&n.mask]
+}
+
+func (n *goNICState) lookup(b gas.BlockID) (int, bool) {
+	s := n.shard(b)
+	if n.bounded {
+		// Lookup maintains LRU recency, so it needs the write lock.
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if o, ok := s.table.Lookup(b); ok {
+			return o, true
+		}
+		o, ok := s.routes[b]
+		return o, ok
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if o, ok := s.table.Peek(b); ok {
+		return o, true
+	}
+	o, ok := s.routes[b]
+	return o, ok
+}
+
+func (n *goNICState) route(b gas.BlockID) (int, bool) {
+	s := n.shard(b)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if o, ok := s.routes[b]; ok {
+		return o, true
+	}
+	return s.table.Peek(b)
+}
+
+func (n *goNICState) updateTable(b gas.BlockID, owner int) {
+	s := n.shard(b)
+	s.mu.Lock()
+	s.table.Update(b, owner)
+	s.mu.Unlock()
+}
+
+// maybeLoseEntry applies the soft-error fault model to the shard the
+// arriving block hashes to.
+func (n *goNICState) maybeLoseEntry(b gas.BlockID, fi *netsim.FaultInjector) {
+	s := n.shard(b)
+	s.mu.Lock()
+	fi.MaybeLoseEntry(s.table)
+	s.mu.Unlock()
+}
+
+// peekTable reads the evictable table without touching recency (tests).
+func (n *goNICState) peekTable(b gas.BlockID) (int, bool) {
+	s := n.shard(b)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.table.Peek(b)
+}
+
+// tableLen sums evictable entries across shards (tests).
+func (n *goNICState) tableLen() int {
+	total := 0
+	for i := range n.shards {
+		s := &n.shards[i]
+		s.mu.RLock()
+		total += s.table.Len()
+		s.mu.RUnlock()
+	}
+	return total
 }
 
 func newChanNet(w *World) *chanNet {
 	n := &chanNet{w: w}
 	for r := 0; r < w.cfg.Ranks; r++ {
-		n.nics = append(n.nics, &goNICState{
-			table:  netsim.NewTransTable(w.cfg.NICTableCap),
-			routes: make(map[gas.BlockID]int),
-		})
+		n.nics = append(n.nics, newGoNICState(w.cfg.NICTableCap))
+	}
+	for _, l := range w.locs {
+		l := l
+		ex := l.exec.(*goExec)
+		ex.onMsg = func(m *netsim.Message) { n.arrive(l, m) }
+		ex.onLocal = l.onHostMsg
+		n.execs = append(n.execs, ex)
 	}
 	return n
-}
-
-func (n *goNICState) lookup(b gas.BlockID) (int, bool) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if o, ok := n.table.Lookup(b); ok {
-		return o, true
-	}
-	o, ok := n.routes[b]
-	return o, ok
-}
-
-func (n *goNICState) route(b gas.BlockID) (int, bool) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if o, ok := n.routes[b]; ok {
-		return o, true
-	}
-	return n.table.Peek(b)
 }
 
 func (c *chanNet) send(from int, m *netsim.Message) {
@@ -142,9 +233,11 @@ func (c *chanNet) send(from int, m *netsim.Message) {
 		}
 		if act.Duplicate {
 			// Clone: both copies cross independent receive paths that
-			// mutate hop counts and tables.
-			cp := *m
-			c.deliver(&cp, act.DupDelay)
+			// mutate hop counts and tables. Each copy is independently
+			// owned and independently recycled.
+			cp := netsim.NewMessage()
+			*cp = *m
+			c.deliver(cp, act.DupDelay)
 		}
 		c.deliver(m, act.Delay)
 		return
@@ -152,18 +245,19 @@ func (c *chanNet) send(from int, m *netsim.Message) {
 	c.deliver(m, 0)
 }
 
-// deliver hands m to the destination actor, optionally after a real-time
-// delay (the goroutine transport has no simulated clock; a wall-clock
-// hold is enough to reorder the message past later traffic).
+// deliver hands m to the destination actor's typed mailbox — no
+// capturing closure on the zero-delay fast path. Fault-injected delays
+// are simulated nanoseconds; goWall converts them to wall clock through
+// the Config.GoTimeScale knob (the goroutine transport has no simulated
+// clock; a scaled wall-clock hold is enough to reorder the message past
+// later traffic).
 func (c *chanNet) deliver(m *netsim.Message, delay netsim.VTime) {
-	dst := c.w.locs[m.Dst]
+	ex := c.execs[m.Dst]
 	if delay > 0 {
-		time.AfterFunc(time.Duration(delay), func() {
-			dst.exec.Exec(0, func() { c.arrive(dst, m) })
-		})
+		time.AfterFunc(c.w.goWall(delay), func() { ex.execMsg(m) })
 		return
 	}
-	dst.exec.Exec(0, func() { c.arrive(dst, m) })
+	ex.execMsg(m)
 }
 
 func (c *chanNet) nicSend(from int, m *netsim.Message) { c.send(from, m) }
@@ -174,9 +268,8 @@ func (c *chanNet) arrive(l *Locality, m *netsim.Message) {
 	st := c.nics[l.rank]
 	switch m.Ctl {
 	case netsim.CtlTableUpdate:
-		st.mu.Lock()
-		st.table.Update(m.Block, m.Owner)
-		st.mu.Unlock()
+		st.updateTable(m.Block, m.Owner)
+		m.Release() // consumed by the NIC; never reaches the host
 		return
 	case netsim.CtlNack, netsim.CtlNackLoop:
 		l.onHostMsg(m)
@@ -185,9 +278,7 @@ func (c *chanNet) arrive(l *Locality, m *netsim.Message) {
 	if fi := c.w.faults; fi != nil && c.w.caps.NICTranslation {
 		// Soft-error model, mirroring netsim.NIC.receive: arrivals may
 		// scribble over one evictable translation entry.
-		st.mu.Lock()
-		fi.MaybeLoseEntry(st.table)
-		st.mu.Unlock()
+		st.maybeLoseEntry(m.Block, fi)
 	}
 	if m.Target.IsNull() {
 		l.onHostMsg(m)
@@ -227,15 +318,14 @@ func (c *chanNet) misroute(l *Locality, st *goNICState, m *netsim.Message) {
 	}
 	pol := c.w.cfg.Policy
 	if !pol.ForwardInNetwork {
-		nk := &netsim.Message{
-			Ctl:    netsim.CtlNack,
-			Src:    l.rank,
-			Dst:    m.Src,
-			Block:  m.Block,
-			Owner:  owner,
-			Wire:   32,
-			Nacked: m,
-		}
+		nk := netsim.NewMessage()
+		nk.Ctl = netsim.CtlNack
+		nk.Src = l.rank
+		nk.Dst = m.Src
+		nk.Block = m.Block
+		nk.Owner = owner
+		nk.Wire = 32
+		nk.Nacked = m // ownership of m transfers to the NACK
 		c.send(l.rank, nk)
 		return
 	}
@@ -244,56 +334,53 @@ func (c *chanNet) misroute(l *Locality, st *goNICState, m *netsim.Message) {
 		// Hop budget exhausted: bounded fallback instead of the old hard
 		// failure — NACK to the sender with the home as owner hint, which
 		// counts bounces and eventually abandons (see onNICNack).
-		nk := &netsim.Message{
-			Ctl:    netsim.CtlNackLoop,
-			Src:    l.rank,
-			Dst:    m.Src,
-			Block:  m.Block,
-			Owner:  m.Target.Home(),
-			Wire:   32,
-			Nacked: m,
-		}
+		nk := netsim.NewMessage()
+		nk.Ctl = netsim.CtlNackLoop
+		nk.Src = l.rank
+		nk.Dst = m.Src
+		nk.Block = m.Block
+		nk.Owner = m.Target.Home()
+		nk.Wire = 32
+		nk.Nacked = m
 		c.send(l.rank, nk)
 		return
 	}
 	if pol.PushUpdates && m.Src != l.rank {
-		src := c.nics[m.Src]
-		src.mu.Lock()
-		src.table.Update(m.Block, owner)
-		src.mu.Unlock()
+		c.nics[m.Src].updateTable(m.Block, owner)
 	}
-	fwd := *m
+	// Forward a fresh copy and recycle the arrived one: the forwarded
+	// message is the sole owner from here on.
+	fwd := netsim.NewMessage()
+	*fwd = *m
 	fwd.Dst = owner
-	c.send(l.rank, &fwd)
+	m.Release()
+	c.send(l.rank, fwd)
 }
 
 func (c *chanNet) installRoute(rank int, b gas.BlockID, owner int) {
-	st := c.nics[rank]
-	st.mu.Lock()
-	st.routes[b] = owner
-	st.mu.Unlock()
+	s := c.nics[rank].shard(b)
+	s.mu.Lock()
+	s.routes[b] = owner
+	s.mu.Unlock()
 }
 
 func (c *chanNet) updateTable(rank int, b gas.BlockID, owner int) {
-	st := c.nics[rank]
-	st.mu.Lock()
-	st.table.Update(b, owner)
-	st.mu.Unlock()
+	c.nics[rank].updateTable(b, owner)
 }
 
 func (c *chanNet) clearResident(rank int, b gas.BlockID) {
-	st := c.nics[rank]
-	st.mu.Lock()
-	delete(st.routes, b)
-	st.table.Invalidate(b)
-	st.mu.Unlock()
+	s := c.nics[rank].shard(b)
+	s.mu.Lock()
+	delete(s.routes, b)
+	s.table.Invalidate(b)
+	s.mu.Unlock()
 }
 
 func (c *chanNet) route(rank int, b gas.BlockID) (int, bool) {
-	st := c.nics[rank]
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	o, ok := st.routes[b]
+	s := c.nics[rank].shard(b)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	o, ok := s.routes[b]
 	return o, ok
 }
 
@@ -310,9 +397,10 @@ func (c *chanNet) commitAtHome(home int, b gas.BlockID, owner int) {
 
 func (c *chanNet) dropAll(b gas.BlockID) {
 	for _, st := range c.nics {
-		st.mu.Lock()
-		delete(st.routes, b)
-		st.table.Invalidate(b)
-		st.mu.Unlock()
+		s := st.shard(b)
+		s.mu.Lock()
+		delete(s.routes, b)
+		s.table.Invalidate(b)
+		s.mu.Unlock()
 	}
 }

@@ -233,19 +233,16 @@ func (l *Locality) relTrack(m *netsim.Message) {
 	}
 }
 
-// relGoClockScale maps simulated-nanosecond timeouts onto the wall
-// clock under the goroutine engine (which advances no simulated time):
-// timeouts run 10× their nominal value so real scheduling jitter does
-// not masquerade as loss.
-const relGoClockScale = 10
-
 // relNow reads the clock retransmission deadlines live on: simulated
-// time under DES, scaled wall time under the goroutine engine.
+// time under DES, wall time divided by Config.GoTimeScale under the
+// goroutine engine (so timeouts specified in simulated ns run scaled-up
+// on the wall clock and real scheduling jitter does not masquerade as
+// loss).
 func (l *Locality) relNow() netsim.VTime {
 	if l.w.eng != nil {
 		return l.w.eng.Now()
 	}
-	return netsim.VTime(time.Now().UnixNano() / relGoClockScale)
+	return netsim.VTime(time.Now().UnixNano() / int64(l.w.cfg.GoTimeScale))
 }
 
 // relArm schedules the retransmission timer for channel ch.
@@ -254,7 +251,7 @@ func (l *Locality) relArm(ch int32, d netsim.VTime) {
 		l.w.eng.After(d, func() { l.relTimer(ch) })
 		return
 	}
-	time.AfterFunc(time.Duration(d)*relGoClockScale, func() {
+	time.AfterFunc(l.w.goWall(d), func() {
 		l.exec.Exec(0, func() { l.relTimer(ch) })
 	})
 }
@@ -305,9 +302,12 @@ func (l *Locality) relTimer(ch int32) {
 		}
 		p.attempts++
 		resent = append(resent, p)
-		cp := *p.m
+		// The clone travels and is recycled by whoever consumes it; the
+		// pristine copy p.m stays here for the next retransmission.
+		cp := netsim.NewMessage()
+		*cp = *p.m
 		cp.Hops = 0
-		resend = append(resend, &cp)
+		resend = append(resend, cp)
 		if cp.MigCtl {
 			mig++
 		}
@@ -430,17 +430,17 @@ func (l *Locality) relFlushOK(m *netsim.Message) bool {
 // relSendAck acknowledges m's stream up to cum. Self-deliveries
 // short-circuit.
 func (l *Locality) relSendAck(m *netsim.Message, cum uint64) {
-	ack := &netsim.Message{
-		Kind:    kRelAck,
-		Src:     l.rank,
-		Dst:     m.Src,
-		Wire:    relAckWire,
-		RelChan: m.RelChan,
-		RelSeq:  m.RelSeq,
-		RelCum:  cum,
-	}
+	ack := netsim.NewMessage()
+	ack.Kind = kRelAck
+	ack.Src = l.rank
+	ack.Dst = m.Src
+	ack.Wire = relAckWire
+	ack.RelChan = m.RelChan
+	ack.RelSeq = m.RelSeq
+	ack.RelCum = cum
 	if m.Src == l.rank {
 		l.w.locs[l.rank].relOnAck(ack)
+		l.recycle(ack)
 		return
 	}
 	l.w.net.nicSend(l.rank, ack)

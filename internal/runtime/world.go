@@ -226,6 +226,12 @@ func (w *World) Now() netsim.VTime {
 	return 0
 }
 
+// goWall converts a simulated duration to a wall-clock duration under
+// EngineGo, through the Config.GoTimeScale knob.
+func (w *World) goWall(d netsim.VTime) time.Duration {
+	return time.Duration(int64(d) * int64(w.cfg.GoTimeScale))
+}
+
 // Engine exposes the DES engine for harness-level scheduling (workload
 // drivers inject load at simulated times). It panics under EngineGo.
 func (w *World) Engine() *netsim.Engine {
