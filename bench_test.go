@@ -179,8 +179,25 @@ func BenchmarkSchedPoolSubmit(b *testing.B) {
 // BENCH_PR3.json report the exact same workloads.
 
 // BenchmarkGoEnginePutThroughput measures real concurrent one-sided
-// throughput on the goroutine engine (wall clock, not simulated).
+// throughput on the goroutine engine (wall clock, not simulated): puts
+// are pipelined through a bounded window over pooled wire buffers.
 func BenchmarkGoEnginePutThroughput(b *testing.B) { microbench.GoEnginePut(b) }
+
+// BenchmarkGoEngineGetThroughput is the blocking get round trip with a
+// pooled reply buffer.
+func BenchmarkGoEngineGetThroughput(b *testing.B) { microbench.GoEngineGet(b) }
+
+// BenchmarkGoEnginePutVecThroughput writes 8 scattered fragments per op
+// as one wire message with one ack.
+func BenchmarkGoEnginePutVecThroughput(b *testing.B) { microbench.GoEnginePutVec(b) }
+
+// BenchmarkGoEngineGetVecThroughput gathers 8 scattered fragments per op
+// as one request/reply pair.
+func BenchmarkGoEngineGetVecThroughput(b *testing.B) { microbench.GoEngineGetVec(b) }
+
+// BenchmarkGoEngineCoalesceThroughput is the pump workload through
+// 16-deep coalesced batches split by the receiving NIC path.
+func BenchmarkGoEngineCoalesceThroughput(b *testing.B) { microbench.GoEngineCoalesce(b) }
 
 // BenchmarkGoEnginePumpThroughput is the send→deliver pump workload on
 // the goroutine engine (msgs/sec and allocs/op for the whole fast path).

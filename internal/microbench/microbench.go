@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"nmvgas/internal/gas"
 	"nmvgas/internal/netsim"
 	"nmvgas/internal/runtime"
 	"nmvgas/vgas"
@@ -64,32 +65,174 @@ func GoEnginePump(b *testing.B) {
 	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "msgs/sec")
 }
 
-// enginePut measures one put round trip (send path + completion) per
-// iteration on the given engine.
-func enginePut(b *testing.B, eng vgas.EngineKind) {
+// putWorld builds the standard 2-rank one-sided benchmark world: a
+// 4 KiB block resident on rank 1, driven from rank 0.
+func putWorld(b *testing.B, eng vgas.EngineKind) (*vgas.World, gas.GVA) {
 	w, err := vgas.NewWorld(vgas.Config{Ranks: 2, Mode: vgas.AGASNM, Engine: eng})
 	if err != nil {
 		b.Fatal(err)
 	}
-	defer w.Stop()
 	w.Start()
 	lay, err := w.AllocLocal(1, 4096, 1)
 	if err != nil {
 		b.Fatal(err)
 	}
-	g := lay.BlockAt(0)
+	return w, lay.BlockAt(0)
+}
+
+// enginePut measures one blocking put round trip (send path + completion)
+// per iteration on the given engine.
+func enginePut(b *testing.B, eng vgas.EngineKind) {
+	w, g := putWorld(b, eng)
+	defer w.Stop()
 	buf := make([]byte, 64)
 	b.SetBytes(64)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		w.MustWait(w.Proc(0).Put(g, buf))
+		w.Proc(0).PutWait(g, buf)
 	}
 }
 
-// GoEnginePut is the wall-clock one-sided put round trip on the
-// goroutine engine.
-func GoEnginePut(b *testing.B) { enginePut(b, vgas.EngineGo) }
+// GoEnginePut is the wall-clock one-sided put throughput on the
+// goroutine engine: the driver pipelines b.N 64 B puts through a bounded
+// in-flight window (so wire buffers stay pooled) and waits for the last
+// coalesced ack. msgs/sec is the headline; allocs/op covers the whole
+// issue→DMA→ack path.
+func GoEnginePut(b *testing.B) {
+	w, g := putWorld(b, vgas.EngineGo)
+	defer w.Stop()
+	const window = 1024
+	tokens := make(chan struct{}, window)
+	done := make(chan struct{})
+	var acked atomic.Int64
+	target := int64(b.N)
+	cb := func() {
+		<-tokens
+		if acked.Add(1) == target {
+			close(done)
+		}
+	}
+	p := w.Proc(0)
+	buf := make([]byte, 64)
+	b.SetBytes(64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		tokens <- struct{}{}
+		p.PutAsync(g, buf, cb)
+	}
+	<-done
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "msgs/sec")
+}
+
+// GoEngineGet is the wall-clock one-sided get round trip on the
+// goroutine engine. GetWaitInto reuses the caller's buffer and the reply
+// rides a pooled wire buffer, so the steady state allocates nothing per
+// op.
+func GoEngineGet(b *testing.B) {
+	w, g := putWorld(b, vgas.EngineGo)
+	defer w.Stop()
+	p := w.Proc(0)
+	buf := make([]byte, 64)
+	b.SetBytes(64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		p.GetWaitInto(g, buf)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "msgs/sec")
+}
+
+// GoEnginePutVec writes 8 scattered 64 B fragments per iteration as one
+// wire message with one ack.
+func GoEnginePutVec(b *testing.B) {
+	w, g := putWorld(b, vgas.EngineGo)
+	defer w.Stop()
+	p := w.Proc(0)
+	frag := make([]byte, 64)
+	segs := make([]vgas.PutSeg, 8)
+	for i := range segs {
+		segs[i] = vgas.PutSeg{Off: uint32(i * 512), Data: frag}
+	}
+	b.SetBytes(8 * 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		p.PutVecWait(g, segs)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "msgs/sec")
+}
+
+// GoEngineGetVec gathers 8 scattered 64 B fragments per iteration as one
+// request with one reply.
+func GoEngineGetVec(b *testing.B) {
+	w, g := putWorld(b, vgas.EngineGo)
+	defer w.Stop()
+	p := w.Proc(0)
+	segs := make([]vgas.GetSeg, 8)
+	for i := range segs {
+		segs[i] = vgas.GetSeg{Off: uint32(i * 512), N: 64}
+	}
+	buf := make([]byte, 8*64)
+	b.SetBytes(8 * 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		p.GetVecWaitInto(g, segs, buf)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "msgs/sec")
+}
+
+// GoEngineCoalesce is the pump workload with parcel coalescing on: b.N
+// no-continuation parcels flow through 16-deep per-destination batches
+// that the receiving side scatters, measuring the batched fast path end
+// to end.
+func GoEngineCoalesce(b *testing.B) {
+	w, err := vgas.NewWorld(vgas.Config{
+		Ranks:    2,
+		Mode:     vgas.AGASNM,
+		Engine:   vgas.EngineGo,
+		Coalesce: vgas.CoalesceConfig{MaxParcels: 16},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Stop()
+	var ran atomic.Int64
+	done := make(chan struct{})
+	target := int64(b.N)
+	count := w.Register("count", func(c *runtime.Ctx) {
+		if ran.Add(1) == target {
+			close(done)
+		}
+	})
+	w.Start()
+	lay, err := w.AllocLocal(1, 64, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := lay.BlockAt(0)
+	p := w.Proc(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		p.Invoke(g, count, nil)
+	}
+	w.Locality(0).FlushAll()
+	<-done
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "msgs/sec")
+}
 
 // DESEnginePut is the wall-clock cost of one simulated put round trip on
 // the DES engine (event-queue overhead plus protocol handlers; simulated
@@ -124,6 +267,10 @@ var headline = []struct {
 }{
 	{"GoEnginePumpThroughput", GoEnginePump},
 	{"GoEnginePutThroughput", GoEnginePut},
+	{"GoEngineGetThroughput", GoEngineGet},
+	{"GoEnginePutVecThroughput", GoEnginePutVec},
+	{"GoEngineGetVecThroughput", GoEngineGetVec},
+	{"GoEngineCoalesceThroughput", GoEngineCoalesce},
 	{"DESEnginePutThroughput", DESEnginePut},
 	{"DESEngineEventThroughput", DESEngineEvents},
 }

@@ -1,0 +1,89 @@
+package netsim
+
+import (
+	"encoding/binary"
+
+	"nmvgas/internal/gas"
+)
+
+// Batch wire formats shared by the runtime's coalescer and the NIC's
+// scatter engine. Two record shapes live here:
+//
+//   - scatter records, the payload of a coalesced parcel batch:
+//     [u32 len][len bytes of encoded parcel] repeated. Each record's
+//     routing GVA is the target field at a fixed offset inside the
+//     encoded parcel header (the runtime's parcel codec puts it at
+//     bytes 4..11) — the NIC extracts it like hardware matching a
+//     fixed-offset header field, with no parcel decode and no
+//     duplicated sub-header bytes on the wire.
+//
+//   - table entries, the payload of a CtlTableBatch control message:
+//     [u64 block][u32 owner] repeated.
+
+// scatterHdr is the per-record framing overhead of a scatter record.
+const scatterHdr = 4
+
+// scatterGVAOff is where the routing GVA sits inside an encoded record,
+// mirroring the parcel codec's header layout (asserted by a runtime
+// test so the two cannot drift apart silently).
+const scatterGVAOff = 4
+
+// ScatterGVA extracts the routing GVA from one encoded record.
+func ScatterGVA(enc []byte) gas.GVA {
+	return gas.GVA(binary.LittleEndian.Uint64(enc[scatterGVAOff:]))
+}
+
+// AppendScatterRecord appends one [len][enc] record to buf.
+func AppendScatterRecord(buf []byte, enc []byte) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(enc)))
+	return append(buf, enc...)
+}
+
+// ScatterReader iterates the records of a scatter-batch payload.
+type ScatterReader struct {
+	buf []byte
+	off int
+}
+
+// NewScatterReader returns a reader over payload.
+func NewScatterReader(payload []byte) ScatterReader { return ScatterReader{buf: payload} }
+
+// Next returns the next record's routing GVA and encoded parcel. ok is
+// false when the payload is exhausted (or malformed-truncated, which
+// the runtime treats as exhaustion and catches at the decode layer). A
+// record too short to carry the fixed-offset GVA reports the null GVA;
+// the host's parcel decode rejects it loudly.
+func (r *ScatterReader) Next() (g gas.GVA, enc []byte, ok bool) {
+	if r.off+scatterHdr > len(r.buf) {
+		return 0, nil, false
+	}
+	n := int(binary.LittleEndian.Uint32(r.buf[r.off:]))
+	r.off += scatterHdr
+	if n < 0 || r.off+n > len(r.buf) {
+		return 0, nil, false
+	}
+	enc = r.buf[r.off : r.off+n]
+	r.off += n
+	if len(enc) >= scatterGVAOff+8 {
+		g = ScatterGVA(enc)
+	}
+	return g, enc, true
+}
+
+// tableEntry is the wire size of one CtlTableBatch entry.
+const tableEntry = 12
+
+// AppendTableEntry appends one [block][owner] entry to buf.
+func AppendTableEntry(buf []byte, b gas.BlockID, owner int) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(b))
+	return binary.LittleEndian.AppendUint32(buf, uint32(int32(owner)))
+}
+
+// ForEachTableEntry decodes a CtlTableBatch payload.
+func ForEachTableEntry(payload []byte, fn func(b gas.BlockID, owner int)) {
+	for off := 0; off+tableEntry <= len(payload); off += tableEntry {
+		b := gas.BlockID(binary.LittleEndian.Uint64(payload[off:]))
+		owner := int(int32(binary.LittleEndian.Uint32(payload[off+8:])))
+		fn(b, owner)
+	}
+}

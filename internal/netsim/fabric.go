@@ -84,6 +84,8 @@ func (f *Fabric) TotalStats() NICStats {
 		t.Forwards += n.Stats.Forwards
 		t.Nacks += n.Stats.Nacks
 		t.TableUpdatesRx += n.Stats.TableUpdatesRx
+		t.ScatterSplits += n.Stats.ScatterSplits
+		t.ScatterForwards += n.Stats.ScatterForwards
 		t.DMADelivered += n.Stats.DMADelivered
 		t.HostDelivered += n.Stats.HostDelivered
 		t.Dropped += n.Stats.Dropped

@@ -29,6 +29,12 @@ const (
 	// a fresh routing hint; the source counts bounces and eventually
 	// abandons the message instead of chasing a broken route forever.
 	CtlNackLoop
+	// CtlTableBatch is a batched CtlTableUpdate: its payload carries many
+	// block→owner entries (see AppendTableEntry), installed by the
+	// receiving NIC in one deferred event. The eager-broadcast mirror
+	// emits one of these per NIC per migration burst instead of one
+	// CtlTableUpdate per block.
+	CtlTableBatch
 )
 
 // Message is one unit of fabric traffic. Payload is opaque to the fabric;
@@ -90,6 +96,22 @@ type Message struct {
 	// Bounces counts hop-budget NACKs this message has already suffered
 	// at its sender; past a small cap the sender abandons it.
 	Bounces int
+
+	// Scatter marks a coalesced batch whose payload is a sequence of
+	// per-parcel GVA sub-headers (see AppendScatterRecord). A GVA-routing
+	// NIC splits such a batch on arrival: it translates every record
+	// against its own tables, hands the resident ones to the host in a
+	// single up-call, and forwards the movers in-network — no host-side
+	// re-route. Only untracked batches scatter (RelSeq == 0): splitting a
+	// reliably-tracked message would multiply its sequence number across
+	// hosts and break the receive dedup.
+	Scatter bool
+
+	// PayloadPooled marks Payload as borrowed from the runtime's wire-
+	// buffer pool; the terminal consumer returns it. On requests it also
+	// grants the responder permission to answer from a pooled buffer
+	// (the requester promises to copy out and release).
+	PayloadPooled bool
 }
 
 // wireHeader approximates the fixed per-message header size the codec and

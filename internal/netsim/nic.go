@@ -50,6 +50,12 @@ type NICStats struct {
 	DMADelivered     uint64
 	HostDelivered    uint64
 
+	// ScatterSplits counts batches this NIC split on arrival because at
+	// least one record's block was not resident; ScatterForwards counts
+	// the per-owner sub-batches it forwarded in-network as a result.
+	ScatterSplits   uint64
+	ScatterForwards uint64
+
 	// Fault-injection counters (all zero on a healthy fabric). Dropped,
 	// Duplicated and Delayed are charged to the transmitting NIC;
 	// TableLost and LoopNacks to the receiving one.
@@ -233,6 +239,16 @@ func (n *NIC) receive(m *Message) {
 			n.Table.Update(m.Block, m.Owner)
 		})
 		return
+	case CtlTableBatch:
+		// One control message installs a whole migration burst. The
+		// entries land in one deferred event after a single NICUpdate
+		// charge: the table write port is the bottleneck once, not per
+		// block.
+		n.Stats.TableUpdatesRx++
+		n.fab.Eng.After(model.NICUpdate, func() {
+			ForEachTableEntry(m.Payload, n.Table.Update)
+		})
+		return
 	case CtlNack, CtlNackLoop:
 		// NACKs terminate at the source host.
 		n.deliverHost(m)
@@ -246,6 +262,15 @@ func (n *NIC) receive(m *Message) {
 		if fi.MaybeLoseEntry(n.Table) {
 			n.Stats.TableLost++
 		}
+	}
+
+	if m.Scatter && m.RelSeq == 0 && n.GVARouting {
+		// A coalesced batch with per-parcel GVA sub-headers: split it
+		// here, below the host (the paper's point — the detour a batch
+		// pays under software-managed AGAS is a host re-route; here the
+		// NIC translates each record itself).
+		n.scatterBatch(m)
+		return
 	}
 
 	if m.Target.IsNull() {
@@ -339,6 +364,84 @@ func (n *NIC) misroute(m *Message) {
 	fwd := *m
 	fwd.Dst = owner
 	n.transmit(&fwd, model.NICForward)
+}
+
+// scatterBatch splits a GVA-sub-headered batch at the NIC. Records whose
+// blocks are resident are delivered to the host as one batch (a single
+// up-call); the rest are regrouped by the owner this NIC's tables
+// resolve and forwarded in-network as fresh scatter batches, re-checked
+// at each hop. Records that exhaust the hop budget fall back into the
+// host-delivered group, where the host's re-route machinery (which the
+// runtime counts) arbitrates.
+func (n *NIC) scatterBatch(m *Message) {
+	// Fast path: every record resident → the batch is already where it
+	// belongs; hand it up unsplit, zero copies.
+	allHere := true
+	for r := NewScatterReader(m.Payload); ; {
+		g, _, ok := r.Next()
+		if !ok {
+			break
+		}
+		if n.Resident == nil || !n.Resident(g.Block()) {
+			allHere = false
+			break
+		}
+	}
+	if allHere {
+		n.deliverHost(m)
+		return
+	}
+
+	n.Stats.ScatterSplits++
+	hopsLeft := m.Hops < n.Policy.HopCap()
+	var local []byte
+	groups := make(map[int][]byte)
+	for r := NewScatterReader(m.Payload); ; {
+		g, enc, ok := r.Next()
+		if !ok {
+			break
+		}
+		b := g.Block()
+		if n.Resident != nil && n.Resident(b) {
+			local = AppendScatterRecord(local, enc)
+			continue
+		}
+		owner, known := n.routes[b]
+		if !known {
+			owner, known = n.Table.Peek(b)
+		}
+		if !known {
+			owner = g.Home()
+		}
+		if owner == n.Rank || !hopsLeft {
+			// Mid-migration here (the host queues), or the record's
+			// forwarding chain is out of budget: the host sorts it out.
+			local = AppendScatterRecord(local, enc)
+			continue
+		}
+		groups[owner] = AppendScatterRecord(groups[owner], enc)
+	}
+	for owner, payload := range groups {
+		n.Stats.ScatterForwards++
+		fwd := &Message{
+			Kind:    m.Kind,
+			Src:     m.Src,
+			Dst:     owner,
+			Target:  m.Target,
+			Block:   m.Block,
+			Scatter: true,
+			Payload: payload,
+			Wire:    wireHeader + len(payload),
+			Hops:    m.Hops + 1,
+		}
+		n.transmit(fwd, n.fab.Model.NICForward)
+	}
+	if len(local) > 0 {
+		// Reuse the arrived envelope for the single host up-call.
+		m.Payload = local
+		m.Wire = wireHeader + len(local)
+		n.deliverHost(m)
+	}
 }
 
 // nack bounces a message back to the source host with owner advice.

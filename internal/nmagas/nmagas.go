@@ -41,12 +41,25 @@ const (
 // Mirror applies directory changes to NIC translation state. One Mirror
 // serves a whole fabric; its methods are called by the runtime at the
 // protocol points of the migration state machine.
+//
+// Under UpdateBroadcast, commits are not pushed one control message per
+// block: commits that land within the same event horizon are accumulated
+// per home and flushed as one CtlTableBatch per destination NIC, so a
+// migration burst costs O(ranks) control messages, not O(ranks × blocks).
 type Mirror struct {
 	fab    *netsim.Fabric
 	policy UpdatePolicy
 
 	installs   uint64
 	broadcasts uint64
+	batches    uint64
+
+	// pending accumulates broadcast entries per home rank until the
+	// armed flush event fires (scheduled at the current instant, so it
+	// runs after the committing event finishes but before time advances).
+	pending  map[int][]byte
+	pendingN map[int]int
+	armed    bool
 }
 
 // NewMirror returns a mirror over fab with the given update policy.
@@ -96,28 +109,56 @@ func (m *Mirror) Drop(block gas.BlockID) {
 	}
 }
 
-// broadcastUpdate pushes CtlTableUpdate messages from home to every other
-// NIC; deliveries are simulated traffic, so the eager policy's cost is
-// visible in the results.
+// broadcastUpdate queues one commit for eager propagation and arms the
+// burst flush. The flush event is scheduled at the current simulated
+// instant, so every commit processed in the same event horizon rides the
+// same CtlTableBatch; deliveries are simulated traffic, so the eager
+// policy's cost stays visible in the results.
 func (m *Mirror) broadcastUpdate(home int, block gas.BlockID, owner int) {
 	m.broadcasts++
-	src := m.fab.NIC(home)
-	for r := 0; r < m.fab.Ranks(); r++ {
-		if r == home {
-			continue
-		}
-		src.Send(&netsim.Message{
-			Ctl:    netsim.CtlTableUpdate,
-			Src:    home,
-			Dst:    r,
-			Target: gas.New(home, block, 0),
-			Owner:  owner,
-			Wire:   32,
-		})
+	if m.pending == nil {
+		m.pending = make(map[int][]byte)
+		m.pendingN = make(map[int]int)
+	}
+	m.pending[home] = netsim.AppendTableEntry(m.pending[home], block, owner)
+	m.pendingN[home]++
+	if !m.armed {
+		m.armed = true
+		m.fab.Eng.After(0, m.flushBroadcasts)
 	}
 }
 
-// Stats returns the cumulative install and broadcast counts.
+// flushBroadcasts emits one CtlTableBatch per (home, destination) pair
+// covering every commit queued since the last flush.
+func (m *Mirror) flushBroadcasts() {
+	m.armed = false
+	for home, entries := range m.pending {
+		delete(m.pending, home)
+		delete(m.pendingN, home)
+		src := m.fab.NIC(home)
+		for r := 0; r < m.fab.Ranks(); r++ {
+			if r == home {
+				continue
+			}
+			m.batches++
+			src.Send(&netsim.Message{
+				Ctl:     netsim.CtlTableBatch,
+				Src:     home,
+				Dst:     r,
+				Payload: entries,
+				Wire:    32 + len(entries),
+			})
+		}
+	}
+}
+
+// Stats returns the cumulative install and broadcast counts (broadcasts
+// counts committed blocks queued for eager propagation, not wire
+// messages — see BatchStats for the flushed control messages).
 func (m *Mirror) Stats() (installs, broadcasts uint64) {
 	return m.installs, m.broadcasts
 }
+
+// BatchStats returns how many CtlTableBatch control messages the eager
+// policy actually emitted.
+func (m *Mirror) BatchStats() (batches uint64) { return m.batches }

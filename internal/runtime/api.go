@@ -175,6 +175,118 @@ func (p *Proc) Get(src gas.GVA, n uint32) *LCORef {
 	return fut
 }
 
+// PutAsync issues a one-sided write "from" this locality without a
+// future. On the goroutine engine the issue happens inline on the
+// calling goroutine — everything the put path touches is thread-safe
+// there — so drivers can pipeline puts with no mailbox round trip per
+// op; done (optional) runs on the locality at remote completion. On the
+// DES engine the issue is scheduled like every other driver operation.
+func (p *Proc) PutAsync(dst gas.GVA, data []byte, done func()) {
+	if p.l.w.eng == nil {
+		p.l.PutAsync(dst, data, done)
+		return
+	}
+	buf := append([]byte(nil), data...)
+	p.run(func() { p.l.PutAsync(dst, buf, done) })
+}
+
+// PutWait writes data at dst and blocks the driver until the remote
+// completion (advancing simulated time under the DES engine).
+func (p *Proc) PutWait(dst gas.GVA, data []byte) {
+	w := p.l.w
+	if w.eng == nil {
+		done := make(chan struct{})
+		p.l.PutAsync(dst, data, func() { close(done) })
+		<-done
+		return
+	}
+	var fired bool
+	buf := append([]byte(nil), data...)
+	p.run(func() { p.l.PutAsync(dst, buf, func() { fired = true }) })
+	if !w.eng.RunUntil(func() bool { return fired }) {
+		w.fail("PutWait: event queue drained before completion")
+	}
+}
+
+// GetWaitInto reads len(buf) bytes at src into buf, blocking until the
+// reply. On the goroutine engine the reply rides a pooled wire buffer:
+// the copy-out below is the only allocation-free consumer the pool
+// contract needs.
+func (p *Proc) GetWaitInto(src gas.GVA, buf []byte) {
+	w := p.l.w
+	n := uint32(len(buf))
+	if w.eng == nil {
+		done := make(chan struct{})
+		p.l.getAsync(src, n, true, func(data []byte) {
+			copy(buf, data)
+			close(done)
+		})
+		<-done
+		return
+	}
+	var fired bool
+	p.run(func() {
+		p.l.GetAsync(src, n, func(data []byte) {
+			copy(buf, data)
+			fired = true
+		})
+	})
+	if !w.eng.RunUntil(func() bool { return fired }) {
+		w.fail("GetWaitInto: event queue drained before completion")
+	}
+}
+
+// GetWait reads n bytes at src and blocks until the data arrives.
+func (p *Proc) GetWait(src gas.GVA, n uint32) []byte {
+	out := make([]byte, n)
+	p.GetWaitInto(src, out)
+	return out
+}
+
+// PutVecWait writes all segs into the block at dst as one request with
+// one ack and blocks until the completion. segs must not be mutated
+// until it returns.
+func (p *Proc) PutVecWait(dst gas.GVA, segs []PutSeg) {
+	w := p.l.w
+	if w.eng == nil {
+		done := make(chan struct{})
+		p.l.PutVecAsync(dst, segs, func() { close(done) })
+		<-done
+		return
+	}
+	var fired bool
+	p.run(func() { p.l.PutVecAsync(dst, segs, func() { fired = true }) })
+	if !w.eng.RunUntil(func() bool { return fired }) {
+		w.fail("PutVecWait: event queue drained before completion")
+	}
+}
+
+// GetVecWaitInto gathers all segs from the block at src into buf (the
+// fragments concatenated in order; len(buf) must equal the sum of seg
+// lengths) and blocks until the reply.
+func (p *Proc) GetVecWaitInto(src gas.GVA, segs []GetSeg, buf []byte) {
+	w := p.l.w
+	if w.eng == nil {
+		done := make(chan struct{})
+		p.l.getVecAsync(src, segs, true, func(data []byte) {
+			copy(buf, data)
+			close(done)
+		})
+		<-done
+		return
+	}
+	var fired bool
+	p.run(func() {
+		p.l.GetVecAsync(src, segs, func(data []byte) {
+			copy(buf, data)
+			fired = true
+		})
+	})
+	if !w.eng.RunUntil(func() bool { return fired }) {
+		w.fail("GetVecWaitInto: event queue drained before completion")
+	}
+}
+
 // Migrate moves the block at g to rank to, returning a future that fires
 // with the status record.
 func (p *Proc) Migrate(g gas.GVA, to int) *LCORef {

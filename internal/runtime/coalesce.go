@@ -10,12 +10,18 @@ import (
 
 // Parcel coalescing: small active messages bound for the same locality
 // are bundled into one wire message, amortizing per-message injection and
-// NIC occupancy at the price of added latency and — under AGAS — a
-// detour, because a batch is addressed to a *locality*, so parcels whose
-// block migrated away from the batch target pay a re-route on arrival.
-// This is the classic message-driven-runtime trade (cf. the coalescing
-// discussions in this group's SSSP papers), exposed as a config knob and
-// measured by experiment F13.
+// NIC occupancy at the price of added latency. Each buffered parcel keeps
+// a GVA sub-header in the batch payload (netsim.AppendScatterRecord), so
+// under the network-managed space the batch is routed ByGVA and *split by
+// the NIC* on arrival: resident records reach the host in one up-call,
+// movers are forwarded in-network — the host re-route detour the
+// software-managed baseline pays (and Stats.BatchReroutes counts) never
+// happens. This is the trade experiment F13 measures.
+//
+// The buffers are sharded per destination rank, each behind its own
+// mutex, and the flush delay adapts: an EWMA of the inter-add gap per
+// destination collapses the delay to zero once the observed load is too
+// sparse for companions to be worth waiting for.
 
 // CoalesceConfig enables batching when MaxParcels > 1.
 type CoalesceConfig struct {
@@ -26,7 +32,10 @@ type CoalesceConfig struct {
 	MaxBytes int
 	// MaxDelay bounds how long a lone parcel may wait for companions
 	// (simulated time; under the goroutine engine it is scaled to wall
-	// clock through Config.GoTimeScale; 0 = 2 µs default).
+	// clock through Config.GoTimeScale; 0 = 2 µs default). It is also
+	// the adaptive cutoff: once the EWMA inter-add gap for a destination
+	// reaches MaxDelay, buffered parcels flush immediately instead of
+	// waiting for companions that statistics say are not coming.
 	MaxDelay netsim.VTime
 }
 
@@ -48,113 +57,218 @@ func (c CoalesceConfig) maxDelay() netsim.VTime {
 
 // coalescer buffers encoded parcels per destination rank.
 type coalescer struct {
-	l   *Locality
-	cfg CoalesceConfig
-
-	mu   sync.Mutex
-	bufs map[int]*coalBuf
+	l        *Locality
+	cfg      CoalesceConfig
+	maxBytes int
+	maxDelay netsim.VTime
+	// scatter marks batches for in-NIC splitting (network-managed
+	// space); other spaces unbundle host-side.
+	scatter bool
+	// epoch anchors the goroutine engine's gap clock.
+	epoch time.Time
+	bufs  []coalBuf // one per destination rank, independently locked
 }
 
+// coalBuf is one destination's buffer. The payload is assembled
+// incrementally — add appends the scatter record straight into recs, so
+// a flush hands the finished batch payload off without a gather copy.
 type coalBuf struct {
-	encs    [][]byte
-	bytes   int
-	pending bool // a delayed flush is scheduled
+	mu    sync.Mutex
+	recs  []byte
+	count int
+	// gen increments on every flush; a delayed flush armed against one
+	// generation is a no-op for any later one. This is what keeps a
+	// timer armed by the first add of a since-flushed buffer from
+	// draining its successor's lone parcels early.
+	gen     uint64
+	pending bool // a delayed flush is armed for the current generation
+
+	// Adaptive-delay state: an EWMA of the gap between consecutive adds
+	// (simulated time). haveGap distinguishes "no estimate yet" — a cold
+	// buffer always waits the full configured delay.
+	lastAdd netsim.VTime
+	ewmaGap netsim.VTime
+	haveGap bool
 }
 
 func newCoalescer(l *Locality, cfg CoalesceConfig) *coalescer {
-	return &coalescer{l: l, cfg: cfg, bufs: make(map[int]*coalBuf)}
+	return &coalescer{
+		l:        l,
+		cfg:      cfg,
+		maxBytes: cfg.maxBytes(),
+		maxDelay: cfg.maxDelay(),
+		scatter:  l.w.caps.NICTranslation,
+		epoch:    time.Now(),
+		bufs:     make([]coalBuf, l.w.cfg.Ranks),
+	}
 }
 
-// add buffers one encoded parcel for dst, flushing on thresholds and
-// arming the delay flush on first use.
-func (c *coalescer) add(dst int, enc []byte) {
-	c.mu.Lock()
-	b := c.bufs[dst]
-	if b == nil {
-		b = &coalBuf{}
-		c.bufs[dst] = b
+// now returns the coalescer's gap clock: simulated time on DES, wall
+// clock scaled back to simulated nanoseconds on the goroutine engine.
+func (c *coalescer) now() netsim.VTime {
+	if c.l.w.eng != nil {
+		return c.l.w.eng.Now()
 	}
-	b.encs = append(b.encs, enc)
-	b.bytes += len(enc)
-	full := len(b.encs) >= c.cfg.MaxParcels || b.bytes >= c.cfg.maxBytes()
-	arm := !full && !b.pending
-	if arm {
-		b.pending = true
-	}
-	c.mu.Unlock()
+	return netsim.VTime(time.Since(c.epoch).Nanoseconds() / int64(c.l.w.cfg.GoTimeScale))
+}
 
-	if full {
-		c.flush(dst)
-		return
-	}
-	if arm {
-		if c.l.w.eng != nil {
-			c.l.w.eng.After(c.cfg.maxDelay(), func() { c.flush(dst) })
+// gapClamp bounds a single observed gap's contribution to the EWMA, so
+// one long idle period does not instantly flip a hot destination into
+// the no-wait regime.
+func (c *coalescer) gapClamp() netsim.VTime { return 2 * c.maxDelay }
+
+// add buffers one encoded parcel for dst, flushing on thresholds, on a
+// collapsed adaptive delay, or via the armed delay timer.
+func (c *coalescer) add(dst int, enc []byte) {
+	b := &c.bufs[dst]
+	now := c.now()
+	b.mu.Lock()
+	// The flush-now decision uses the estimate as of *previous* adds: a
+	// single long gap must not bypass the delay by itself (the lone
+	// parcel after a burst still waits, preserving the latency trade the
+	// experiments measure), but sustained sparse traffic converges the
+	// EWMA past MaxDelay and stops paying the pointless wait.
+	collapse := b.haveGap && b.ewmaGap >= c.maxDelay
+	if b.count > 0 || b.haveGap || b.lastAdd != 0 {
+		gap := now - b.lastAdd
+		if gap < 0 {
+			gap = 0
+		}
+		if max := c.gapClamp(); gap > max {
+			gap = max
+		}
+		if !b.haveGap {
+			b.ewmaGap = gap
+			b.haveGap = true
 		} else {
-			time.AfterFunc(c.l.w.goWall(c.cfg.maxDelay()), func() { c.flush(dst) })
+			b.ewmaGap += (gap - b.ewmaGap) / 8
 		}
 	}
+	b.lastAdd = now
+	b.recs = netsim.AppendScatterRecord(b.recs, enc)
+	b.count++
+	full := b.count >= c.cfg.MaxParcels || len(b.recs) >= c.maxBytes
+	if full || collapse {
+		payload := b.take()
+		b.mu.Unlock()
+		c.send(dst, payload)
+		return
+	}
+	if !b.pending {
+		b.pending = true
+		gen := b.gen
+		b.mu.Unlock()
+		c.armFlush(dst, gen)
+		return
+	}
+	b.mu.Unlock()
 }
 
-// flush sends dst's buffer as one batch message.
-func (c *coalescer) flush(dst int) {
-	c.mu.Lock()
-	b := c.bufs[dst]
-	if b == nil || len(b.encs) == 0 {
-		if b != nil {
+// take detaches the assembled payload and advances the generation.
+// Caller holds b.mu.
+func (b *coalBuf) take() []byte {
+	payload := b.recs
+	b.recs = nil
+	b.count = 0
+	b.gen++
+	b.pending = false
+	return payload
+}
+
+// armFlush schedules the delayed flush for the given buffer generation.
+func (c *coalescer) armFlush(dst int, gen uint64) {
+	if c.l.w.eng != nil {
+		c.l.w.eng.After(c.maxDelay, func() { c.flushGen(dst, gen) })
+		return
+	}
+	time.AfterFunc(c.l.w.goWall(c.maxDelay), func() { c.flushGen(dst, gen) })
+}
+
+// flushGen is the delayed flush: it fires only if the buffer still holds
+// the generation that armed it.
+func (c *coalescer) flushGen(dst int, gen uint64) {
+	b := &c.bufs[dst]
+	b.mu.Lock()
+	if b.gen != gen || b.count == 0 {
+		if b.gen == gen {
 			b.pending = false
 		}
-		c.mu.Unlock()
+		b.mu.Unlock()
 		return
 	}
-	encs := b.encs
-	bytes := b.bytes
-	c.bufs[dst] = &coalBuf{}
-	c.mu.Unlock()
+	payload := b.take()
+	b.mu.Unlock()
+	c.send(dst, payload)
+}
 
-	payload := make([]byte, 0, bytes+4*len(encs))
-	for _, e := range encs {
-		payload = parcel.PutU32(payload, uint32(len(e)))
-		payload = append(payload, e...)
+// flush forces dst's buffer out regardless of generation.
+func (c *coalescer) flush(dst int) {
+	b := &c.bufs[dst]
+	b.mu.Lock()
+	if b.count == 0 {
+		b.mu.Unlock()
+		return
 	}
+	payload := b.take()
+	b.mu.Unlock()
+	c.send(dst, payload)
+}
+
+// send injects the finished batch. Under the network-managed space the
+// batch is addressed ByGVA and marked Scatter, so NICs split it against
+// their own tables; elsewhere it is rank-addressed and unbundled by the
+// destination host. On the goroutine engine the injection happens inline
+// on the calling goroutine — the transport is thread-safe, and it makes
+// FlushAll synchronous (when FlushAll returns, the batches are in the
+// destination mailboxes).
+func (c *coalescer) send(dst int, payload []byte) {
 	m := netsim.NewMessage()
 	m.Kind = kBatch
 	m.Src = c.l.rank
 	m.Target = c.l.w.LocalityGVA(dst)
 	m.Payload = payload
 	m.Wire = len(payload)
+	if c.scatter {
+		m.Scatter = true
+		if c.l.w.eng == nil {
+			c.l.inject(m, netsim.ByGVA)
+			return
+		}
+		c.l.exec.Exec(0, func() { c.l.inject(m, netsim.ByGVA) })
+		return
+	}
 	// A batch targets the locality block, which is always resident, so
-	// routing is plain rank addressing in every mode.
+	// routing is plain rank addressing without NIC translation.
+	if c.l.w.eng == nil {
+		c.l.inject(m, dst)
+		return
+	}
 	c.l.exec.Exec(0, func() { c.l.inject(m, dst) })
 }
 
 // FlushAll forces out every pending buffer (drivers call this before
-// quiescing a measurement).
+// quiescing a measurement). On the goroutine engine it is synchronous:
+// the flush injections have reached the transport when it returns.
 func (l *Locality) FlushAll() {
 	if l.coal == nil {
 		return
 	}
-	l.coal.mu.Lock()
-	dsts := make([]int, 0, len(l.coal.bufs))
 	for d := range l.coal.bufs {
-		dsts = append(dsts, d)
-	}
-	l.coal.mu.Unlock()
-	for _, d := range dsts {
 		l.coal.flush(d)
 	}
 }
 
 // onBatch unbundles at the receiving host: resident targets execute
-// directly; others re-route (the added hop coalescing risks under
-// migration).
+// directly; others re-route. Under NIC scatter the re-route leg is the
+// exception (hop-budget exhaustion, a residency race with a migration
+// commit) — Stats.BatchReroutes counts it, and the scatter acceptance
+// test pins it to zero for a plain migrating workload.
 func (l *Locality) onBatch(m *netsim.Message) {
-	payload := m.Payload
-	for off := 0; off+4 <= len(payload); {
-		n := int(parcel.U32(payload, off))
-		off += 4
-		enc := payload[off : off+n]
-		off += n
+	for r := netsim.NewScatterReader(m.Payload); ; {
+		_, enc, ok := r.Next()
+		if !ok {
+			break
+		}
 		p, err := parcel.Decode(enc)
 		if err != nil {
 			l.w.fail("rank %d: undecodable batched parcel: %v", l.rank, err)
@@ -179,6 +293,7 @@ func (l *Locality) onBatch(m *netsim.Message) {
 		if l.queueIfMoving(p.Target.Block(), sub) {
 			continue
 		}
+		l.Stats.BatchReroutes.Inc()
 		l.routeMsg(sub)
 	}
 }

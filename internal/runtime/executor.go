@@ -89,6 +89,11 @@ type goExec struct {
 	// (onHostMsg).
 	onMsg   func(*netsim.Message)
 	onLocal func(*netsim.Message)
+
+	// onDrain, when set, runs after every claimed batch of tasks — before
+	// the loop can block on an empty mailbox — so per-drain accumulations
+	// (coalesced put acks) always flush promptly.
+	onDrain func()
 }
 
 func newGoExec(pool *sched.Pool) *goExec {
@@ -152,6 +157,9 @@ func (e *goExec) loop() {
 				t.fn()
 			}
 			*t = task{}
+		}
+		if e.onDrain != nil {
+			e.onDrain()
 		}
 	}
 }

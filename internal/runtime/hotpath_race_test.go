@@ -7,6 +7,7 @@ import (
 
 	"nmvgas/internal/gas"
 	"nmvgas/internal/netsim"
+	"nmvgas/internal/parcel"
 )
 
 // Race coverage for the hot-path concurrency surface: the sharded
@@ -127,6 +128,142 @@ func TestGoExecStopWhileExec(t *testing.T) {
 		if got := ran.Load(); got != after {
 			t.Fatalf("round %d: work ran after stop (%d -> %d)", round, after, got)
 		}
+	}
+}
+
+// TestCoalescerConcurrentFlush races the coalescer's three writers: the
+// actor adding parcels, delayed-flush timer goroutines, and driver
+// goroutines hammering FlushAll — all contending on the per-destination
+// buffer locks while batches inject inline from whichever goroutine wins.
+func TestCoalescerConcurrentFlush(t *testing.T) {
+	cfg := coalCfg(4)
+	cfg.Engine = EngineGo
+	cfg.Coalesce.MaxDelay = netsim.Microsecond
+	w := testWorld(t, cfg)
+	incr := w.Register("incr", func(c *Ctx) {
+		d := c.Local(c.P.Target)
+		d[0]++
+		c.Continue(nil)
+	})
+	w.Start()
+	lay, err := w.AllocCyclic(0, 64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				w.Locality(0).FlushAll()
+			}
+		}()
+	}
+	const rounds, perRound = 20, 32
+	for r := 0; r < rounds; r++ {
+		gate := w.NewAndGate(0, perRound)
+		w.Proc(0).Run(func() {
+			for i := 0; i < perRound; i++ {
+				w.Locality(0).SendParcel(&parcel.Parcel{
+					Action: incr, Target: lay.BlockAt(uint32(i % 8)),
+					CAction: ALCOSet, CTarget: gate.G,
+				})
+			}
+		})
+		w.Locality(0).FlushAll()
+		w.MustWait(gate)
+	}
+	stop.Store(true)
+	wg.Wait()
+	var total int
+	for i := uint32(0); i < 8; i++ {
+		got := w.MustWait(w.Proc(0).Get(lay.BlockAt(i), 1))
+		total += int(got[0])
+	}
+	if total != rounds*perRound {
+		t.Fatalf("ran %d increments, want %d", total, rounds*perRound)
+	}
+}
+
+// TestBatchScatterRacesMigration streams coalesced batches at blocks
+// that migrate continuously: chanNet's scatter split reads routing state
+// while migration commits rewrite it. Every parcel must still execute
+// exactly once (re-routes are legal under the race; loss is not).
+func TestBatchScatterRacesMigration(t *testing.T) {
+	cfg := coalCfg(4)
+	cfg.Engine = EngineGo
+	cfg.Ranks = 4
+	w := testWorld(t, cfg)
+	var ran atomic.Int64
+	bump := w.Register("bump", func(c *Ctx) {
+		ran.Add(1)
+		c.Continue(nil)
+	})
+	w.Start()
+	lay, err := w.AllocLocal(1, 64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rounds, perRound = 12, 24
+	for r := 0; r < rounds; r++ {
+		gate := w.NewAndGate(0, perRound)
+		w.Proc(0).Run(func() {
+			for i := 0; i < perRound; i++ {
+				w.Locality(0).SendParcel(&parcel.Parcel{
+					Action: bump, Target: lay.BlockAt(uint32(i % 4)),
+					CAction: ALCOSet, CTarget: gate.G,
+				})
+			}
+		})
+		// Migrations race the in-flight batches of the same round.
+		for b := uint32(0); b < 4; b++ {
+			w.MustWait(w.Proc(2).Migrate(lay.BlockAt(b), (r+int(b))%4))
+		}
+		w.Locality(0).FlushAll()
+		w.MustWait(gate)
+	}
+	if got := ran.Load(); got != rounds*perRound {
+		t.Fatalf("ran %d parcels, want %d", got, rounds*perRound)
+	}
+}
+
+// TestPipelinedPutsRaceActor pipelines puts from several driver
+// goroutines at once — the inline PutAsync issue path races itself and
+// the destination actor's DMA/ack machinery, including coalesced ack
+// vectors.
+func TestPipelinedPutsRaceActor(t *testing.T) {
+	w := testWorld(t, Config{Ranks: 2, Mode: AGASNM, Engine: EngineGo})
+	w.Start()
+	lay, err := w.AllocLocal(1, 4096, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, puts = 4, 200
+	var done sync.WaitGroup
+	var acked atomic.Int64
+	for g := 0; g < writers; g++ {
+		done.Add(1)
+		go func(g int) {
+			defer done.Done()
+			p := w.Proc(0)
+			dst := lay.BlockAt(uint32(g))
+			buf := []byte{byte(g)}
+			var local sync.WaitGroup
+			for i := 0; i < puts; i++ {
+				local.Add(1)
+				p.PutAsync(dst, buf, func() {
+					acked.Add(1)
+					local.Done()
+				})
+			}
+			local.Wait()
+		}(g)
+	}
+	done.Wait()
+	if got := acked.Load(); got != writers*puts {
+		t.Fatalf("%d acks, want %d", got, writers*puts)
 	}
 }
 

@@ -28,6 +28,14 @@ const (
 	kBatch
 	// kRelAck is a reliable-delivery acknowledgement (see reliable.go).
 	kRelAck
+	// kPutVec / kGetVec are vectored one-sided ops: one request carries
+	// many fragments of one block (see vec.go) and costs one ack/reply.
+	kPutVec
+	kGetVec
+	// kPutAckVec acknowledges many puts at once: its payload is a list of
+	// completed OpIDs, accumulated per source and flushed when the owner's
+	// mailbox drains (goroutine engine, unreliable worlds only).
+	kPutAckVec
 )
 
 // LocStats are per-locality runtime counters (distinct from the fabric's
@@ -47,6 +55,17 @@ type LocStats struct {
 	GetBytes     stats.Counter
 	Migrations   stats.Counter // completed with this locality as old owner
 	LoopNacks    stats.Counter // hop-budget NACKs processed as original sender
+
+	// BatchReroutes counts batched parcels that arrived at a host which no
+	// longer owned their block and had to be re-routed in software. Under
+	// in-NIC batch scatter this is the exceptional path (hop-cap
+	// exhaustion, a residency race); the software-managed baseline pays it
+	// for every record behind a migration.
+	BatchReroutes stats.Counter
+	// ScatterSplits / ScatterForwards mirror the NIC counters on the
+	// goroutine engine, where chanNet plays the NIC role.
+	ScatterSplits   stats.Counter
+	ScatterForwards stats.Counter
 }
 
 type moveState struct {
@@ -54,8 +73,12 @@ type moveState struct {
 	queued []*netsim.Message
 }
 
+// opState is stored by value in the ops map: a put's completion is the
+// overwhelmingly common case, and keeping the state inline avoids one
+// heap allocation per one-sided op.
 type opState struct {
-	done func(data []byte)
+	done  func(data []byte) // get completion (may retain data)
+	pdone func()            // put completion
 }
 
 // Locality is one simulated compute node: a block store, the mode's
@@ -78,8 +101,14 @@ type Locality struct {
 	// migration defers until the block is quiescent so a snapshot can
 	// never race an in-flight handler.
 	active map[gas.BlockID]int
-	ops    map[uint64]*opState
+	ops    map[uint64]opState
 	opSeq  uint64
+
+	// ackPend accumulates put-ack OpIDs per requester rank between mailbox
+	// drains (goroutine engine, unreliable worlds; see flushAcks). Only
+	// touched from the locality actor goroutine, so it needs no lock.
+	ackPend map[int][]uint64
+	ackSrcs []int // ranks with pending acks, in arrival order
 
 	// coal batches outgoing parcels when coalescing is configured.
 	coal *coalescer
@@ -99,7 +128,7 @@ func newLocality(w *World, rank int, bld spaceBuilder) *Locality {
 		store:  gas.NewStore(),
 		moving: make(map[gas.BlockID]*moveState),
 		active: make(map[gas.BlockID]int),
-		ops:    make(map[uint64]*opState),
+		ops:    make(map[uint64]opState),
 	}
 	l.space = bld.newLocal(l)
 	if w.cfg.Coalesce.enabled() {
@@ -317,17 +346,25 @@ func (l *Locality) onHostMsg(m *netsim.Message) {
 		l.hostPut(m)
 	case kGetReq:
 		l.hostGet(m)
+	case kPutVec:
+		l.hostPutVec(m)
+	case kGetVec:
+		l.hostGetVec(m)
 	case kPutAck:
 		if l.relAccept(m) {
 			l.completeOp(m.OpID, nil)
 		}
 		l.recycle(m)
+	case kPutAckVec:
+		l.onPutAckVec(m)
 	case kGetRep:
 		if l.relAccept(m) {
-			// completeOp may retain the payload slice; Release only drops
-			// the envelope's pointer to it, never the backing array.
+			// completeOp may retain the payload slice (unless it is pooled,
+			// in which case the completion copies out by contract); Release
+			// only drops the envelope's pointer, never the backing array.
 			l.completeOp(m.OpID, m.Payload)
 		}
+		l.releasePayload(m)
 		l.recycle(m)
 	case kHostNack:
 		if l.relAccept(m) {
@@ -500,29 +537,39 @@ func (l *Locality) onHostNack(m *netsim.Message) {
 func (l *Locality) PutAsync(dst gas.GVA, data []byte, done func()) {
 	l.Stats.PutOps.Inc()
 	l.Stats.PutBytes.Add(int64(len(data)))
-	id := l.newOp(func([]byte) {
-		if done != nil {
-			done()
-		}
-	})
-	buf := append([]byte(nil), data...)
+	id := l.newPutOp(done)
 	m := netsim.NewMessage()
+	if l.payloadPoolable() {
+		buf, pooled := getWireBuf(len(data))
+		m.Payload = append(buf, data...)
+		m.PayloadPooled = pooled
+	} else {
+		m.Payload = append([]byte(nil), data...)
+	}
 	m.Kind = kPutReq
 	m.Src = l.rank
 	m.Target = dst
 	m.DMA = true
-	m.Payload = buf
-	m.Wire = 32 + len(buf)
+	m.Wire = 32 + len(data)
 	m.OpID = id
 	l.routeMsg(m)
 }
 
 // GetAsync reads n bytes at src and runs done with the data. Must be
-// called from this locality's execution context.
+// called from this locality's execution context. done may retain the
+// data.
 func (l *Locality) GetAsync(src gas.GVA, n uint32, done func(data []byte)) {
+	l.getAsync(src, n, false, done)
+}
+
+// getAsync is GetAsync plus the pooled-reply option: with pooledOK the
+// request is marked PayloadPooled, granting the responder permission to
+// answer from a pooled wire buffer — which requires done to copy the
+// data out before returning (the reply handler releases the buffer).
+func (l *Locality) getAsync(src gas.GVA, n uint32, pooledOK bool, done func(data []byte)) {
 	l.Stats.GetOps.Inc()
 	l.Stats.GetBytes.Add(int64(n))
-	id := l.newOp(done)
+	id := l.newGetOp(done)
 	m := netsim.NewMessage()
 	m.Kind = kGetReq
 	m.Src = l.rank
@@ -531,15 +578,26 @@ func (l *Locality) GetAsync(src gas.GVA, n uint32, done func(data []byte)) {
 	m.Wire = 32
 	m.N = n
 	m.OpID = id
+	m.PayloadPooled = pooledOK && l.payloadPoolable()
 	l.routeMsg(m)
 }
 
-func (l *Locality) newOp(done func([]byte)) uint64 {
+func (l *Locality) newPutOp(pdone func()) uint64 {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	l.opSeq++
-	l.ops[l.opSeq] = &opState{done: done}
-	return l.opSeq
+	id := l.opSeq
+	l.ops[id] = opState{pdone: pdone}
+	l.mu.Unlock()
+	return id
+}
+
+func (l *Locality) newGetOp(done func([]byte)) uint64 {
+	l.mu.Lock()
+	l.opSeq++
+	id := l.opSeq
+	l.ops[id] = opState{done: done}
+	l.mu.Unlock()
+	return id
 }
 
 func (l *Locality) completeOp(id uint64, data []byte) {
@@ -555,6 +613,9 @@ func (l *Locality) completeOp(id uint64, data []byte) {
 	}
 	if st.done != nil {
 		st.done(data)
+	}
+	if st.pdone != nil {
+		st.pdone()
 	}
 }
 
@@ -584,15 +645,24 @@ func (l *Locality) onDMA(m *netsim.Message) {
 		if err := l.store.WriteAt(b, m.Target.Offset(), m.Payload); err != nil {
 			l.w.fail("rank %d: %v", l.rank, err)
 		}
-		ack := netsim.NewMessage()
-		ack.Kind = kPutAck
-		ack.Src = l.rank
-		ack.Dst = m.Src
-		ack.Wire = 32
-		ack.OpID = m.OpID
-		l.nicInject(ack)
+		l.releasePayload(m)
+		l.putAck(m.Src, m.OpID, true)
+	case kPutVec:
+		if blk.Frozen {
+			l.w.fail("rank %d: DMA put to frozen (replicated) block %d", l.rank, b)
+		}
+		l.applyPutVec(b, m)
+		l.releasePayload(m)
+		l.putAck(m.Src, m.OpID, true)
 	case kGetReq:
-		data := make([]byte, m.N)
+		var data []byte
+		pooled := false
+		if m.PayloadPooled {
+			buf, p := getWireBuf(int(m.N))
+			data, pooled = buf[:m.N], p
+		} else {
+			data = make([]byte, m.N)
+		}
 		if err := l.store.ReadAt(b, m.Target.Offset(), data); err != nil {
 			l.w.fail("rank %d: %v", l.rank, err)
 		}
@@ -602,7 +672,20 @@ func (l *Locality) onDMA(m *netsim.Message) {
 		rep.Dst = m.Src
 		rep.Wire = 32 + len(data)
 		rep.Payload = data
+		rep.PayloadPooled = pooled
 		rep.OpID = m.OpID
+		l.nicInject(rep)
+	case kGetVec:
+		data, pooled := l.buildGetVecReply(b, m)
+		rep := netsim.NewMessage()
+		rep.Kind = kGetRep
+		rep.Src = l.rank
+		rep.Dst = m.Src
+		rep.Wire = 32 + len(data)
+		rep.Payload = data
+		rep.PayloadPooled = pooled
+		rep.OpID = m.OpID
+		l.releasePayload(m)
 		l.nicInject(rep)
 	default:
 		l.w.fail("rank %d: DMA with kind %d", l.rank, m.Kind)
@@ -634,20 +717,14 @@ func (l *Locality) hostPut(m *netsim.Message) {
 		if err := l.store.WriteAt(b, m.Target.Offset(), m.Payload); err != nil {
 			l.w.fail("rank %d: %v", l.rank, err)
 		}
-		if m.Src == l.rank {
-			opID := m.OpID
-			l.recycle(m)
+		opID, src := m.OpID, m.Src
+		l.releasePayload(m)
+		l.recycle(m)
+		if src == l.rank {
 			l.completeOp(opID, nil)
 			return
 		}
-		ack := netsim.NewMessage()
-		ack.Kind = kPutAck
-		ack.Src = l.rank
-		ack.Dst = m.Src
-		ack.Wire = 32
-		ack.OpID = m.OpID
-		l.recycle(m)
-		l.inject(ack, ack.Dst)
+		l.putAck(src, opID, false)
 		return
 	}
 	l.space.OnStaleDelivery(m, nil)
@@ -669,7 +746,14 @@ func (l *Locality) hostGet(m *netsim.Message) {
 			return
 		}
 		l.w.noteAccess(l.rank, b)
-		data := make([]byte, m.N)
+		var data []byte
+		pooled := false
+		if m.PayloadPooled {
+			buf, p := getWireBuf(int(m.N))
+			data, pooled = buf[:m.N], p
+		} else {
+			data = make([]byte, m.N)
+		}
 		l.exec.Charge(l.w.cfg.Model.CopyTime(len(data)))
 		if err := l.store.ReadAt(b, m.Target.Offset(), data); err != nil {
 			l.w.fail("rank %d: %v", l.rank, err)
@@ -677,7 +761,12 @@ func (l *Locality) hostGet(m *netsim.Message) {
 		if m.Src == l.rank {
 			opID := m.OpID
 			l.recycle(m)
+			// The completion copies out synchronously when pooled (that is
+			// the pooled-reply contract), so the buffer goes straight back.
 			l.completeOp(opID, data)
+			if pooled {
+				putWireBuf(data)
+			}
 			return
 		}
 		rep := netsim.NewMessage()
@@ -686,6 +775,7 @@ func (l *Locality) hostGet(m *netsim.Message) {
 		rep.Dst = m.Src
 		rep.Wire = 32 + len(data)
 		rep.Payload = data
+		rep.PayloadPooled = pooled
 		rep.OpID = m.OpID
 		l.recycle(m)
 		l.inject(rep, rep.Dst)

@@ -207,6 +207,9 @@ func newChanNet(w *World) *chanNet {
 		ex := l.exec.(*goExec)
 		ex.onMsg = func(m *netsim.Message) { n.arrive(l, m) }
 		ex.onLocal = l.onHostMsg
+		if l.coalesceAcks() {
+			ex.onDrain = l.flushAcks
+		}
 		n.execs = append(n.execs, ex)
 	}
 	return n
@@ -280,6 +283,10 @@ func (c *chanNet) arrive(l *Locality, m *netsim.Message) {
 		// scribble over one evictable translation entry.
 		st.maybeLoseEntry(m.Block, fi)
 	}
+	if m.Scatter && m.RelSeq == 0 && c.w.caps.NICTranslation {
+		c.scatterBatch(l, st, m)
+		return
+	}
 	if m.Target.IsNull() {
 		l.onHostMsg(m)
 		return
@@ -300,6 +307,82 @@ func (c *chanNet) arrive(l *Locality, m *netsim.Message) {
 		return
 	}
 	c.misroute(l, st, m)
+}
+
+// scatterBatch is the goroutine-engine NIC scatter engine, mirroring
+// netsim.NIC.scatterBatch: a coalesced batch carrying per-parcel GVA
+// sub-headers is split against this rank's translation state. Records
+// whose blocks are resident reach the host in one up-call; the rest are
+// regrouped by owner and forwarded in-network, never touching the host.
+// A batch whose records are all resident is delivered unsplit — the
+// common case costs no copy at all.
+func (c *chanNet) scatterBatch(l *Locality, st *goNICState, m *netsim.Message) {
+	allResident := true
+	for r := netsim.NewScatterReader(m.Payload); ; {
+		g, _, ok := r.Next()
+		if !ok {
+			break
+		}
+		if !l.residentForNIC(g.Block()) {
+			allResident = false
+			break
+		}
+	}
+	if allResident {
+		l.onHostMsg(m)
+		return
+	}
+	l.Stats.ScatterSplits.Inc()
+	hopsLeft := m.Hops < c.w.cfg.Policy.HopCap()
+	var local []byte
+	var groups map[int][]byte
+	for r := netsim.NewScatterReader(m.Payload); ; {
+		g, enc, ok := r.Next()
+		if !ok {
+			break
+		}
+		b := g.Block()
+		if l.residentForNIC(b) {
+			local = netsim.AppendScatterRecord(local, enc)
+			continue
+		}
+		owner, known := st.route(b)
+		if !known {
+			owner = g.Home()
+		}
+		if owner == l.rank || !hopsLeft {
+			// Mid-migration here, or the hop budget is spent: the host's
+			// unbundler queues or re-routes this record in software.
+			local = netsim.AppendScatterRecord(local, enc)
+			continue
+		}
+		if groups == nil {
+			groups = make(map[int][]byte)
+		}
+		groups[owner] = netsim.AppendScatterRecord(groups[owner], enc)
+	}
+	for owner, payload := range groups {
+		l.Stats.ScatterForwards.Inc()
+		fwd := netsim.NewMessage()
+		fwd.Kind = m.Kind
+		fwd.Src = m.Src
+		fwd.Dst = owner
+		fwd.Target = m.Target
+		fwd.Block = m.Block
+		fwd.Scatter = true
+		fwd.Payload = payload
+		fwd.Wire = 32 + len(payload)
+		fwd.Hops = m.Hops + 1
+		c.send(l.rank, fwd)
+	}
+	if local != nil {
+		m.Payload = local
+		m.Wire = 32 + len(local)
+		l.onHostMsg(m)
+		return
+	}
+	// Every record moved on; the arrived envelope is spent.
+	m.Release()
 }
 
 func (c *chanNet) misroute(l *Locality, st *goNICState, m *netsim.Message) {

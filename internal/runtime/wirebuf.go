@@ -1,0 +1,61 @@
+package runtime
+
+import (
+	"sync"
+
+	"nmvgas/internal/netsim"
+)
+
+// Pooled wire buffers for one-sided payloads. A put's payload and a
+// small get's reply live exactly from encode to the terminal consumer
+// (the owner's store write, the requester's copy-out), so they can be
+// recycled instead of allocated per op — that is most of the difference
+// between the put path's old alloc profile and the parcel pump's.
+//
+// Pooling is only legal when nothing else can alias the buffer after the
+// terminal consumer: the reliability layer keeps pristine copies sharing
+// Payload, and the goroutine fault injector clones messages wholesale,
+// so worlds with either stay on plain heap buffers (payloadPoolable).
+// The DES engine never recycles messages and its fabric retains
+// payloads inside deferred events, so it is excluded too.
+
+// wireBufCap bounds pooled buffer capacity; larger payloads go to the
+// heap (rare on the fast path, and pooling huge buffers pins memory).
+const wireBufCap = 4096
+
+var wireBufPool = sync.Pool{
+	New: func() any { b := make([]byte, 0, wireBufCap); return &b },
+}
+
+// getWireBuf returns a zero-length pooled buffer with at least n
+// capacity, or a fresh heap buffer when n exceeds the pooled size.
+func getWireBuf(n int) ([]byte, bool) {
+	if n > wireBufCap {
+		return make([]byte, 0, n), false
+	}
+	return (*wireBufPool.Get().(*[]byte))[:0], true
+}
+
+// putWireBuf returns a pooled buffer. Callers pass exactly the buffers
+// getWireBuf marked pooled (tracked via Message.PayloadPooled).
+func putWireBuf(b []byte) {
+	b = b[:0]
+	wireBufPool.Put(&b)
+}
+
+// payloadPoolable reports whether this world may carry pooled payloads:
+// goroutine engine, no reliability layer, no fault injector (see the
+// package comment above).
+func (l *Locality) payloadPoolable() bool {
+	return l.w.eng == nil && l.w.relw == nil && l.w.faults == nil
+}
+
+// releasePayload reclaims m's payload after its terminal use (the
+// consumer keeps no alias past this call).
+func (l *Locality) releasePayload(m *netsim.Message) {
+	if m.PayloadPooled {
+		putWireBuf(m.Payload)
+		m.Payload = nil
+		m.PayloadPooled = false
+	}
+}

@@ -26,6 +26,16 @@ type WorldStats struct {
 	NICTableUpds  uint64
 	DMADeliveries uint64
 
+	// BatchReroutes counts coalesced-batch records that reached a host
+	// which no longer owned their block and were re-routed in software —
+	// zero under in-NIC batch scatter for a plain migrating workload.
+	BatchReroutes int64
+	// ScatterSplits / ScatterForwards count in-NIC batch splitting (NIC
+	// counters on the DES fabric, locality counters on the goroutine
+	// engine where chanNet plays the NIC).
+	ScatterSplits   uint64
+	ScatterForwards uint64
+
 	// Delivery is the reliable-delivery and fault-injection report (all
 	// zero when neither faults nor Reliability.Force are configured).
 	Delivery DeliveryStats
@@ -50,6 +60,9 @@ func (w *World) Stats() WorldStats {
 		s.GetBytes += l.Stats.GetBytes.Load()
 		s.Migrations += l.Stats.Migrations.Load()
 		s.LoopNacks += l.Stats.LoopNacks.Load()
+		s.BatchReroutes += l.Stats.BatchReroutes.Load()
+		s.ScatterSplits += uint64(l.Stats.ScatterSplits.Load())
+		s.ScatterForwards += uint64(l.Stats.ScatterForwards.Load())
 	}
 	s.Delivery = w.DeliveryStats()
 	if w.fab != nil {
@@ -60,6 +73,8 @@ func (w *World) Stats() WorldStats {
 		s.NetNacks = n.Nacks
 		s.NICTableUpds = n.TableUpdatesRx
 		s.DMADeliveries = n.DMADelivered
+		s.ScatterSplits += n.ScatterSplits
+		s.ScatterForwards += n.ScatterForwards
 	}
 	return s
 }
@@ -90,6 +105,9 @@ func (w *World) StatsTable() *stats.Table {
 	add("net.nacks", s.NetNacks)
 	add("net.table_updates", s.NICTableUpds)
 	add("net.dma_deliveries", s.DMADeliveries)
+	add("net.scatter_splits", s.ScatterSplits)
+	add("net.scatter_forwards", s.ScatterForwards)
+	add("coalesce.batch_reroutes", s.BatchReroutes)
 	d := s.Delivery
 	add("rel.tracked", d.Tracked)
 	add("rel.retransmits", d.Retransmits)

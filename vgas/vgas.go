@@ -113,6 +113,10 @@ type (
 	Topology = netsim.Topology
 	// CoalesceConfig enables parcel batching.
 	CoalesceConfig = runtime.CoalesceConfig
+	// PutSeg is one fragment of a vectored put (Proc.PutVecWait).
+	PutSeg = runtime.PutSeg
+	// GetSeg is one fragment of a vectored get (Proc.GetVecWaitInto).
+	GetSeg = runtime.GetSeg
 	// TraceEvent is one observable protocol step (see World.SetTracer).
 	TraceEvent = runtime.TraceEvent
 	// TraceKind classifies trace events.
