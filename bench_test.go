@@ -206,3 +206,13 @@ func BenchmarkGoEnginePumpThroughput(b *testing.B) { microbench.GoEnginePump(b) 
 // BenchmarkDESEnginePutThroughput measures the wall-clock cost of one
 // simulated put round trip on the DES engine.
 func BenchmarkDESEnginePutThroughput(b *testing.B) { microbench.DESEnginePut(b) }
+
+// BenchmarkGoEnginePumpMetricsThroughput is the pump with Config.Metrics
+// on: compare its ns/op and allocs/op against GoEnginePumpThroughput to
+// see the enabled-path observability cost; the runtime's send→exec
+// percentiles are reported as p50_ns/p95_ns/p99_ns.
+func BenchmarkGoEnginePumpMetricsThroughput(b *testing.B) { microbench.GoEnginePumpMetrics(b) }
+
+// BenchmarkDESEnginePutMetricsThroughput is the simulated put round trip
+// with Config.Metrics on, reporting the put-completion percentiles.
+func BenchmarkDESEnginePutMetricsThroughput(b *testing.B) { microbench.DESEnginePutMetrics(b) }

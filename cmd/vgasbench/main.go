@@ -10,20 +10,25 @@
 //	vgasbench -loss 0.05 -dup 0.02 -reorder C1   # extra chaos fault plan
 //	vgasbench -bench-json BENCH.json             # fast-path microbenchmarks as JSON
 //	vgasbench -cpuprofile cpu.out -quick F5      # pprof the run
+//	vgasbench -metrics-out m.prom -trace-out t.json  # instrumented run: metrics + Chrome trace
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
+	"path/filepath"
 	"runtime/pprof"
 	"strings"
 
 	"nmvgas/internal/exp"
+	"nmvgas/internal/metrics"
 	"nmvgas/internal/microbench"
 	"nmvgas/internal/netsim"
 	"nmvgas/internal/runtime"
+	"nmvgas/internal/trace"
 )
 
 func main() {
@@ -40,6 +45,8 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	benchJSON := flag.String("bench-json", "", "run the fast-path microbenchmarks and write results as JSON to this file ('-' = stdout), then exit")
+	metricsOut := flag.String("metrics-out", "", "run an instrumented migration workload and write a metrics snapshot to this file (.json = JSON snapshot, otherwise Prometheus text), then exit")
+	traceOut := flag.String("trace-out", "", "with or without -metrics-out: write the instrumented run's Chrome trace-event JSON to this file, then exit")
 	flag.Parse()
 
 	if *list {
@@ -90,6 +97,13 @@ func main() {
 		return
 	}
 
+	if *metricsOut != "" || *traceOut != "" {
+		if err := observedRun(*seed, *metricsOut, *traceOut); err != nil {
+			fatalf("vgasbench: %v", err)
+		}
+		return
+	}
+
 	o := exp.Options{Quick: *quick, Seed: *seed}
 	if *loss != 0 || *dup != 0 || *reorder {
 		o.Faults = netsim.FaultPlan{Drop: *loss, Duplicate: *dup, Reorder: *reorder, Seed: *seed}
@@ -125,6 +139,107 @@ func main() {
 		}
 		fmt.Println()
 	}
+}
+
+// observedRun drives a migration-under-load workload on the DES engine
+// with Config.Metrics on and a trace ring attached, then writes the
+// registry snapshot (Prometheus text, or JSON for .json paths) and the
+// Chrome trace-event export to the requested files.
+func observedRun(seed int64, metricsOut, traceOut string) error {
+	w, err := runtime.NewWorld(runtime.Config{
+		Ranks: 4, Mode: runtime.AGASNM, Engine: runtime.EngineDES, Metrics: true,
+	})
+	if err != nil {
+		return err
+	}
+	defer w.Stop()
+	ring := trace.Attach(w, 1<<15)
+	bump := w.Register("bump", func(c *runtime.Ctx) { c.Continue(nil) })
+	w.Start()
+
+	const nblocks = 16
+	lay, err := w.AllocCyclic(0, 512, nblocks)
+	if err != nil {
+		return err
+	}
+	reg := metrics.NewRegistry()
+	pub := metrics.PublishWorld(reg, w)
+	sampler := metrics.NewSampler(w)
+	sampler.RunDES(50*netsim.Microsecond, 8)
+
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < 8; i++ {
+		w.MustWait(w.Proc(0).Migrate(lay.BlockAt(uint32(rng.Intn(nblocks))), 1+rng.Intn(3)))
+	}
+	buf := make([]byte, 64)
+	for i := 0; i < 200; i++ {
+		g := lay.BlockAt(uint32(rng.Intn(nblocks)))
+		switch i % 4 {
+		case 0:
+			w.MustWait(w.Proc(0).Put(g, buf))
+		case 1:
+			w.MustWait(w.Proc(0).Get(g, 64))
+		default:
+			w.MustWait(w.Proc(0).Call(g, bump, nil))
+		}
+	}
+	pub.Refresh()
+	sampler.Publish(reg)
+
+	if metricsOut != "" {
+		f, err := os.Create(metricsOut)
+		if err != nil {
+			return err
+		}
+		if filepath.Ext(metricsOut) == ".json" {
+			err = reg.WriteJSON(f)
+		} else {
+			err = reg.WritePrometheus(f)
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		// Validate what actually landed on disk, so the CI smoke job can
+		// rely on the exit code alone.
+		raw, err := os.ReadFile(metricsOut)
+		if err != nil {
+			return err
+		}
+		if filepath.Ext(metricsOut) == ".json" {
+			if !json.Valid(raw) {
+				return fmt.Errorf("%s: snapshot is not valid JSON", metricsOut)
+			}
+		} else if err := metrics.ValidatePrometheus(strings.NewReader(string(raw))); err != nil {
+			return fmt.Errorf("%s: %v", metricsOut, err)
+		}
+		fmt.Printf("wrote metrics snapshot to %s (validated)\n", metricsOut)
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		err = ring.DumpChrome(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		raw, err := os.ReadFile(traceOut)
+		if err != nil {
+			return err
+		}
+		if !json.Valid(raw) {
+			return fmt.Errorf("%s: trace export is not valid JSON", traceOut)
+		}
+		fmt.Printf("wrote Chrome trace (%d events) to %s — load it in Perfetto (validated)\n",
+			ring.Total(), traceOut)
+	}
+	return nil
 }
 
 func fatalf(format string, args ...any) {

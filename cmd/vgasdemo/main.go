@@ -6,14 +6,19 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 
+	"nmvgas/internal/metrics"
+	"nmvgas/internal/trace"
 	"nmvgas/vgas"
 )
 
 func main() {
 	modeFlag := flag.String("mode", "agas-nm", "address space: pgas, agas-sw, or agas-nm")
 	engineFlag := flag.String("engine", "des", "execution engine: des or go")
+	httpAddr := flag.String("http", "", "after the tour, serve /metrics, /metrics.json, "+
+		"/trace.json and /debug/pprof on this address (e.g. :8080) until interrupted")
 	flag.Parse()
 
 	mode, err := vgas.ParseMode(*modeFlag)
@@ -29,11 +34,15 @@ func main() {
 	sp := vgas.SpaceFor(mode)
 
 	fmt.Printf("== virtual global address space demo: %s on %s ==\n", sp, engine)
-	w, err := vgas.NewWorldFor(sp, vgas.Config{Ranks: 4, Engine: engine})
+	w, err := vgas.NewWorldFor(sp, vgas.Config{Ranks: 4, Engine: engine, Metrics: *httpAddr != ""})
 	if err != nil {
 		panic(err)
 	}
 	defer w.Stop()
+	var ring *trace.Ring
+	if *httpAddr != "" {
+		ring = trace.Attach(w, 1<<15)
+	}
 
 	echo := w.Register("echo", func(c *vgas.Ctx) {
 		fmt.Printf("   [rank %d] action runs where the data lives\n", c.Rank())
@@ -58,11 +67,28 @@ func main() {
 	reply := w.MustWait(w.Proc(0).Call(g, echo, []byte("ping")))
 	fmt.Printf("   reply: %q\n", reply)
 
+	serve := func() {
+		if *httpAddr == "" {
+			return
+		}
+		reg := metrics.NewRegistry()
+		pub := metrics.PublishWorld(reg, w)
+		fmt.Printf("\nServing observability endpoint on %s (/metrics, /metrics.json, /trace.json, /debug/pprof) — Ctrl-C to exit.\n", *httpAddr)
+		if err := http.ListenAndServe(*httpAddr, metrics.Handler(reg, metrics.HandlerOptions{
+			Refresh: pub.Refresh,
+			Ring:    ring,
+		})); err != nil {
+			fmt.Fprintf(os.Stderr, "vgasdemo: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	if !sp.Caps.Migration {
 		fmt.Printf("\n4. %s is static: blocks cannot migrate (Caps.Migration=false).\n", sp)
 		st := w.MustWait(w.Proc(0).Migrate(g, 2))
 		fmt.Printf("   migrate status: %d (1 = pinned/refused)\n", vgas.MigrateStatus(st))
 		fmt.Println("\nDone.")
+		serve()
 		return
 	}
 
@@ -95,4 +121,5 @@ func main() {
 	} else {
 		fmt.Println("\nDone.")
 	}
+	serve()
 }

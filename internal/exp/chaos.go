@@ -129,7 +129,7 @@ func c1Run(sp runtime.SpaceSpec, plan netsim.FaultPlan, seed int64) c1Result {
 		if sp.Caps.Migration && d < nblocks/2 {
 			want = 2 * ranks
 		}
-		v := w.MustWait(w.Proc(int(d) % ranks).Get(lay.BlockAt(d), 8))
+		v := w.MustWait(w.Proc(int(d)%ranks).Get(lay.BlockAt(d), 8))
 		if parcel.U64(v, 0) != want {
 			dataOK = false
 		}

@@ -23,7 +23,7 @@ func cell(t *testing.T, tb interface{ Rows() [][]string }, row, col int) float64
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"T1", "T2", "T3", "T4", "T5", "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9", "F10", "F11", "F12", "F13", "F14", "A1", "A2"}
+	want := []string{"T1", "T2", "T3", "T4", "T5", "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9", "F10", "F11", "F12", "F13", "F14", "F15", "A1", "A2"}
 	for _, id := range want {
 		if _, ok := Find(id); !ok {
 			t.Errorf("experiment %s missing from registry", id)
@@ -340,6 +340,40 @@ func TestF14ReplicationShape(t *testing.T) {
 	a, b, c := cell(t, tb, 0, 2), cell(t, tb, 1, 2), cell(t, tb, 2, 2)
 	if a != b || b != c {
 		t.Fatalf("replicated read costs differ across modes: %v %v %v", a, b, c)
+	}
+}
+
+func TestF15LatencyShape(t *testing.T) {
+	tb := mustRun(t, "F15")
+	if tb.NumRows() != 3 {
+		t.Fatalf("rows = %d, want one per mode", tb.NumRows())
+	}
+	// Rows follow the canonical sweep order: pgas, agas-sw, agas-nm.
+	// Percentiles are monotone within each row.
+	for r := 0; r < tb.NumRows(); r++ {
+		p50, p95, p99 := cell(t, tb, r, 2), cell(t, tb, r, 3), cell(t, tb, r, 4)
+		if !(p50 <= p95 && p95 <= p99) {
+			t.Fatalf("row %d: percentiles not monotone: %v %v %v", r, p50, p95, p99)
+		}
+		if cell(t, tb, r, 1) == 0 {
+			t.Fatalf("row %d: no parcel executions recorded", r)
+		}
+	}
+	// PGAS never migrates; the AGAS modes must record migration time.
+	if cell(t, tb, 0, 7) != 0 {
+		t.Fatal("pgas recorded a migration")
+	}
+	if cell(t, tb, 1, 7) == 0 || cell(t, tb, 2, 7) == 0 {
+		t.Fatal("agas rows missing migration latency")
+	}
+	// The tail story: post-migration repair in host software costs more
+	// than in-NIC repair, and the clean PGAS baseline has the best tail.
+	pg, sw, nm := cell(t, tb, 0, 4), cell(t, tb, 1, 4), cell(t, tb, 2, 4)
+	if !(pg < nm && nm < sw) {
+		t.Fatalf("exec p99 ordering broken: pgas=%v agas-sw=%v agas-nm=%v", pg, sw, nm)
+	}
+	if swPut, nmPut := cell(t, tb, 1, 5), cell(t, tb, 2, 5); swPut <= nmPut {
+		t.Fatalf("put p99: agas-sw (%v) should exceed agas-nm (%v)", swPut, nmPut)
 	}
 }
 

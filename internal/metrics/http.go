@@ -1,0 +1,69 @@
+package metrics
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+
+	"nmvgas/internal/trace"
+)
+
+// HandlerOptions wires the optional pieces of the HTTP endpoint.
+type HandlerOptions struct {
+	// Refresh, when set, runs before every /metrics and /metrics.json
+	// scrape (typically WorldPublisher.Refresh plus Sampler.Publish).
+	Refresh func()
+	// Ring, when set, serves /trace.json as Chrome trace-event JSON.
+	Ring *trace.Ring
+}
+
+// Handler serves the observability endpoint:
+//
+//	/metrics       Prometheus text exposition
+//	/metrics.json  JSON snapshot of the registry
+//	/trace.json    Chrome trace-event JSON (when a ring is attached)
+//	/debug/pprof/  the standard Go profiler endpoints
+func Handler(reg *Registry, opts HandlerOptions) http.Handler {
+	mux := http.NewServeMux()
+	refresh := func() {
+		if opts.Refresh != nil {
+			opts.Refresh()
+		}
+	}
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		refresh()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		refresh()
+		w.Header().Set("Content-Type", "application/json")
+		_ = reg.WriteJSON(w)
+	})
+	mux.HandleFunc("/trace.json", func(w http.ResponseWriter, r *http.Request) {
+		if opts.Ring == nil {
+			http.Error(w, "no trace ring attached", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = opts.Ring.DumpChrome(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, `<html><body><h1>nmvgas observability</h1><ul>
+<li><a href="/metrics">/metrics</a> (Prometheus text)</li>
+<li><a href="/metrics.json">/metrics.json</a> (JSON snapshot)</li>
+<li><a href="/trace.json">/trace.json</a> (Chrome trace export)</li>
+<li><a href="/debug/pprof/">/debug/pprof/</a></li>
+</ul></body></html>`)
+	})
+	return mux
+}

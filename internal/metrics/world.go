@@ -1,0 +1,136 @@
+package metrics
+
+import (
+	"strconv"
+
+	"nmvgas/internal/runtime"
+)
+
+// WorldPublisher mirrors a World's counters, per-rank state, and latency
+// summaries into a Registry. Series handles are resolved once at
+// construction; Refresh copies a consistent snapshot in, so scraping
+// never touches runtime hot paths beyond the atomic counter loads the
+// runtime already pays for.
+type WorldPublisher struct {
+	reg *Registry
+	w   *runtime.World
+
+	counters map[string]*Counter // world-level cumulative counters
+	gauges   map[string]*Gauge   // world-level gauges
+
+	rankSent  []*Gauge
+	rankRun   []*Gauge
+	rankQueue []*Gauge
+	rankTable []*Gauge
+
+	lat map[string]*Summary
+}
+
+// latPaths orders the latency summary labels stably.
+var latPaths = []string{
+	"parcel_exec", "put", "get", "nack_repair", "coalesce_flush",
+	"mig_transfer", "mig_update", "mig_drain", "mig_total",
+}
+
+// PublishWorld registers w's metric series (labelled with mode and
+// engine, per-rank series additionally with rank) in reg and returns the
+// publisher. Call Refresh before every scrape or sample.
+func PublishWorld(reg *Registry, w *runtime.World) *WorldPublisher {
+	cfg := w.Config()
+	base := []Label{L("mode", cfg.Mode.String()), L("engine", cfg.Engine.String())}
+	p := &WorldPublisher{
+		reg:      reg,
+		w:        w,
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		lat:      make(map[string]*Summary),
+	}
+	counter := func(name, help string) {
+		p.counters[name] = reg.Counter(name, help, base...)
+	}
+	counter("nmvgas_parcels_sent_total", "Parcels sent by all localities")
+	counter("nmvgas_parcels_run_total", "Parcel handlers executed")
+	counter("nmvgas_host_forwards_total", "Software host forwards (stale deliveries redirected by the host)")
+	counter("nmvgas_host_nacks_total", "One-sided operations repaired in host software")
+	counter("nmvgas_nic_nacks_total", "Fabric NACKs processed by hosts")
+	counter("nmvgas_queued_msgs_total", "Messages parked behind migrating blocks")
+	counter("nmvgas_sw_lookups_total", "Software translation cache lookups")
+	counter("nmvgas_put_ops_total", "One-sided put operations issued")
+	counter("nmvgas_get_ops_total", "One-sided get operations issued")
+	counter("nmvgas_migrations_total", "Completed block migrations")
+	counter("nmvgas_retransmits_total", "Reliable-delivery retransmissions")
+	counter("nmvgas_net_messages_total", "Fabric messages sent (DES engine)")
+	counter("nmvgas_net_forwards_total", "In-network forwards (DES engine)")
+	counter("nmvgas_scatter_splits_total", "Coalesced batches split in-NIC")
+	counter("nmvgas_batch_reroutes_total", "Batched parcels re-routed in host software")
+
+	ranks := w.Ranks()
+	for r := 0; r < ranks; r++ {
+		lbl := append(append([]Label(nil), base...), L("rank", strconv.Itoa(r)))
+		p.rankSent = append(p.rankSent, reg.Gauge("nmvgas_rank_parcels_sent", "Parcels sent by one locality", lbl...))
+		p.rankRun = append(p.rankRun, reg.Gauge("nmvgas_rank_parcels_run", "Parcel handlers executed by one locality", lbl...))
+		p.rankQueue = append(p.rankQueue, reg.Gauge("nmvgas_rank_queue_depth", "Pending host-executor backlog (goroutine engine mailbox length)", lbl...))
+		p.rankTable = append(p.rankTable, reg.Gauge("nmvgas_rank_nic_table_entries", "NIC-resident translation table size", lbl...))
+	}
+
+	if cfg.Metrics {
+		for _, path := range latPaths {
+			lbl := append(append([]Label(nil), base...), L("path", path))
+			p.lat[path] = reg.Summary("nmvgas_latency_ns",
+				"Runtime latency distributions (ns on the engine's trace clock)", lbl...)
+		}
+	}
+	return p
+}
+
+// Refresh copies the world's current state into the registry.
+func (p *WorldPublisher) Refresh() {
+	s := p.w.Stats()
+	set := func(name string, v int64) { p.counters[name].Set(v) }
+	set("nmvgas_parcels_sent_total", s.ParcelsSent)
+	set("nmvgas_parcels_run_total", s.ParcelsRun)
+	set("nmvgas_host_forwards_total", s.HostForwards)
+	set("nmvgas_host_nacks_total", s.HostNacks)
+	set("nmvgas_nic_nacks_total", s.NICNacks)
+	set("nmvgas_queued_msgs_total", s.Queued)
+	set("nmvgas_sw_lookups_total", s.SWLookups)
+	set("nmvgas_put_ops_total", s.PutOps)
+	set("nmvgas_get_ops_total", s.GetOps)
+	set("nmvgas_migrations_total", s.Migrations)
+	set("nmvgas_retransmits_total", int64(s.Delivery.Retransmits))
+	set("nmvgas_net_messages_total", int64(s.NetSent))
+	set("nmvgas_net_forwards_total", int64(s.NetForwards))
+	set("nmvgas_scatter_splits_total", int64(s.ScatterSplits))
+	set("nmvgas_batch_reroutes_total", s.BatchReroutes)
+
+	for r := 0; r < p.w.Ranks(); r++ {
+		ls := &p.w.Locality(r).Stats
+		p.rankSent[r].Set(float64(ls.ParcelsSent.Load()))
+		p.rankRun[r].Set(float64(ls.ParcelsRun.Load()))
+		p.rankQueue[r].Set(float64(p.w.QueueDepth(r)))
+		p.rankTable[r].Set(float64(p.w.NICTableLen(r)))
+	}
+
+	if len(p.lat) > 0 && s.Latencies.Enabled {
+		lat := s.Latencies
+		push := func(path string, l runtime.LatencySummary) {
+			p.lat[path].Set(l.Count, l.MeanNs*float64(l.Count), map[float64]float64{
+				0.5:  float64(l.P50Ns),
+				0.95: float64(l.P95Ns),
+				0.99: float64(l.P99Ns),
+			})
+		}
+		push("parcel_exec", lat.ParcelExec)
+		push("put", lat.PutDone)
+		push("get", lat.GetDone)
+		push("nack_repair", lat.NackRepair)
+		push("coalesce_flush", lat.CoalesceFlush)
+		push("mig_transfer", lat.MigTransfer)
+		push("mig_update", lat.MigUpdate)
+		push("mig_drain", lat.MigDrain)
+		push("mig_total", lat.MigTotal)
+	}
+}
+
+// Registry returns the registry the publisher writes into.
+func (p *WorldPublisher) Registry() *Registry { return p.reg }

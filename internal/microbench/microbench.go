@@ -25,7 +25,25 @@ type Result struct {
 	// MsgsPerSec is the send→deliver rate where the benchmark measures
 	// one (0 elsewhere).
 	MsgsPerSec float64 `json:"msgs_per_sec,omitempty"`
-	N          int     `json:"n"`
+	// P50Ns/P95Ns/P99Ns are the runtime's own latency-histogram
+	// percentiles for benchmarks that run with Config.Metrics on
+	// (0 elsewhere).
+	P50Ns float64 `json:"p50_ns,omitempty"`
+	P95Ns float64 `json:"p95_ns,omitempty"`
+	P99Ns float64 `json:"p99_ns,omitempty"`
+	N     int     `json:"n"`
+}
+
+// reportLatency surfaces one latency summary as custom benchmark metrics
+// so testing.Benchmark callers (RunAll, the CI smoke job) see the
+// percentiles next to ns/op.
+func reportLatency(b *testing.B, l runtime.LatencySummary) {
+	if l.Count == 0 {
+		return
+	}
+	b.ReportMetric(float64(l.P50Ns), "p50_ns")
+	b.ReportMetric(float64(l.P95Ns), "p95_ns")
+	b.ReportMetric(float64(l.P99Ns), "p99_ns")
 }
 
 // GoEnginePump is the send→deliver pump on the goroutine engine: rank 0
@@ -33,8 +51,18 @@ type Result struct {
 // the last to execute. It measures the whole fast path — SendParcel,
 // source translation, transport delivery, the destination actor's
 // mailbox, and action dispatch — as wall-clock msgs/sec and allocs/op.
-func GoEnginePump(b *testing.B) {
-	w, err := vgas.NewWorld(vgas.Config{Ranks: 2, Mode: vgas.AGASNM, Engine: vgas.EngineGo})
+func GoEnginePump(b *testing.B) { goEnginePump(b, false) }
+
+// GoEnginePumpMetrics is the same pump with Config.Metrics on, so its
+// ns/op and allocs/op expose the enabled-path cost directly against
+// GoEnginePump's, and the runtime's send→exec latency percentiles ride
+// along as p50_ns/p95_ns/p99_ns.
+func GoEnginePumpMetrics(b *testing.B) { goEnginePump(b, true) }
+
+func goEnginePump(b *testing.B, metrics bool) {
+	w, err := vgas.NewWorld(vgas.Config{
+		Ranks: 2, Mode: vgas.AGASNM, Engine: vgas.EngineGo, Metrics: metrics,
+	})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -63,12 +91,15 @@ func GoEnginePump(b *testing.B) {
 	<-done
 	b.StopTimer()
 	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "msgs/sec")
+	if metrics {
+		reportLatency(b, w.Stats().Latencies.ParcelExec)
+	}
 }
 
 // putWorld builds the standard 2-rank one-sided benchmark world: a
 // 4 KiB block resident on rank 1, driven from rank 0.
-func putWorld(b *testing.B, eng vgas.EngineKind) (*vgas.World, gas.GVA) {
-	w, err := vgas.NewWorld(vgas.Config{Ranks: 2, Mode: vgas.AGASNM, Engine: eng})
+func putWorld(b *testing.B, eng vgas.EngineKind, metrics bool) (*vgas.World, gas.GVA) {
+	w, err := vgas.NewWorld(vgas.Config{Ranks: 2, Mode: vgas.AGASNM, Engine: eng, Metrics: metrics})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -82,8 +113,8 @@ func putWorld(b *testing.B, eng vgas.EngineKind) (*vgas.World, gas.GVA) {
 
 // enginePut measures one blocking put round trip (send path + completion)
 // per iteration on the given engine.
-func enginePut(b *testing.B, eng vgas.EngineKind) {
-	w, g := putWorld(b, eng)
+func enginePut(b *testing.B, eng vgas.EngineKind, metrics bool) {
+	w, g := putWorld(b, eng, metrics)
 	defer w.Stop()
 	buf := make([]byte, 64)
 	b.SetBytes(64)
@@ -91,6 +122,10 @@ func enginePut(b *testing.B, eng vgas.EngineKind) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		w.Proc(0).PutWait(g, buf)
+	}
+	b.StopTimer()
+	if metrics {
+		reportLatency(b, w.Stats().Latencies.PutDone)
 	}
 }
 
@@ -100,7 +135,7 @@ func enginePut(b *testing.B, eng vgas.EngineKind) {
 // coalesced ack. msgs/sec is the headline; allocs/op covers the whole
 // issue→DMA→ack path.
 func GoEnginePut(b *testing.B) {
-	w, g := putWorld(b, vgas.EngineGo)
+	w, g := putWorld(b, vgas.EngineGo, false)
 	defer w.Stop()
 	const window = 1024
 	tokens := make(chan struct{}, window)
@@ -133,7 +168,7 @@ func GoEnginePut(b *testing.B) {
 // rides a pooled wire buffer, so the steady state allocates nothing per
 // op.
 func GoEngineGet(b *testing.B) {
-	w, g := putWorld(b, vgas.EngineGo)
+	w, g := putWorld(b, vgas.EngineGo, false)
 	defer w.Stop()
 	p := w.Proc(0)
 	buf := make([]byte, 64)
@@ -151,7 +186,7 @@ func GoEngineGet(b *testing.B) {
 // GoEnginePutVec writes 8 scattered 64 B fragments per iteration as one
 // wire message with one ack.
 func GoEnginePutVec(b *testing.B) {
-	w, g := putWorld(b, vgas.EngineGo)
+	w, g := putWorld(b, vgas.EngineGo, false)
 	defer w.Stop()
 	p := w.Proc(0)
 	frag := make([]byte, 64)
@@ -173,7 +208,7 @@ func GoEnginePutVec(b *testing.B) {
 // GoEngineGetVec gathers 8 scattered 64 B fragments per iteration as one
 // request with one reply.
 func GoEngineGetVec(b *testing.B) {
-	w, g := putWorld(b, vgas.EngineGo)
+	w, g := putWorld(b, vgas.EngineGo, false)
 	defer w.Stop()
 	p := w.Proc(0)
 	segs := make([]vgas.GetSeg, 8)
@@ -237,7 +272,13 @@ func GoEngineCoalesce(b *testing.B) {
 // DESEnginePut is the wall-clock cost of one simulated put round trip on
 // the DES engine (event-queue overhead plus protocol handlers; simulated
 // time is free).
-func DESEnginePut(b *testing.B) { enginePut(b, vgas.EngineDES) }
+func DESEnginePut(b *testing.B) { enginePut(b, vgas.EngineDES, false) }
+
+// DESEnginePutMetrics is DESEnginePut with Config.Metrics on; the
+// simulated put-completion percentiles ride along as p50_ns/p95_ns/
+// p99_ns, and the ns/op delta against DESEnginePut is the enabled-path
+// cost.
+func DESEnginePutMetrics(b *testing.B) { enginePut(b, vgas.EngineDES, true) }
 
 // DESEngineEvents measures raw event schedule+dispatch cost on the
 // 4-ary flat-heap engine.
@@ -273,6 +314,8 @@ var headline = []struct {
 	{"GoEngineCoalesceThroughput", GoEngineCoalesce},
 	{"DESEnginePutThroughput", DESEnginePut},
 	{"DESEngineEventThroughput", DESEngineEvents},
+	{"GoEnginePumpMetricsThroughput", GoEnginePumpMetrics},
+	{"DESEnginePutMetricsThroughput", DESEnginePutMetrics},
 }
 
 // RunAll executes the headline microbenchmarks via testing.Benchmark and
@@ -291,6 +334,9 @@ func RunAll() []Result {
 		if v, ok := r.Extra["msgs/sec"]; ok {
 			res.MsgsPerSec = v
 		}
+		res.P50Ns = r.Extra["p50_ns"]
+		res.P95Ns = r.Extra["p95_ns"]
+		res.P99Ns = r.Extra["p99_ns"]
 		out = append(out, res)
 	}
 	return out

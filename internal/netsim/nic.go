@@ -98,6 +98,9 @@ type NIC struct {
 	// DMADeliver performs a one-sided transfer against host memory at
 	// NIC cost. Only called when the block is resident.
 	DMADeliver func(*Message)
+	// OnForward, when set, observes in-network redirects (m rewritten to
+	// owner) at zero simulated cost — a tracing hook, not a participant.
+	OnForward func(m *Message, owner int)
 
 	fab    *Fabric
 	txFree VTime
@@ -350,6 +353,9 @@ func (n *NIC) misroute(m *Message) {
 		return
 	}
 	n.Stats.Forwards++
+	if n.OnForward != nil {
+		n.OnForward(m, owner)
+	}
 	if n.Policy.PushUpdates && m.Src != n.Rank {
 		upd := &Message{
 			Ctl:   CtlTableUpdate,

@@ -11,19 +11,24 @@ import (
 // Wire format, little-endian:
 //
 //	0      magic (1 byte) = 0xA9
-//	1      version (1 byte) = 1
+//	1      version (1 byte) = 2
 //	2..3   action
 //	4..11  target GVA
 //	12..13 continuation action
 //	14..21 continuation GVA
 //	22..25 source rank (uint32)
 //	26..33 sequence number
-//	34..37 payload length (uint32)
-//	38..   payload
+//	34..41 op id (world-unique causal span id; survives forwards/resends)
+//	42..45 payload length (uint32)
+//	46..   payload
+//
+// The target GVA sits at a fixed offset (4) so in-NIC batch scatter can
+// route records without a full decode (netsim.ScatterGVA). Version 2
+// added the op id field; v1 encodings are rejected.
 const (
 	codecMagic   = 0xA9
-	codecVersion = 1
-	headerSize   = 38
+	codecVersion = 2
+	headerSize   = 46
 )
 
 // ErrCodec reports a malformed encoded parcel.
@@ -39,6 +44,7 @@ func AppendEncode(dst []byte, p *Parcel) []byte {
 	dst = binary.LittleEndian.AppendUint64(dst, uint64(p.CTarget))
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(p.Src))
 	dst = binary.LittleEndian.AppendUint64(dst, p.Seq)
+	dst = binary.LittleEndian.AppendUint64(dst, p.OpID)
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(p.Payload)))
 	return append(dst, p.Payload...)
 }
@@ -67,8 +73,9 @@ func Decode(buf []byte) (*Parcel, error) {
 		CTarget: gas.GVA(binary.LittleEndian.Uint64(buf[14:])),
 		Src:     int(binary.LittleEndian.Uint32(buf[22:])),
 		Seq:     binary.LittleEndian.Uint64(buf[26:]),
+		OpID:    binary.LittleEndian.Uint64(buf[34:]),
 	}
-	n := binary.LittleEndian.Uint32(buf[34:])
+	n := binary.LittleEndian.Uint32(buf[42:])
 	if uint64(headerSize)+uint64(n) != uint64(len(buf)) {
 		return nil, fmt.Errorf("%w: payload length %d does not match buffer %d", ErrCodec, n, len(buf))
 	}

@@ -39,6 +39,10 @@ type Parcel struct {
 	Src int
 	// Seq is a per-source sequence number for tracing and tests.
 	Seq uint64
+	// OpID is the world-unique causal span id, stamped at send time and
+	// preserved across NACK repairs, reliability resends, and in-NIC
+	// forwards so every hop of one logical operation shares one id.
+	OpID uint64
 }
 
 // HasContinuation reports whether the parcel carries a continuation.

@@ -15,8 +15,9 @@ func samples() []*Parcel {
 		{},
 		{Action: 1, Target: gas.New(2, 3, 4)},
 		{Action: 65535, Target: gas.New(gas.MaxHome, gas.MaxBlock, gas.MaxBlockSize-1),
-			Payload: []byte("hello"), CAction: 7, CTarget: gas.New(1, 2, 3), Src: 12, Seq: 1 << 40},
-		{Action: 9, Payload: bytes.Repeat([]byte{0xAB}, 4096), Src: 3, Seq: 99},
+			Payload: []byte("hello"), CAction: 7, CTarget: gas.New(1, 2, 3), Src: 12, Seq: 1 << 40,
+			OpID: uint64(13)<<48 | 7},
+		{Action: 9, Payload: bytes.Repeat([]byte{0xAB}, 4096), Src: 3, Seq: 99, OpID: 1},
 	}
 }
 
@@ -32,18 +33,18 @@ func TestCodecRoundTrip(t *testing.T) {
 		}
 		if got.Action != p.Action || got.Target != p.Target || got.CAction != p.CAction ||
 			got.CTarget != p.CTarget || got.Src != p.Src || got.Seq != p.Seq ||
-			!bytes.Equal(got.Payload, p.Payload) {
+			got.OpID != p.OpID || !bytes.Equal(got.Payload, p.Payload) {
 			t.Fatalf("round trip mismatch:\n in %v\nout %v", p, got)
 		}
 	}
 }
 
 func TestCodecRoundTripProperty(t *testing.T) {
-	f := func(action, caction uint16, tgt, ctgt uint64, src uint16, seq uint64, payload []byte) bool {
+	f := func(action, caction uint16, tgt, ctgt uint64, src uint16, seq, opID uint64, payload []byte) bool {
 		p := &Parcel{
 			Action: ActionID(action), CAction: ActionID(caction),
 			Target: gas.GVA(tgt), CTarget: gas.GVA(ctgt),
-			Src: int(src), Seq: seq, Payload: payload,
+			Src: int(src), Seq: seq, OpID: opID, Payload: payload,
 		}
 		got, err := Decode(Encode(p))
 		if err != nil {
@@ -51,7 +52,8 @@ func TestCodecRoundTripProperty(t *testing.T) {
 		}
 		return got.Action == p.Action && got.Target == p.Target &&
 			got.CAction == p.CAction && got.CTarget == p.CTarget &&
-			got.Src == p.Src && got.Seq == p.Seq && bytes.Equal(got.Payload, p.Payload)
+			got.Src == p.Src && got.Seq == p.Seq && got.OpID == p.OpID &&
+			bytes.Equal(got.Payload, p.Payload)
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
@@ -78,7 +80,7 @@ func TestDecodeRejectsCorruption(t *testing.T) {
 		t.Errorf("trailing garbage: err = %v", err)
 	}
 	bad = append([]byte(nil), good...)
-	bad[34] = 200 // lie about payload length
+	bad[42] = 200 // lie about payload length
 	if _, err := Decode(bad); !errors.Is(err, ErrCodec) {
 		t.Errorf("bad length: err = %v", err)
 	}

@@ -82,6 +82,10 @@ type coalBuf struct {
 	// draining its successor's lone parcels early.
 	gen     uint64
 	pending bool // a delayed flush is armed for the current generation
+	// firstAdd is the latency clock at the generation's first add
+	// (Config.Metrics only): the flush-delay histogram records how long
+	// the oldest buffered parcel waited.
+	firstAdd int64
 
 	// Adaptive-delay state: an EWMA of the gap between consecutive adds
 	// (simulated time). haveGap distinguishes "no estimate yet" — a cold
@@ -147,9 +151,12 @@ func (c *coalescer) add(dst int, enc []byte) {
 	b.lastAdd = now
 	b.recs = netsim.AppendScatterRecord(b.recs, enc)
 	b.count++
+	if b.count == 1 && c.l.w.lat != nil {
+		b.firstAdd = c.l.w.latNow()
+	}
 	full := b.count >= c.cfg.MaxParcels || len(b.recs) >= c.maxBytes
 	if full || collapse {
-		payload := b.take()
+		payload := b.take(c)
 		b.mu.Unlock()
 		c.send(dst, payload)
 		return
@@ -164,9 +171,13 @@ func (c *coalescer) add(dst int, enc []byte) {
 	b.mu.Unlock()
 }
 
-// take detaches the assembled payload and advances the generation.
+// take detaches the assembled payload and advances the generation,
+// recording the oldest parcel's wait into the flush-delay histogram.
 // Caller holds b.mu.
-func (b *coalBuf) take() []byte {
+func (b *coalBuf) take(c *coalescer) []byte {
+	if w := c.l.w; w.lat != nil {
+		w.lat.coalesceFlush.Record(w.latNow() - b.firstAdd)
+	}
 	payload := b.recs
 	b.recs = nil
 	b.count = 0
@@ -196,7 +207,7 @@ func (c *coalescer) flushGen(dst int, gen uint64) {
 		b.mu.Unlock()
 		return
 	}
-	payload := b.take()
+	payload := b.take(c)
 	b.mu.Unlock()
 	c.send(dst, payload)
 }
@@ -209,7 +220,7 @@ func (c *coalescer) flush(dst int) {
 		b.mu.Unlock()
 		return
 	}
-	payload := b.take()
+	payload := b.take(c)
 	b.mu.Unlock()
 	c.send(dst, payload)
 }
@@ -283,6 +294,7 @@ func (l *Locality) onBatch(m *netsim.Message) {
 		sub.Payload = enc
 		sub.Wire = len(enc)
 		sub.Block = p.Target.Block()
+		sub.OpID = p.OpID
 		if l.resident(p.Target.Block()) {
 			l.exec.Charge(l.w.cfg.Model.HandlerDispatch)
 			l.execParcel(p, sub)

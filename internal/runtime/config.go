@@ -141,6 +141,11 @@ type Config struct {
 	// RequireMigration declares that the program will migrate blocks;
 	// NewWorld rejects the config when the selected address space cannot.
 	RequireMigration bool
+	// Metrics enables runtime latency histograms (parcel send→exec,
+	// one-sided completion, NACK repair, migration phases, coalescer
+	// flush delay), surfaced by World.Latencies. Off by default; the
+	// disabled path costs a single nil check and zero allocations.
+	Metrics bool
 }
 
 // normalized fills defaults and validates.

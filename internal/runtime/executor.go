@@ -107,6 +107,13 @@ func (e *goExec) start() {
 	go e.loop()
 }
 
+// depth reports the current mailbox backlog (metrics sampling).
+func (e *goExec) depth() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.n
+}
+
 // push appends t to the ring, growing it when full. Caller holds e.mu.
 func (e *goExec) push(t task) {
 	if e.n == len(e.ring) {

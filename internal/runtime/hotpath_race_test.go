@@ -75,7 +75,7 @@ func TestGoNICStateConcurrentChurn(t *testing.T) {
 	for round := 0; round < 6; round++ {
 		for d := uint32(0); d < 8; d++ {
 			g := lay.BlockAt(d)
-			w.MustWait(w.Proc(int(d) % 4).Call(g, bump, nil))
+			w.MustWait(w.Proc(int(d)%4).Call(g, bump, nil))
 			if d%2 == 0 {
 				w.MustWait(w.Proc(0).Migrate(g, (round+int(d))%4))
 			}

@@ -1,0 +1,271 @@
+package runtime
+
+import (
+	"sync"
+	"time"
+
+	"nmvgas/internal/gas"
+	"nmvgas/internal/stats"
+)
+
+// Runtime latency histograms (Config.Metrics). Every hook below is a
+// method on *World guarded by a single `w.lat == nil` check, so the
+// disabled path costs one predictable branch and zero allocations — the
+// claim the LatencyOverhead benchmarks pin down.
+//
+// Units follow the engine's trace clock: simulated nanoseconds under
+// EngineDES, monotonic wall nanoseconds under EngineGo (see
+// TraceEvent.Time). In-flight operation starts are keyed by OpID in a
+// sharded map so the goroutine engine's concurrent send/complete paths
+// do not serialize on one lock.
+
+const latShardCount = 16
+
+type latShard struct {
+	mu    sync.Mutex
+	start map[uint64]int64
+}
+
+// migration phase marks, in protocol order.
+const (
+	migPin     = iota // block pinned at the old owner (migrate.req)
+	migInstall        // block installed at the destination (migrate.data)
+	migCommit         // directory flipped at the home (migrate.commit)
+	migDone           // old owner unpinned and drained (migrate.done)
+)
+
+// migMarks holds the latency clock at each completed phase of one
+// in-flight migration.
+type migMarks struct {
+	pin, install, commit int64
+}
+
+type latencyState struct {
+	shards [latShardCount]latShard
+
+	parcelExec    stats.Histogram // send → final exec
+	putDone       stats.Histogram // put issue → remote-completion callback
+	getDone       stats.Histogram // get issue → data callback
+	nackRepair    stats.Histogram // send → NACK processed back at the sender
+	coalesceFlush stats.Histogram // buffer first-add → flush
+
+	// Migration phase durations, keyed off the protocol chain's marks:
+	// transfer = pin→install, update = install→commit (the directory/NIC
+	// table flip), drain = commit→done (unpin + queue flush), total =
+	// pin→done.
+	migTransfer stats.Histogram
+	migUpdate   stats.Histogram
+	migDrain    stats.Histogram
+	migTotal    stats.Histogram
+
+	migMu sync.Mutex
+	mig   map[gas.BlockID]*migMarks
+}
+
+func newLatencyState() *latencyState {
+	s := &latencyState{mig: make(map[gas.BlockID]*migMarks)}
+	for i := range s.shards {
+		s.shards[i].start = make(map[uint64]int64)
+	}
+	return s
+}
+
+func (s *latencyState) shard(id uint64) *latShard {
+	// The sequence lives in the low bits; the rank in the high bits.
+	// Mixing both spreads concurrent ranks across shards.
+	return &s.shards[(id^id>>48)%latShardCount]
+}
+
+// latNow returns the latency clock: simulated time under EngineDES, wall
+// nanoseconds since World creation under EngineGo.
+func (w *World) latNow() int64 {
+	if w.eng != nil {
+		return int64(w.eng.Now())
+	}
+	return int64(time.Since(w.epoch))
+}
+
+// latStart marks an operation (parcel or one-sided op) as in flight.
+func (w *World) latStart(id uint64) {
+	if w.lat == nil {
+		return
+	}
+	now := w.latNow()
+	sh := w.lat.shard(id)
+	sh.mu.Lock()
+	sh.start[id] = now
+	sh.mu.Unlock()
+}
+
+// latTake removes and returns an operation's start mark.
+func (s *latencyState) take(id uint64, now int64) (int64, bool) {
+	sh := s.shard(id)
+	sh.mu.Lock()
+	t0, ok := sh.start[id]
+	delete(sh.start, id)
+	sh.mu.Unlock()
+	return now - t0, ok
+}
+
+// latParcelExec closes a parcel's span: final execution at the owner.
+func (w *World) latParcelExec(id uint64) {
+	if w.lat == nil || id == 0 {
+		return
+	}
+	if d, ok := w.lat.take(id, w.latNow()); ok {
+		w.lat.parcelExec.Record(d)
+	}
+}
+
+// latOpDone closes a one-sided operation's span at its completion
+// callback.
+func (w *World) latOpDone(id uint64, put bool) {
+	if w.lat == nil {
+		return
+	}
+	if d, ok := w.lat.take(id, w.latNow()); ok {
+		if put {
+			w.lat.putDone.Record(d)
+		} else {
+			w.lat.getDone.Record(d)
+		}
+	}
+}
+
+// latNackRepair samples the wasted round trip of a NACKed operation:
+// time from the original send to the NACK being processed back at the
+// sender. The start mark stays in place — the operation is still in
+// flight and its eventual exec/completion closes the span.
+func (w *World) latNackRepair(id uint64) {
+	if w.lat == nil || id == 0 {
+		return
+	}
+	now := w.latNow()
+	sh := w.lat.shard(id)
+	sh.mu.Lock()
+	t0, ok := sh.start[id]
+	sh.mu.Unlock()
+	if ok {
+		w.lat.nackRepair.Record(now - t0)
+	}
+}
+
+// latMigMark records one phase of a migration's protocol chain. The
+// chain crosses ranks (owner → destination → home → old owner), so the
+// marks live world-level; a block migrates at most once at a time (the
+// pin guarantees it), so a plain map keyed by block suffices.
+func (w *World) latMigMark(b gas.BlockID, phase int) {
+	if w.lat == nil {
+		return
+	}
+	now := w.latNow()
+	s := w.lat
+	s.migMu.Lock()
+	defer s.migMu.Unlock()
+	switch phase {
+	case migPin:
+		s.mig[b] = &migMarks{pin: now}
+	case migInstall:
+		if m := s.mig[b]; m != nil {
+			m.install = now
+			s.migTransfer.Record(now - m.pin)
+		}
+	case migCommit:
+		if m := s.mig[b]; m != nil {
+			m.commit = now
+			s.migUpdate.Record(now - m.install)
+		}
+	case migDone:
+		if m := s.mig[b]; m != nil {
+			delete(s.mig, b)
+			s.migDrain.Record(now - m.commit)
+			s.migTotal.Record(now - m.pin)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Reporting
+
+// LatencySummary condenses one histogram for reports.
+type LatencySummary struct {
+	Count  int64
+	MeanNs float64
+	P50Ns  int64
+	P95Ns  int64
+	P99Ns  int64
+	MaxNs  int64
+}
+
+func summarize(h *stats.Histogram) LatencySummary {
+	return LatencySummary{
+		Count:  h.Count(),
+		MeanNs: h.Mean(),
+		P50Ns:  h.P50(),
+		P95Ns:  h.P95(),
+		P99Ns:  h.P99(),
+		MaxNs:  h.Max(),
+	}
+}
+
+// WorldLatencies is the latency report surfaced through WorldStats.
+// All values are nanoseconds on the engine's latency clock (simulated
+// under EngineDES, wall under EngineGo); everything is zero unless
+// Config.Metrics was set.
+type WorldLatencies struct {
+	Enabled bool
+
+	ParcelExec    LatencySummary // parcel send → final exec
+	PutDone       LatencySummary // put issue → completion callback
+	GetDone       LatencySummary // get issue → data callback
+	NackRepair    LatencySummary // send → NACK back at the sender
+	CoalesceFlush LatencySummary // coalescer buffer wait
+
+	MigTransfer LatencySummary // pin → install at destination
+	MigUpdate   LatencySummary // install → directory/table flip
+	MigDrain    LatencySummary // flip → old owner drained
+	MigTotal    LatencySummary // pin → done
+}
+
+// Latencies returns the world's latency report (zero unless
+// Config.Metrics).
+func (w *World) Latencies() WorldLatencies {
+	if w.lat == nil {
+		return WorldLatencies{}
+	}
+	s := w.lat
+	return WorldLatencies{
+		Enabled:       true,
+		ParcelExec:    summarize(&s.parcelExec),
+		PutDone:       summarize(&s.putDone),
+		GetDone:       summarize(&s.getDone),
+		NackRepair:    summarize(&s.nackRepair),
+		CoalesceFlush: summarize(&s.coalesceFlush),
+		MigTransfer:   summarize(&s.migTransfer),
+		MigUpdate:     summarize(&s.migUpdate),
+		MigDrain:      summarize(&s.migDrain),
+		MigTotal:      summarize(&s.migTotal),
+	}
+}
+
+// QueueDepth returns rank r's pending host-executor backlog (mailbox
+// length on the goroutine engine; 0 under DES, whose global event queue
+// has no per-rank decomposition). The metrics sampler polls it.
+func (w *World) QueueDepth(r int) int {
+	if ex, ok := w.locs[r].exec.(*goExec); ok {
+		return ex.depth()
+	}
+	return 0
+}
+
+// NICTableLen returns the NIC-resident translation table size at rank r
+// (0 for address spaces without NIC translation).
+func (w *World) NICTableLen(r int) int {
+	if w.fab != nil {
+		if t := w.fab.NIC(r).Table; t != nil {
+			return t.Len()
+		}
+		return 0
+	}
+	return w.net.tableLen(r)
+}

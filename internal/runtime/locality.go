@@ -102,7 +102,6 @@ type Locality struct {
 	// never race an in-flight handler.
 	active map[gas.BlockID]int
 	ops    map[uint64]opState
-	opSeq  uint64
 
 	// ackPend accumulates put-ack OpIDs per requester rank between mailbox
 	// drains (goroutine engine, unreliable worlds; see flushAcks). Only
@@ -118,7 +117,19 @@ type Locality struct {
 	rel *relLoc
 
 	parcelSeq atomic.Uint64
-	Stats     LocStats
+	// opIDSeq feeds newOpID; the rank lives in the id's high bits, so the
+	// per-locality counter yields world-unique ids without coordination.
+	opIDSeq atomic.Uint64
+	Stats   LocStats
+}
+
+// newOpID mints a world-unique causal span id: rank+1 in the top 16 bits
+// (Ranks is capped at 1<<12, and +1 keeps id 0 reserved for "no op"), a
+// per-locality counter below. Parcels and one-sided operations share the
+// namespace — an id names one logical operation across every hop,
+// forward, NACK repair, and retransmit.
+func (l *Locality) newOpID() uint64 {
+	return uint64(l.rank+1)<<48 | l.opIDSeq.Add(1)
 }
 
 func newLocality(w *World, rank int, bld spaceBuilder) *Locality {
@@ -187,7 +198,7 @@ func (l *Locality) queueIfMoving(b gas.BlockID, m *netsim.Message) bool {
 	}
 	st.queued = append(st.queued, m)
 	l.Stats.Queued.Inc()
-	l.trace(TraceQueued, b, uint64(m.Kind))
+	l.traceOp(TraceQueued, b, uint64(m.Kind), m.OpID)
 	return true
 }
 
@@ -214,8 +225,10 @@ func (l *Locality) resident(b gas.BlockID) bool { return l.residentForNIC(b) }
 func (l *Locality) SendParcel(p *parcel.Parcel) {
 	p.Src = l.rank
 	p.Seq = l.parcelSeq.Add(1)
+	p.OpID = l.newOpID()
 	l.Stats.ParcelsSent.Inc()
-	l.trace(TraceSend, p.Target.Block(), uint64(p.Action))
+	l.traceOp(TraceSend, p.Target.Block(), uint64(p.Action), p.OpID)
+	l.w.latStart(p.OpID)
 	enc := parcel.Encode(p)
 	m := netsim.NewMessage()
 	m.Kind = kParcel
@@ -223,6 +236,7 @@ func (l *Locality) SendParcel(p *parcel.Parcel) {
 	m.Target = p.Target
 	m.Payload = enc
 	m.Wire = len(enc)
+	m.OpID = p.OpID
 	m.MigCtl = p.Action >= aMigrateReq && p.Action <= aMigrateDone
 	l.routeMsg(m)
 }
@@ -416,7 +430,8 @@ func (l *Locality) execParcel(p *parcel.Parcel, m *netsim.Message) {
 			return
 		}
 		l.Stats.ParcelsRun.Inc()
-		l.trace(TraceExec, p.Target.Block(), uint64(p.Action))
+		l.traceOp(TraceExec, p.Target.Block(), uint64(p.Action), p.OpID)
+		l.w.latParcelExec(p.OpID)
 		act(&Ctx{l: l, P: p})
 		l.recycle(m)
 		return
@@ -468,7 +483,8 @@ func (l *Locality) runUserParcel(act Action, p *parcel.Parcel, m *netsim.Message
 	}
 	l.Stats.ParcelsRun.Inc()
 	l.w.noteAccess(l.rank, b)
-	l.trace(TraceExec, b, uint64(p.Action))
+	l.traceOp(TraceExec, b, uint64(p.Action), p.OpID)
+	l.w.latParcelExec(p.OpID)
 	act(&Ctx{l: l, P: p})
 	l.recycle(m)
 }
@@ -491,7 +507,7 @@ func (l *Locality) onNICNack(m *netsim.Message) {
 	}
 	if m.Ctl == netsim.CtlNackLoop {
 		l.Stats.LoopNacks.Inc()
-		l.trace(TraceLoopNack, m.Block, uint64(int64(m.Owner)))
+		l.traceOp(TraceLoopNack, m.Block, uint64(int64(m.Owner)), orig.OpID)
 		orig.Bounces++
 		if orig.Bounces > relBounceCap {
 			l.relAbandon(orig)
@@ -499,8 +515,9 @@ func (l *Locality) onNICNack(m *netsim.Message) {
 		}
 	} else {
 		l.Stats.NICNacks.Inc()
-		l.trace(TraceNICNack, m.Block, uint64(int64(m.Owner)))
+		l.traceOp(TraceNICNack, m.Block, uint64(int64(m.Owner)), orig.OpID)
 	}
+	l.w.latNackRepair(orig.OpID)
 	if m.Owner >= 0 {
 		l.exec.Charge(l.w.cfg.Model.NICUpdate)
 		l.w.net.updateTable(l.rank, m.Block, m.Owner)
@@ -518,10 +535,11 @@ func (l *Locality) onNICNack(m *netsim.Message) {
 // operation.
 func (l *Locality) onHostNack(m *netsim.Message) {
 	l.Stats.HostNacks.Inc()
-	l.trace(TraceHostNack, m.Block, uint64(int64(m.Owner)))
 	if m.Nacked == nil {
 		l.w.fail("rank %d: host NACK without original message", l.rank)
 	}
+	l.traceOp(TraceHostNack, m.Block, uint64(int64(m.Owner)), m.Nacked.OpID)
+	l.w.latNackRepair(m.Nacked.OpID)
 	if m.Owner >= 0 {
 		l.space.LearnOwner(m.Block, m.Owner)
 	}
@@ -583,18 +601,18 @@ func (l *Locality) getAsync(src gas.GVA, n uint32, pooledOK bool, done func(data
 }
 
 func (l *Locality) newPutOp(pdone func()) uint64 {
+	id := l.newOpID()
+	l.w.latStart(id)
 	l.mu.Lock()
-	l.opSeq++
-	id := l.opSeq
 	l.ops[id] = opState{pdone: pdone}
 	l.mu.Unlock()
 	return id
 }
 
 func (l *Locality) newGetOp(done func([]byte)) uint64 {
+	id := l.newOpID()
+	l.w.latStart(id)
 	l.mu.Lock()
-	l.opSeq++
-	id := l.opSeq
 	l.ops[id] = opState{done: done}
 	l.mu.Unlock()
 	return id
@@ -611,6 +629,7 @@ func (l *Locality) completeOp(id uint64, data []byte) {
 		}
 		l.w.fail("rank %d: completion for unknown op %d", l.rank, id)
 	}
+	l.w.latOpDone(id, st.pdone != nil)
 	if st.done != nil {
 		st.done(data)
 	}

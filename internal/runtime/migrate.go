@@ -153,6 +153,7 @@ func migrateReq(c *Ctx) {
 	l.moving[b] = &moveState{dst: mp.to}
 	l.mu.Unlock()
 	l.trace(TraceMigrateStart, b, uint64(mp.to))
+	l.w.latMigMark(b, migPin)
 	l.space.BeginMigrate(b)
 
 	snapshot := append([]byte(nil), blk.Data...)
@@ -179,6 +180,7 @@ func migrateData(c *Ctx) {
 		l.w.fail("rank %d: migrate install: %v", l.rank, err)
 	}
 	l.space.InstallMigrated(b)
+	l.w.latMigMark(b, migInstall)
 	mp.data = nil
 	l.SendParcel(&parcel.Parcel{
 		Action:  aMigrateCommit,
@@ -194,6 +196,7 @@ func migrateCommit(c *Ctx) {
 	b := mp.g.Block()
 
 	l.space.CommitMigrate(b, mp.to)
+	l.w.latMigMark(b, migCommit)
 	l.SendParcel(&parcel.Parcel{
 		Action:  aMigrateDone,
 		Target:  l.w.LocalityGVA(mp.oldOwner),
@@ -221,6 +224,7 @@ func migrateDone(c *Ctx) {
 	}
 	l.Stats.Migrations.Inc()
 	l.trace(TraceMigrateDone, b, uint64(mp.to))
+	l.w.latMigMark(b, migDone)
 	for _, qm := range st.queued {
 		// A duplicate that was queued while its original executed here
 		// must not chase the block to the new owner.

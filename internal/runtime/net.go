@@ -36,6 +36,8 @@ type network interface {
 	commitAtHome(home int, b gas.BlockID, owner int)
 	// dropAll removes all translation state for b everywhere (free).
 	dropAll(b gas.BlockID)
+	// tableLen reports rank's evictable NIC-table size (metrics).
+	tableLen(rank int) int
 }
 
 // desNet adapts the simulated fabric.
@@ -74,6 +76,13 @@ func (n *desNet) dropAll(b gas.BlockID) {
 	if n.w.mirror != nil {
 		n.w.mirror.Drop(b)
 	}
+}
+
+func (n *desNet) tableLen(rank int) int {
+	if t := n.w.fab.NIC(rank).Table; t != nil {
+		return t.Len()
+	}
+	return 0
 }
 
 // chanNet is the goroutine-engine transport: messages hop between
@@ -431,6 +440,7 @@ func (c *chanNet) misroute(l *Locality, st *goNICState, m *netsim.Message) {
 	if pol.PushUpdates && m.Src != l.rank {
 		c.nics[m.Src].updateTable(m.Block, owner)
 	}
+	l.traceOp(TraceNICForward, m.Block, uint64(int64(owner)), m.OpID)
 	// Forward a fresh copy and recycle the arrived one: the forwarded
 	// message is the sole owner from here on.
 	fwd := netsim.NewMessage()
@@ -487,3 +497,5 @@ func (c *chanNet) dropAll(b gas.BlockID) {
 		s.mu.Unlock()
 	}
 }
+
+func (c *chanNet) tableLen(rank int) int { return c.nics[rank].tableLen() }

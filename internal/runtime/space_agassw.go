@@ -87,7 +87,7 @@ func (s *swSpace) OnStaleDelivery(m *netsim.Message, p *parcel.Parcel) {
 			l.w.fail("rank %d: parcel %v for unallocated block %d", l.rank, p, b)
 		}
 		l.Stats.HostForwards.Inc()
-		l.trace(TraceHostForward, b, uint64(owner))
+		l.traceOp(TraceHostForward, b, uint64(owner), p.OpID)
 		l.exec.Charge(l.w.cfg.Model.OSend)
 		fwd := *m
 		fwd.Dst = owner

@@ -1,6 +1,8 @@
 package runtime
 
 import (
+	"time"
+
 	"nmvgas/internal/gas"
 	"nmvgas/internal/netsim"
 )
@@ -38,6 +40,10 @@ const (
 	// TraceDupSuppressed is a delivery rejected as already applied
 	// (Info = sequence).
 	TraceDupSuppressed
+	// TraceNICForward is an in-network redirect: the NIC (DES fabric) or
+	// the transport playing the NIC (goroutine engine) rewrote a stale
+	// destination from its resident table mid-flight (Info = new owner).
+	TraceNICForward
 )
 
 func (k TraceKind) String() string {
@@ -64,17 +70,56 @@ func (k TraceKind) String() string {
 		return "retransmit"
 	case TraceDupSuppressed:
 		return "dup-suppressed"
+	case TraceNICForward:
+		return "nic-forward"
 	}
 	return "unknown"
 }
 
+// Span phases let trace consumers pair events into intervals: a TraceSend
+// opens an async span for its OpID, the matching TraceExec closes it, and
+// everything between (forwards, NACKs, queueing, retransmits) annotates
+// the journey as instants carrying the same OpID.
+type Span uint8
+
+const (
+	// SpanInstant is a point event inside (or outside) any span.
+	SpanInstant Span = iota
+	// SpanBegin opens the async span identified by OpID.
+	SpanBegin
+	// SpanEnd closes the async span identified by OpID.
+	SpanEnd
+)
+
+// spanOf derives the span phase from the event kind: a send opens the
+// operation's span, the exec that finally runs it closes it, and every
+// protocol step in between is an instant on the same id.
+func spanOf(k TraceKind) Span {
+	switch k {
+	case TraceSend:
+		return SpanBegin
+	case TraceExec:
+		return SpanEnd
+	}
+	return SpanInstant
+}
+
 // TraceEvent is one observable protocol step.
 type TraceEvent struct {
-	Time  netsim.VTime // simulated time (0 on the goroutine engine)
+	// Time is simulated time under the DES engine. Under the goroutine
+	// engine it is monotonic wall-clock nanoseconds since World creation
+	// (events are orderable within a run but the unit differs: simulated
+	// ns versus real ns).
+	Time  netsim.VTime
 	Rank  int
 	Kind  TraceKind
 	Block gas.BlockID
 	Info  uint64
+	// OpID links every hop of one logical operation (parcel journey or
+	// one-sided op); 0 when the step has no originating operation.
+	OpID uint64
+	// Span is the phase marker derived from Kind (begin/end/instant).
+	Span Span
 }
 
 // SetTracer installs fn as the trace sink. Must be called before Start;
@@ -87,9 +132,26 @@ func (w *World) SetTracer(fn func(TraceEvent)) {
 	w.tracer = fn
 }
 
+// traceNow returns the event timestamp: simulated time on the DES
+// engine, monotonic wall nanoseconds since World creation on the
+// goroutine engine (where Now() is always 0).
+func (w *World) traceNow() netsim.VTime {
+	if w.eng == nil {
+		return netsim.VTime(time.Since(w.epoch))
+	}
+	return w.Now()
+}
+
 func (l *Locality) trace(kind TraceKind, block gas.BlockID, info uint64) {
+	l.traceOp(kind, block, info, 0)
+}
+
+func (l *Locality) traceOp(kind TraceKind, block gas.BlockID, info, opID uint64) {
 	if l.w.tracer == nil {
 		return
 	}
-	l.w.tracer(TraceEvent{Time: l.w.Now(), Rank: l.rank, Kind: kind, Block: block, Info: info})
+	l.w.tracer(TraceEvent{
+		Time: l.w.traceNow(), Rank: l.rank, Kind: kind, Block: block,
+		Info: info, OpID: opID, Span: spanOf(kind),
+	})
 }

@@ -47,6 +47,14 @@ type World struct {
 	// trace.go).
 	tracer func(TraceEvent)
 
+	// epoch anchors wall-clock trace timestamps and latency samples under
+	// EngineGo, where there is no simulated clock.
+	epoch time.Time
+
+	// lat holds the latency histograms; nil unless cfg.Metrics (the
+	// disabled hot path pays one nil check, nothing else).
+	lat *latencyState
+
 	// accessHook, when set before Start, observes every data-path access
 	// (action execution, one-sided op completion at the owner). The
 	// load balancer uses it to build block heat maps.
@@ -86,8 +94,11 @@ func NewWorld(cfg Config) (*World, error) {
 	if err := cfg.validate(bld.caps); err != nil {
 		return nil, err
 	}
-	w := &World{cfg: cfg, caps: bld.caps, reg: newRegistry(), seq: gas.NewSequence()}
+	w := &World{cfg: cfg, caps: bld.caps, reg: newRegistry(), seq: gas.NewSequence(), epoch: time.Now()}
 	w.registerBuiltins()
+	if cfg.Metrics {
+		w.lat = newLatencyState()
+	}
 	w.relCfg = cfg.Reliability
 	if cfg.reliable() {
 		w.relw = newRelWorld()
@@ -119,6 +130,9 @@ func NewWorld(cfg Config) (*World, error) {
 				loc.exec.Exec(cfg.Model.ORecv+cfg.Model.HandlerDispatch, func() { loc.onHostMsg(m) })
 			}
 			nic.DMADeliver = loc.onDMA
+			nic.OnForward = func(m *netsim.Message, owner int) {
+				loc.traceOp(TraceNICForward, m.Block, uint64(int64(owner)), m.OpID)
+			}
 		}
 	case EngineGo:
 		w.faults = netsim.NewFaultInjector(cfg.Faults)

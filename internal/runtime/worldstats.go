@@ -39,6 +39,10 @@ type WorldStats struct {
 	// Delivery is the reliable-delivery and fault-injection report (all
 	// zero when neither faults nor Reliability.Force are configured).
 	Delivery DeliveryStats
+
+	// Latencies is the runtime latency report (zero unless
+	// Config.Metrics; see WorldLatencies).
+	Latencies WorldLatencies
 }
 
 // Stats sums the per-locality counters and, on the DES engine, the fabric
@@ -65,6 +69,7 @@ func (w *World) Stats() WorldStats {
 		s.ScatterForwards += uint64(l.Stats.ScatterForwards.Load())
 	}
 	s.Delivery = w.DeliveryStats()
+	s.Latencies = w.Latencies()
 	if w.fab != nil {
 		n := w.fab.TotalStats()
 		s.NetSent = n.Sent
@@ -118,5 +123,24 @@ func (w *World) StatsTable() *stats.Table {
 	add("faults.duplicated", d.Faults.Duplicated)
 	add("faults.delayed", d.Faults.Delayed)
 	add("faults.table_lost", d.Faults.TableEntriesLost)
+	if lat := s.Latencies; lat.Enabled {
+		lrow := func(name string, l LatencySummary) {
+			if l.Count == 0 {
+				return
+			}
+			tb.AddRow(name+".p50_ns", l.P50Ns)
+			tb.AddRow(name+".p95_ns", l.P95Ns)
+			tb.AddRow(name+".p99_ns", l.P99Ns)
+		}
+		lrow("lat.parcel_exec", lat.ParcelExec)
+		lrow("lat.put", lat.PutDone)
+		lrow("lat.get", lat.GetDone)
+		lrow("lat.nack_repair", lat.NackRepair)
+		lrow("lat.coalesce_flush", lat.CoalesceFlush)
+		lrow("lat.mig_transfer", lat.MigTransfer)
+		lrow("lat.mig_update", lat.MigUpdate)
+		lrow("lat.mig_drain", lat.MigDrain)
+		lrow("lat.mig_total", lat.MigTotal)
+	}
 	return tb
 }

@@ -129,5 +129,8 @@ func (h *Histogram) Percentile(p float64) int64 {
 // P50 is Percentile(50).
 func (h *Histogram) P50() int64 { return h.Percentile(50) }
 
+// P95 is Percentile(95).
+func (h *Histogram) P95() int64 { return h.Percentile(95) }
+
 // P99 is Percentile(99).
 func (h *Histogram) P99() int64 { return h.Percentile(99) }
