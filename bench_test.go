@@ -199,6 +199,11 @@ func BenchmarkGoEngineGetVecThroughput(b *testing.B) { microbench.GoEngineGetVec
 // 16-deep coalesced batches split by the receiving NIC path.
 func BenchmarkGoEngineCoalesceThroughput(b *testing.B) { microbench.GoEngineCoalesce(b) }
 
+// BenchmarkF16ReplicatedReads is the replica-hit read fast path: blocking
+// reads of a remote-owned block served from a local live replica, with
+// the runtime's get-completion percentiles as p50_ns/p95_ns/p99_ns.
+func BenchmarkF16ReplicatedReads(b *testing.B) { microbench.F16ReplicatedReads(b) }
+
 // BenchmarkGoEnginePumpThroughput is the send→deliver pump workload on
 // the goroutine engine (msgs/sec and allocs/op for the whole fast path).
 func BenchmarkGoEnginePumpThroughput(b *testing.B) { microbench.GoEnginePump(b) }

@@ -8,6 +8,7 @@
 //	vgasbench -csv F1               # emit CSV instead of aligned tables
 //	vgasbench -modes agas-nm F6     # restrict row-per-mode sweeps
 //	vgasbench -loss 0.05 -dup 0.02 -reorder C1   # extra chaos fault plan
+//	vgasbench -replicas 3 -coherence write-update F16   # replication sweep override
 //	vgasbench -bench-json BENCH.json             # fast-path microbenchmarks as JSON
 //	vgasbench -cpuprofile cpu.out -quick F5      # pprof the run
 //	vgasbench -metrics-out m.prom -trace-out t.json  # instrumented run: metrics + Chrome trace
@@ -23,6 +24,7 @@ import (
 	"runtime/pprof"
 	"strings"
 
+	"nmvgas/internal/agas"
 	"nmvgas/internal/exp"
 	"nmvgas/internal/metrics"
 	"nmvgas/internal/microbench"
@@ -39,6 +41,10 @@ func main() {
 	modes := flag.String("modes", "", "comma-separated address-space modes to sweep "+
 		"(pgas, agas-sw, agas-nm; empty = all). Experiments with fixed per-mode "+
 		"columns always sweep every mode.")
+	replicas := flag.Int("replicas", 0, "replica count for the replication experiment's sweep "+
+		"(0 = default sweep; n > 0 runs {0, n})")
+	coherence := flag.String("coherence", "", "replica coherence policy for the replication "+
+		"experiment (write-invalidate, write-update, rw-lease; empty = write-invalidate)")
 	loss := flag.Float64("loss", 0, "message drop probability [0,1) for the chaos experiment's extra plan")
 	dup := flag.Float64("dup", 0, "message duplication probability [0,1) for the chaos experiment's extra plan")
 	reorder := flag.Bool("reorder", false, "randomize per-message delay (reordering) in the chaos experiment's extra plan")
@@ -104,7 +110,15 @@ func main() {
 		return
 	}
 
-	o := exp.Options{Quick: *quick, Seed: *seed}
+	o := exp.Options{Quick: *quick, Seed: *seed, Replicas: *replicas}
+	if *coherence != "" {
+		c, err := agas.ParseCoherence(*coherence)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vgasbench: %v\n", err)
+			os.Exit(2)
+		}
+		o.Coherence = c
+	}
 	if *loss != 0 || *dup != 0 || *reorder {
 		o.Faults = netsim.FaultPlan{Drop: *loss, Duplicate: *dup, Reorder: *reorder, Seed: *seed}
 	}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"time"
 
 	"nmvgas/internal/metrics"
 	"nmvgas/internal/trace"
@@ -17,6 +18,8 @@ import (
 func main() {
 	modeFlag := flag.String("mode", "agas-nm", "address space: pgas, agas-sw, or agas-nm")
 	engineFlag := flag.String("engine", "des", "execution engine: des or go")
+	replicasFlag := flag.Int("replicas", 3, "read replicas installed in the replication step (0 skips it)")
+	coherenceFlag := flag.String("coherence", "", "replica coherence policy: write-invalidate, write-update, or rw-lease")
 	httpAddr := flag.String("http", "", "after the tour, serve /metrics, /metrics.json, "+
 		"/trace.json and /debug/pprof on this address (e.g. :8080) until interrupted")
 	flag.Parse()
@@ -31,10 +34,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "vgasdemo: %v\n", err)
 		os.Exit(2)
 	}
+	var coherence vgas.Coherence
+	if *coherenceFlag != "" {
+		if coherence, err = vgas.ParseCoherence(*coherenceFlag); err != nil {
+			fmt.Fprintf(os.Stderr, "vgasdemo: %v\n", err)
+			os.Exit(2)
+		}
+	}
 	sp := vgas.SpaceFor(mode)
 
 	fmt.Printf("== virtual global address space demo: %s on %s ==\n", sp, engine)
-	w, err := vgas.NewWorldFor(sp, vgas.Config{Ranks: 4, Engine: engine, Metrics: *httpAddr != ""})
+	w, err := vgas.NewWorldFor(sp, vgas.Config{
+		Ranks: 4, Engine: engine, Coherence: coherence, Metrics: *httpAddr != "",
+	})
 	if err != nil {
 		panic(err)
 	}
@@ -67,6 +79,37 @@ func main() {
 	reply := w.MustWait(w.Proc(0).Call(g, echo, []byte("ping")))
 	fmt.Printf("   reply: %q\n", reply)
 
+	// replication narrates the coherent read-replication step: install
+	// live replicas, serve reads locally, and keep holders coherent
+	// through a write.
+	replication := func(step int) {
+		if *replicasFlag <= 0 {
+			return
+		}
+		fmt.Printf("\n%d. Install %d live read replicas per block (%v coherence).\n",
+			step, *replicasFlag, coherence)
+		if err := w.ReplicateLive(lay, *replicasFlag); err != nil {
+			panic(err)
+		}
+		for r := 0; r < 4; r++ {
+			w.MustWait(w.Proc(r).Get(g, 5))
+		}
+		fmt.Printf("   every rank read the same address; %d reads were served by replicas\n",
+			w.Stats().ReplicaReads)
+		fmt.Println("   the block stays writable: the master keeps holders coherent")
+		w.MustWait(w.Proc(0).Put(g, []byte("world")))
+		if engine == vgas.EngineDES {
+			w.Drain()
+		} else {
+			time.Sleep(50 * time.Millisecond)
+		}
+		s := w.Stats()
+		fmt.Printf("   coherence traffic: %d invalidations, %d refills, %d pushed updates\n",
+			s.ReplicaInvals, s.ReplicaFills, s.ReplicaUpdates)
+		got := w.MustWait(w.Proc(1).Get(g, 5))
+		fmt.Printf("   rank 1 reads back after the write: %q\n", got)
+	}
+
 	serve := func() {
 		if *httpAddr == "" {
 			return
@@ -87,6 +130,7 @@ func main() {
 		fmt.Printf("\n4. %s is static: blocks cannot migrate (Caps.Migration=false).\n", sp)
 		st := w.MustWait(w.Proc(0).Migrate(g, 2))
 		fmt.Printf("   migrate status: %d (1 = pinned/refused)\n", vgas.MigrateStatus(st))
+		replication(5)
 		fmt.Println("\nDone.")
 		serve()
 		return
@@ -115,6 +159,8 @@ func main() {
 		fmt.Printf("   host forwards at the old owner: first send %d, second send %d\n",
 			mid-before, after-mid)
 	}
+
+	replication(6)
 
 	if w.Fabric() != nil {
 		fmt.Printf("\nSimulated time elapsed: %v. Done.\n", w.Now())

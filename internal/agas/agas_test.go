@@ -80,9 +80,12 @@ func TestSWCacheLearnAndLookup(t *testing.T) {
 	if o, ok := c.Lookup(1); !ok || o != 4 {
 		t.Fatalf("Lookup = %d,%v", o, ok)
 	}
-	h, m, _ := c.Stats()
+	h, m, _, up, _ := c.Stats()
 	if h != 1 || m != 1 {
 		t.Fatalf("stats h=%d m=%d", h, m)
+	}
+	if up != 1 {
+		t.Fatalf("updates = %d (Learn must surface as a table update)", up)
 	}
 	if c.HitRate() != 0.5 {
 		t.Fatalf("hit rate %v", c.HitRate())
@@ -96,7 +99,7 @@ func TestSWCacheCorrectionUpdate(t *testing.T) {
 	if o, ok := c.Lookup(1); !ok || o != 6 {
 		t.Fatalf("after correction Lookup = %d,%v", o, ok)
 	}
-	_, _, corr := c.Stats()
+	_, _, _, _, corr := c.Stats()
 	if corr != 1 {
 		t.Fatalf("corrections = %d", corr)
 	}

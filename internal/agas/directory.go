@@ -17,14 +17,36 @@ import (
 // home locality. It only stores entries for blocks whose owner differs
 // from their home; an absent entry means "still at home", which keeps the
 // directory proportional to migrated blocks rather than all blocks.
+//
+// It doubles as the owner-side replica directory: the master of a
+// replicated block records its replica set here, and the coherence
+// protocol (invalidations, updates, fills) consults it. The replica map
+// travels with the master on migration (see runtime migrate), so the
+// set is always found where writes land.
 type Directory struct {
 	mu     sync.RWMutex
 	owners map[gas.BlockID]int
+	repl   map[gas.BlockID]ReplicaSet
 }
 
 // NewDirectory returns an empty directory.
 func NewDirectory() *Directory {
-	return &Directory{owners: make(map[gas.BlockID]int)}
+	return &Directory{
+		owners: make(map[gas.BlockID]int),
+		repl:   make(map[gas.BlockID]ReplicaSet),
+	}
+}
+
+// ReplicaSet is the owner-side record of one replicated block: who holds
+// the writable master and which ranks hold read replicas.
+type ReplicaSet struct {
+	Master  int
+	Holders []int
+}
+
+// clone deep-copies the set so callers can't alias directory state.
+func (s ReplicaSet) clone() ReplicaSet {
+	return ReplicaSet{Master: s.Master, Holders: append([]int(nil), s.Holders...)}
 }
 
 // Owner returns the recorded owner of block and whether an entry exists.
@@ -68,4 +90,68 @@ func (d *Directory) Len() int {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	return len(d.owners)
+}
+
+// SetReplicas records block's replica set at this (owner-side) directory.
+func (d *Directory) SetReplicas(block gas.BlockID, master int, holders []int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.repl[block] = ReplicaSet{Master: master, Holders: append([]int(nil), holders...)}
+}
+
+// Replicas returns a copy of block's replica set, if it is replicated.
+func (d *Directory) Replicas(block gas.BlockID) (ReplicaSet, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	s, ok := d.repl[block]
+	if !ok {
+		return ReplicaSet{}, false
+	}
+	return s.clone(), true
+}
+
+// TakeReplicas removes and returns block's replica set — the migration
+// path uses it to carry the set to the new master's directory.
+func (d *Directory) TakeReplicas(block gas.BlockID) (ReplicaSet, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s, ok := d.repl[block]
+	if !ok {
+		return ReplicaSet{}, false
+	}
+	delete(d.repl, block)
+	return s, true
+}
+
+// RemoveReplica drops one holder from block's set (e.g. the destination
+// of a migration stops being a replica when it becomes the master).
+func (d *Directory) RemoveReplica(block gas.BlockID, rank int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s, ok := d.repl[block]
+	if !ok {
+		return
+	}
+	kept := s.Holders[:0]
+	for _, h := range s.Holders {
+		if h != rank {
+			kept = append(kept, h)
+		}
+	}
+	s.Holders = kept
+	d.repl[block] = s
+}
+
+// DropReplicas removes block's replica set (unreplicate / free).
+func (d *Directory) DropReplicas(block gas.BlockID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.repl, block)
+}
+
+// ReplicatedLen returns the number of replicated blocks tracked here.
+func (d *Directory) ReplicatedLen() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.repl)
 }

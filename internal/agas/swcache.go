@@ -66,12 +66,15 @@ func (c *SWCache) Correct(block gas.BlockID, owner int) {
 	c.table.Update(block, owner)
 }
 
-// Stats returns hit/miss/correction counters.
-func (c *SWCache) Stats() (hits, misses, corrections uint64) {
+// Stats returns the full counter set: the underlying table's
+// hit/miss/eviction/update counters plus the cache's own staleness
+// corrections. (Earlier versions silently discarded the eviction and
+// update counts.)
+func (c *SWCache) Stats() (hits, misses, evictions, updates, corrections uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	h, m, _, _ := c.table.Stats()
-	return h, m, c.corrections
+	h, m, ev, up := c.table.Stats()
+	return h, m, ev, up, c.corrections
 }
 
 // HitRate returns the cache hit rate.

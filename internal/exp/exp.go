@@ -10,6 +10,7 @@ import (
 	"io"
 	"sort"
 
+	"nmvgas/internal/agas"
 	"nmvgas/internal/gas"
 	"nmvgas/internal/netsim"
 	"nmvgas/internal/parcel"
@@ -31,6 +32,13 @@ type Options struct {
 	// sweep as an extra operator-chosen plan (vgasbench maps -loss/-dup/
 	// -reorder here).
 	Faults netsim.FaultPlan
+	// Replicas, when > 0, replaces the replication experiment's default
+	// replica-count sweep with {0, Replicas} (vgasbench maps -replicas
+	// here).
+	Replicas int
+	// Coherence selects the replica coherence policy the replication
+	// experiment runs under (vgasbench maps -coherence here).
+	Coherence agas.Coherence
 }
 
 // sweep returns the address spaces a row-per-mode experiment iterates.

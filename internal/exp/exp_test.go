@@ -23,7 +23,7 @@ func cell(t *testing.T, tb interface{ Rows() [][]string }, row, col int) float64
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"T1", "T2", "T3", "T4", "T5", "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9", "F10", "F11", "F12", "F13", "F14", "F15", "A1", "A2"}
+	want := []string{"T1", "T2", "T3", "T4", "T5", "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9", "F10", "F11", "F12", "F13", "F14", "F15", "F16", "A1", "A2"}
 	for _, id := range want {
 		if _, ok := Find(id); !ok {
 			t.Errorf("experiment %s missing from registry", id)
@@ -340,6 +340,36 @@ func TestF14ReplicationShape(t *testing.T) {
 	a, b, c := cell(t, tb, 0, 2), cell(t, tb, 1, 2), cell(t, tb, 2, 2)
 	if a != b || b != c {
 		t.Fatalf("replicated read costs differ across modes: %v %v %v", a, b, c)
+	}
+}
+
+func TestF16ReplicatedReadsShape(t *testing.T) {
+	tb := mustRun(t, "F16")
+	// Quick: 3 modes × replica counts {0, 3} = 6 rows; even rows are the
+	// unreplicated baselines.
+	if tb.NumRows() != 6 {
+		t.Fatalf("rows = %d, want 6", tb.NumRows())
+	}
+	for r := 0; r < 6; r += 2 {
+		base, repl := cell(t, tb, r, 2), cell(t, tb, r+1, 2)
+		if repl < 1.5*base {
+			t.Fatalf("row %d: replicated throughput %v not ahead of baseline %v", r+1, repl, base)
+		}
+		if cell(t, tb, r+1, 6) == 0 {
+			t.Fatalf("row %d: no invalidations — coherence never exercised", r+1)
+		}
+	}
+	// The measured (write-free) phase never detours through a host: every
+	// read resolves at a fresh replica or the master.
+	for r := 0; r < 6; r++ {
+		if d := cell(t, tb, r, 3); d != 0 {
+			t.Fatalf("row %d: %v host detours in the measured read phase", r, d)
+		}
+	}
+	// Warm phase: software AGAS pays host-side stale-window corrections
+	// that the network-managed mode absorbs in the NIC.
+	if sw, nm := cell(t, tb, 3, 4), cell(t, tb, 5, 4); nm >= sw {
+		t.Fatalf("warm detours: agas-nm %v not under agas-sw %v", nm, sw)
 	}
 }
 

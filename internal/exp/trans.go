@@ -67,7 +67,7 @@ func translationProbe(o Options, sp runtime.SpaceSpec, tableCap int, ws uint32, 
 	if sp.Caps.NICTranslation {
 		h0, m0, _, _ = w.Fabric().NIC(0).Table.Stats()
 	} else {
-		h0, m0, _ = w.Locality(0).Cache().Stats()
+		h0, m0, _, _, _ = w.Locality(0).Cache().Stats()
 	}
 	var samples []netsim.VTime
 	for r := 0; r < rounds; r++ {
@@ -81,7 +81,7 @@ func translationProbe(o Options, sp runtime.SpaceSpec, tableCap int, ws uint32, 
 	if sp.Caps.NICTranslation {
 		h1, m1, _, _ = w.Fabric().NIC(0).Table.Stats()
 	} else {
-		h1, m1, _ = w.Locality(0).Cache().Stats()
+		h1, m1, _, _, _ = w.Locality(0).Cache().Stats()
 	}
 	if dh, dm := h1-h0, m1-m0; dh+dm > 0 {
 		hitRate = float64(dh) / float64(dh+dm)

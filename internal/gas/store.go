@@ -25,12 +25,10 @@ type Block struct {
 	// Pinned blocks (LCOs, per-locality infrastructure) refuse to
 	// migrate.
 	Pinned bool
-	// Frozen marks a read-only master: writes and migration are
-	// rejected (the block has replicas elsewhere).
-	Frozen bool
-	// Replica marks a read-only copy of a frozen master living on a
-	// non-owner locality. Replicas serve local reads only; they are
-	// invisible to ownership routing.
+	// Replica marks a coherent read copy living on a non-owner
+	// locality. Replicas serve reads only (the coherence protocol keeps
+	// them fresh or marks them stale); they are invisible to ownership
+	// routing, and writes/parcels always resolve to the master.
 	Replica bool
 	// Ctl holds the LCO object for KindLCO blocks; the concrete type is
 	// owned by the lco package. Keeping it as any avoids an import cycle.

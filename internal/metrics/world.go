@@ -30,6 +30,7 @@ type WorldPublisher struct {
 var latPaths = []string{
 	"parcel_exec", "put", "get", "nack_repair", "coalesce_flush",
 	"mig_transfer", "mig_update", "mig_drain", "mig_total",
+	"repl_inval", "repl_update", "repl_fill",
 }
 
 // PublishWorld registers w's metric series (labelled with mode and
@@ -63,6 +64,11 @@ func PublishWorld(reg *Registry, w *runtime.World) *WorldPublisher {
 	counter("nmvgas_net_forwards_total", "In-network forwards (DES engine)")
 	counter("nmvgas_scatter_splits_total", "Coalesced batches split in-NIC")
 	counter("nmvgas_batch_reroutes_total", "Batched parcels re-routed in host software")
+	counter("nmvgas_replica_reads_total", "Reads served from replica holders")
+	counter("nmvgas_replica_stale_reads_total", "Replica reads that found the holder stale")
+	counter("nmvgas_replica_invals_total", "Replica invalidations applied at holders")
+	counter("nmvgas_replica_updates_total", "Write-update snapshots applied at holders")
+	counter("nmvgas_replica_fills_total", "Replica refills installed at holders")
 
 	ranks := w.Ranks()
 	for r := 0; r < ranks; r++ {
@@ -102,6 +108,11 @@ func (p *WorldPublisher) Refresh() {
 	set("nmvgas_net_forwards_total", int64(s.NetForwards))
 	set("nmvgas_scatter_splits_total", int64(s.ScatterSplits))
 	set("nmvgas_batch_reroutes_total", s.BatchReroutes)
+	set("nmvgas_replica_reads_total", s.ReplicaReads)
+	set("nmvgas_replica_stale_reads_total", s.ReplicaStaleReads)
+	set("nmvgas_replica_invals_total", s.ReplicaInvals)
+	set("nmvgas_replica_updates_total", s.ReplicaUpdates)
+	set("nmvgas_replica_fills_total", s.ReplicaFills)
 
 	for r := 0; r < p.w.Ranks(); r++ {
 		ls := &p.w.Locality(r).Stats
@@ -129,6 +140,9 @@ func (p *WorldPublisher) Refresh() {
 		push("mig_update", lat.MigUpdate)
 		push("mig_drain", lat.MigDrain)
 		push("mig_total", lat.MigTotal)
+		push("repl_inval", lat.ReplInval)
+		push("repl_update", lat.ReplUpdate)
+		push("repl_fill", lat.ReplFill)
 	}
 }
 

@@ -61,6 +61,7 @@ func NewFabric(eng *Engine, cfg FabricConfig) *Fabric {
 			Policy:     cfg.Policy,
 			Table:      NewTransTable(cfg.NICTableCap),
 			routes:     make(map[gas.BlockID]int),
+			readRoutes: make(map[gas.BlockID]int),
 			fab:        f,
 		}
 	}

@@ -56,6 +56,12 @@ type Message struct {
 	// are two-sided and always cross the host on delivery.
 	DMA bool
 
+	// Read marks one-sided read traffic (get requests). Reads of a
+	// replicated block may be steered to a replica holder instead of
+	// the owner (NIC readRoutes under GVA routing, host replica routes
+	// otherwise); all other traffic strictly follows ownership.
+	Read bool
+
 	// Payload is the opaque application bytes. A typed slice (rather than
 	// any) keeps the hot path free of interface-boxing allocations.
 	Payload []byte

@@ -88,9 +88,21 @@ type NIC struct {
 	// evicted, because losing authoritative state would break routing.
 	routes map[gas.BlockID]int
 
+	// readRoutes steers read traffic (Message.Read) for replicated
+	// blocks to a nearby replica holder instead of the owner. Like
+	// routes it is authoritative (installed by the replication
+	// protocol, never evicted); unlike routes it only applies to reads
+	// — writes and parcels still follow ownership.
+	readRoutes map[gas.BlockID]int
+
 	// Resident reports whether the host currently holds a block. Set by
 	// the runtime before traffic flows.
 	Resident func(gas.BlockID) bool
+	// ResidentRead reports whether the host holds a fresh read replica
+	// of a block it does not own, letting the NIC DMA-serve reads that
+	// readRoutes steered here without any host detour. Nil when the
+	// runtime has no replication support.
+	ResidentRead func(gas.BlockID) bool
 	// HostDeliver hands a message to the host runtime (two-sided
 	// delivery, DMA faults, NACKs). The runtime charges its own host
 	// receive overheads.
@@ -118,6 +130,19 @@ func (n *NIC) InstallRoute(block gas.BlockID, owner int) {
 // DropRoute removes authoritative knowledge for block (used by free).
 func (n *NIC) DropRoute(block gas.BlockID) {
 	delete(n.routes, block)
+	delete(n.readRoutes, block)
+}
+
+// InstallReadRoute steers this NIC's read traffic for block to the
+// replica at target. The replication runtime calls it at install time.
+func (n *NIC) InstallReadRoute(block gas.BlockID, target int) {
+	n.readRoutes[block] = target
+}
+
+// DropReadRoute removes block's read steering (unreplicate, free, or the
+// local rank becoming the owner).
+func (n *NIC) DropReadRoute(block gas.BlockID) {
+	delete(n.readRoutes, block)
 }
 
 // Route returns this NIC's authoritative knowledge for block, if any.
@@ -141,7 +166,11 @@ func (n *NIC) Send(m *Message) {
 			panic("netsim: ByGVA send on a NIC without GVA routing")
 		}
 		cost += n.fab.Model.NICLookup
-		if owner, ok := n.Table.Lookup(m.Block); ok {
+		if target, ok := n.readRoutes[m.Block]; ok && m.Read {
+			// Replicated block: reads go to the nearby replica the
+			// protocol picked for this rank, not the owner.
+			m.Dst = target
+		} else if owner, ok := n.Table.Lookup(m.Block); ok {
 			m.Dst = owner
 		} else if owner, ok := n.routes[m.Block]; ok {
 			m.Dst = owner
@@ -283,6 +312,11 @@ func (n *NIC) receive(m *Message) {
 	}
 
 	resident := n.Resident != nil && n.Resident(m.Block)
+	if !resident && m.Read && n.ResidentRead != nil && n.ResidentRead(m.Block) {
+		// A fresh read replica lives here: serve the read in place, no
+		// ownership and no host re-route involved.
+		resident = true
+	}
 	if resident {
 		n.deliver(m)
 		return
@@ -308,6 +342,22 @@ func (n *NIC) receive(m *Message) {
 // misroute handles a GVA-routed arrival for a non-resident block.
 func (n *NIC) misroute(m *Message) {
 	model := n.fab.Model
+	if target, ok := n.readRoutes[m.Block]; ok && m.Read && target != n.Rank {
+		// We cannot serve this read but know a replica holder: forward
+		// the read there in-network instead of chasing the owner.
+		m.Hops++
+		if m.Hops <= n.Policy.HopCap() {
+			n.Stats.Forwards++
+			if n.OnForward != nil {
+				n.OnForward(m, target)
+			}
+			fwd := *m
+			fwd.Dst = target
+			n.transmit(&fwd, model.NICForward)
+			return
+		}
+		m.Hops--
+	}
 	owner, known := n.routes[m.Block]
 	if !known {
 		owner, known = n.Table.Peek(m.Block)

@@ -70,14 +70,20 @@ func (w *World) Free(l gas.Layout) error {
 		b := l.Base.Block() + gas.BlockID(d)
 		home := l.HomeOf(d)
 		owner := w.locs[home].space.HomeOwner(b)
+		if dir := w.locs[owner].space.Directory(); dir != nil {
+			if _, ok := dir.TakeReplicas(b); ok {
+				w.replCount.Add(-1)
+			}
+		}
 		if _, ok := w.locs[owner].store.Remove(b); !ok {
 			return fmt.Errorf("runtime: free of non-resident block %d (owner %d)", b, owner)
 		}
-		// Sweep any read-only replicas.
+		// Sweep any replicas and their holder-side coherence state.
 		for _, loc := range w.locs {
 			if blk, ok := loc.store.Get(b); ok && blk.Replica {
 				loc.store.Remove(b)
 			}
+			loc.dropReplicaState(b)
 		}
 		w.dropTranslation(b, home)
 	}

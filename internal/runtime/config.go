@@ -146,6 +146,15 @@ type Config struct {
 	// flush delay), surfaced by World.Latencies. Off by default; the
 	// disabled path costs a single nil check and zero allocations.
 	Metrics bool
+	// Coherence selects how writes to a replicated block keep its replica
+	// set coherent (see World.ReplicateLive): write-invalidate (default),
+	// write-update, or RW leases.
+	Coherence agas.Coherence
+	// LeaseNs is the replica lease length on the latency clock under the
+	// RWLease coherence policy (0 = default 100µs). Other policies renew
+	// leases on every fill, so the value only bounds staleness under
+	// RWLease.
+	LeaseNs int64
 }
 
 // normalized fills defaults and validates.
@@ -175,6 +184,12 @@ func (c Config) normalized() (Config, error) {
 		return c, fmt.Errorf("runtime: fault drop probability %v outside [0,1)", c.Faults.Drop)
 	}
 	c.Reliability = c.Reliability.withDefaults()
+	if c.Coherence > agas.RWLease {
+		return c, fmt.Errorf("runtime: unknown coherence policy %d", c.Coherence)
+	}
+	if c.LeaseNs <= 0 {
+		c.LeaseNs = 100_000
+	}
 	return c, nil
 }
 

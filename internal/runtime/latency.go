@@ -58,9 +58,24 @@ type latencyState struct {
 	migDrain    stats.Histogram
 	migTotal    stats.Histogram
 
+	// Replica coherence paths: write → invalidation applied at a holder,
+	// write → update snapshot installed at a holder, and stale mark →
+	// refill installed (the window in which a holder's reads chase the
+	// master).
+	replInval  stats.Histogram
+	replUpdate stats.Histogram
+	replFill   stats.Histogram
+
 	migMu sync.Mutex
 	mig   map[gas.BlockID]*migMarks
 }
+
+// replica coherence span kinds for latReplDone.
+const (
+	latReplInval = iota
+	latReplUpdate
+	latReplFill
+)
 
 func newLatencyState() *latencyState {
 	s := &latencyState{mig: make(map[gas.BlockID]*migMarks)}
@@ -150,6 +165,24 @@ func (w *World) latNackRepair(id uint64) {
 	}
 }
 
+// latReplDone closes a replica coherence span (opened with latStart at
+// the fan-out or fill send) into the histogram selected by which.
+func (w *World) latReplDone(id uint64, which int) {
+	if w.lat == nil || id == 0 {
+		return
+	}
+	if d, ok := w.lat.take(id, w.latNow()); ok {
+		switch which {
+		case latReplInval:
+			w.lat.replInval.Record(d)
+		case latReplUpdate:
+			w.lat.replUpdate.Record(d)
+		case latReplFill:
+			w.lat.replFill.Record(d)
+		}
+	}
+}
+
 // latMigMark records one phase of a migration's protocol chain. The
 // chain crosses ranks (owner → destination → home → old owner), so the
 // marks live world-level; a block migrates at most once at a time (the
@@ -225,6 +258,10 @@ type WorldLatencies struct {
 	MigUpdate   LatencySummary // install → directory/table flip
 	MigDrain    LatencySummary // flip → old owner drained
 	MigTotal    LatencySummary // pin → done
+
+	ReplInval  LatencySummary // write → invalidation applied at holder
+	ReplUpdate LatencySummary // write → update snapshot installed
+	ReplFill   LatencySummary // stale mark → refill installed
 }
 
 // Latencies returns the world's latency report (zero unless
@@ -245,6 +282,9 @@ func (w *World) Latencies() WorldLatencies {
 		MigUpdate:     summarize(&s.migUpdate),
 		MigDrain:      summarize(&s.migDrain),
 		MigTotal:      summarize(&s.migTotal),
+		ReplInval:     summarize(&s.replInval),
+		ReplUpdate:    summarize(&s.replUpdate),
+		ReplFill:      summarize(&s.replFill),
 	}
 }
 

@@ -36,6 +36,20 @@ const (
 	// completed OpIDs, accumulated per source and flushed when the owner's
 	// mailbox drains (goroutine engine, unreliable worlds only).
 	kPutAckVec
+	// Coherence protocol for live read replicas (see replicate.go). All
+	// four are rank-addressed (null Target, Block set) except kReplFill,
+	// which chases the master through ordinary ownership routing.
+	//
+	// kReplInval marks a holder's replica stale after a master write
+	// (write-invalidate policy).
+	kReplInval
+	// kReplUpdate pushes the master's post-write block snapshot to a
+	// holder (write-update policy).
+	kReplUpdate
+	// kReplFill asks the master for a fresh snapshot of a stale replica.
+	kReplFill
+	// kReplFillRep answers a kReplFill with the snapshot.
+	kReplFillRep
 )
 
 // LocStats are per-locality runtime counters (distinct from the fabric's
@@ -66,6 +80,17 @@ type LocStats struct {
 	// goroutine engine, where chanNet plays the NIC role.
 	ScatterSplits   stats.Counter
 	ScatterForwards stats.Counter
+
+	// Coherent-replication counters (see replicate.go). ReplicaReads are
+	// reads served from a local replica copy; ReplicaStaleReads found the
+	// copy stale and chased the master instead; ReplicaInvals /
+	// ReplicaUpdates / ReplicaFills count coherence messages applied at
+	// this locality as a holder.
+	ReplicaReads      stats.Counter
+	ReplicaStaleReads stats.Counter
+	ReplicaInvals     stats.Counter
+	ReplicaUpdates    stats.Counter
+	ReplicaFills      stats.Counter
 }
 
 type moveState struct {
@@ -102,6 +127,10 @@ type Locality struct {
 	// never race an in-flight handler.
 	active map[gas.BlockID]int
 	ops    map[uint64]opState
+	// replicas is this locality's holder-side coherence state, one entry
+	// per replica block resident here (nil until the first install; see
+	// replicate.go).
+	replicas map[gas.BlockID]*replHolder
 
 	// ackPend accumulates put-ack OpIDs per requester rank between mailbox
 	// drains (goroutine engine, unreliable worlds; see flushAcks). Only
@@ -260,19 +289,35 @@ func (l *Locality) routeMsg(m *netsim.Message) {
 	m.Hops = 0
 	b := m.Target.Block()
 	m.Block = b
-
-	// Read-only replica fast path: a frozen block's local copy (master
-	// or replica) serves one-sided reads without the network.
-	if m.Kind == kGetReq {
-		if _, ok := l.replicaData(b); ok {
-			l.deliverLocal(m)
-			return
-		}
+	if m.Kind == kGetReq || m.Kind == kGetVec {
+		// Reads of replicated blocks may be steered to a replica holder;
+		// everything else strictly follows ownership.
+		m.Read = true
 	}
+
 	// Local fast path: the data is here and stable.
 	if l.resident(b) {
 		l.deliverLocal(m)
 		return
+	}
+	if m.Read && l.w.replCount.Load() != 0 {
+		if fresh, holder := l.replicaFresh(b); holder {
+			if fresh {
+				// Replica fast path: a fresh local copy serves the read
+				// without the network.
+				l.deliverLocal(m)
+				return
+			}
+			// Stale local copy: the read chases the master while the
+			// refill is in flight.
+			l.Stats.ReplicaStaleReads.Inc()
+		} else if t, ok := l.space.ReadRoute(b); ok && t != l.rank {
+			// Host-routed replica read (sw/pgas): the cached route picks
+			// the nearby holder. The NM space routes reads in the NIC and
+			// returns false here.
+			l.inject(m, t)
+			return
+		}
 	}
 	if l.queueIfMoving(b, m) {
 		return
@@ -398,6 +443,14 @@ func (l *Locality) onHostMsg(m *netsim.Message) {
 	case kRelAck:
 		l.relOnAck(m)
 		l.recycle(m)
+	case kReplInval:
+		l.onReplInval(m)
+	case kReplUpdate:
+		l.onReplUpdate(m)
+	case kReplFill:
+		l.onReplFill(m)
+	case kReplFillRep:
+		l.onReplFillRep(m)
 	default:
 		l.w.fail("rank %d: unknown message kind %d", l.rank, m.Kind)
 	}
@@ -418,7 +471,9 @@ func (l *Locality) execParcel(p *parcel.Parcel, m *netsim.Message) {
 		if l.queueIfMoving(p.Target.Block(), m) {
 			return
 		}
-		if _, ok := l.store.Get(p.Target.Block()); !ok {
+		if blk, ok := l.store.Get(p.Target.Block()); !ok || blk.Replica {
+			// Not here — or only a read replica is: parcels execute
+			// exactly once, at the master.
 			l.space.OnStaleDelivery(m, p)
 			return
 		}
@@ -473,7 +528,9 @@ func (l *Locality) runUserParcel(act Action, p *parcel.Parcel, m *netsim.Message
 		}
 		l.mu.Unlock()
 	}()
-	if _, ok := l.store.Get(b); !ok {
+	if blk, ok := l.store.Get(b); !ok || blk.Replica {
+		// Only the master copy runs user actions; a replica here means
+		// the sender's routing was stale.
 		l.space.OnStaleDelivery(m, p)
 		return
 	}
@@ -649,6 +706,26 @@ func (l *Locality) onDMA(m *netsim.Message) {
 	if blk.Kind != gas.KindData {
 		l.w.fail("rank %d: DMA against non-data block %d", l.rank, b)
 	}
+	if blk.Replica {
+		// The NIC steered a read here because a replica lives on this
+		// locality. Re-check freshness at transfer time (an invalidation
+		// can land between the routing decision and the DMA): a stale
+		// copy re-forwards the read to the master from NIC context — no
+		// host detour, the re-route stays in the network.
+		switch m.Kind {
+		case kGetReq, kGetVec:
+			if fresh, _ := l.replicaFresh(b); !fresh {
+				l.Stats.ReplicaStaleReads.Inc()
+				m.Hops++
+				m.Dst = l.replicaMaster(b, m.Target.Home())
+				l.w.net.nicSend(l.rank, m)
+				return
+			}
+			l.Stats.ReplicaReads.Inc()
+		default:
+			l.w.fail("rank %d: DMA write to replica of block %d", l.rank, b)
+		}
+	}
 	l.w.noteAccess(l.rank, b)
 	if !l.relAccept(m) {
 		// Duplicate one-sided request: the first copy applied the effect
@@ -658,20 +735,16 @@ func (l *Locality) onDMA(m *netsim.Message) {
 	}
 	switch m.Kind {
 	case kPutReq:
-		if blk.Frozen {
-			l.w.fail("rank %d: DMA put to frozen (replicated) block %d", l.rank, b)
-		}
 		if err := l.store.WriteAt(b, m.Target.Offset(), m.Payload); err != nil {
 			l.w.fail("rank %d: %v", l.rank, err)
 		}
 		l.releasePayload(m)
+		l.replFanOut(b, true)
 		l.putAck(m.Src, m.OpID, true)
 	case kPutVec:
-		if blk.Frozen {
-			l.w.fail("rank %d: DMA put to frozen (replicated) block %d", l.rank, b)
-		}
 		l.applyPutVec(b, m)
 		l.releasePayload(m)
+		l.replFanOut(b, true)
 		l.putAck(m.Src, m.OpID, true)
 	case kGetReq:
 		var data []byte
@@ -724,8 +797,10 @@ func (l *Locality) hostPut(m *netsim.Message) {
 		if blk.Kind != gas.KindData {
 			l.w.fail("rank %d: put to non-data block %d", l.rank, b)
 		}
-		if blk.Frozen {
-			l.w.fail("rank %d: put to frozen (replicated) block %d", l.rank, b)
+		if blk.Replica {
+			// Writes never land on replicas: chase the master.
+			l.routeToExplicit(m, l.replicaMaster(b, m.Target.Home()))
+			return
 		}
 		if !l.relAccept(m) {
 			l.recycle(m)
@@ -739,6 +814,7 @@ func (l *Locality) hostPut(m *netsim.Message) {
 		opID, src := m.OpID, m.Src
 		l.releasePayload(m)
 		l.recycle(m)
+		l.replFanOut(b, false)
 		if src == l.rank {
 			l.completeOp(opID, nil)
 			return
@@ -759,6 +835,20 @@ func (l *Locality) hostGet(m *netsim.Message) {
 	if ok {
 		if blk.Kind != gas.KindData {
 			l.w.fail("rank %d: get from non-data block %d", l.rank, b)
+		}
+		if blk.Replica {
+			if fresh, _ := l.replicaFresh(b); !fresh {
+				// Stale copy: the host re-routes the read to the master —
+				// this correction is exactly the software cost the
+				// NIC-routed design avoids (it re-checks freshness below
+				// the host, see onDMA).
+				l.Stats.ReplicaStaleReads.Inc()
+				l.Stats.HostForwards.Inc()
+				l.traceOp(TraceHostForward, b, uint64(l.replicaMaster(b, m.Target.Home())), m.OpID)
+				l.routeToExplicit(m, l.replicaMaster(b, m.Target.Home()))
+				return
+			}
+			l.Stats.ReplicaReads.Inc()
 		}
 		if !l.relAccept(m) {
 			l.recycle(m)

@@ -42,30 +42,58 @@ type migPayload struct {
 	oldOwner int
 	cAction  parcel.ActionID
 	cTarget  gas.GVA
-	data     []byte // block contents, only on aMigrateData
+	// replicated carries the block's replica set when it has one: the
+	// set is taken out of the old master's directory at pin time and
+	// re-homed at the destination, so coherence ownership moves with the
+	// block (holders only on aMigrateReq → aMigrateData).
+	replicated bool
+	holders    []int
+	data       []byte // block contents, only on aMigrateData
 }
 
 func encodeMig(p migPayload) []byte {
-	buf := make([]byte, 0, 34+len(p.data))
+	nh := uint32(0)
+	if p.replicated {
+		// 0 means "no replica set"; n+1 means a set with n holders, so an
+		// empty-but-present set survives the round trip.
+		nh = uint32(len(p.holders)) + 1
+	}
+	buf := make([]byte, 0, 36+4*len(p.holders)+len(p.data))
 	buf = parcel.PutU64(buf, uint64(p.g))
 	buf = parcel.PutU32(buf, p.bsize)
 	buf = parcel.PutU32(buf, uint32(p.to))
 	buf = parcel.PutU32(buf, uint32(p.oldOwner))
 	buf = parcel.PutU32(buf, uint32(p.cAction))
 	buf = parcel.PutU64(buf, uint64(p.cTarget))
+	buf = parcel.PutU32(buf, nh)
+	if p.replicated {
+		for _, h := range p.holders {
+			buf = parcel.PutU32(buf, uint32(h))
+		}
+	}
 	return append(buf, p.data...)
 }
 
 func decodeMig(b []byte) migPayload {
-	return migPayload{
+	p := migPayload{
 		g:        gas.GVA(parcel.U64(b, 0)),
 		bsize:    parcel.U32(b, 8),
 		to:       int(parcel.U32(b, 12)),
 		oldOwner: int(parcel.U32(b, 16)),
 		cAction:  parcel.ActionID(parcel.U32(b, 20)),
 		cTarget:  gas.GVA(parcel.U64(b, 24)),
-		data:     b[32:],
 	}
+	off := 36
+	if nh := parcel.U32(b, 32); nh > 0 {
+		p.replicated = true
+		p.holders = make([]int, nh-1)
+		for i := range p.holders {
+			p.holders[i] = int(parcel.U32(b, off))
+			off += 4
+		}
+	}
+	p.data = b[off:]
+	return p
 }
 
 // MigrateAsync moves the block addressed by g to rank to. When the
@@ -156,6 +184,18 @@ func migrateReq(c *Ctx) {
 	l.w.latMigMark(b, migPin)
 	l.space.BeginMigrate(b)
 
+	// A replicated block's coherence ownership travels with it: take the
+	// set out of this (old) master's directory and ship it alongside the
+	// data so the destination can re-home it. The block is pinned, so no
+	// write can fan out against the half-moved set.
+	var replicated bool
+	var holders []int
+	if dir := l.space.Directory(); dir != nil {
+		if rs, ok := dir.TakeReplicas(b); ok {
+			replicated, holders = true, rs.Holders
+		}
+	}
+
 	snapshot := append([]byte(nil), blk.Data...)
 	l.exec.Charge(l.w.cfg.Model.CopyTime(len(snapshot)))
 	l.SendParcel(&parcel.Parcel{
@@ -163,7 +203,8 @@ func migrateReq(c *Ctx) {
 		Target: l.w.LocalityGVA(mp.to),
 		Payload: encodeMig(migPayload{
 			g: mp.g, bsize: blk.BSize, to: mp.to, oldOwner: l.rank,
-			cAction: c.P.CAction, cTarget: c.P.CTarget, data: snapshot,
+			cAction: c.P.CAction, cTarget: c.P.CTarget,
+			replicated: replicated, holders: holders, data: snapshot,
 		}),
 	})
 }
@@ -174,6 +215,24 @@ func migrateData(c *Ctx) {
 	mp := decodeMig(c.P.Payload)
 	b := mp.g.Block()
 
+	if mp.replicated {
+		// This destination may itself hold a replica; it is becoming the
+		// master, so its copy leaves the holder set before the
+		// authoritative block installs over it.
+		kept := mp.holders[:0]
+		for _, h := range mp.holders {
+			if h == l.rank {
+				if blk, ok := l.store.Get(b); ok && blk.Replica {
+					l.store.Remove(b)
+				}
+				l.dropReplicaState(b)
+				continue
+			}
+			kept = append(kept, h)
+		}
+		mp.holders = kept
+	}
+
 	nb := &gas.Block{ID: b, Kind: gas.KindData, BSize: mp.bsize, Data: append([]byte(nil), mp.data...)}
 	l.exec.Charge(l.w.cfg.Model.CopyTime(len(mp.data)))
 	if err := l.store.Insert(nb); err != nil {
@@ -182,6 +241,9 @@ func migrateData(c *Ctx) {
 	l.space.InstallMigrated(b)
 	l.w.latMigMark(b, migInstall)
 	mp.data = nil
+	if mp.replicated {
+		l.w.rehomeReplicas(b, l.rank, mp.holders)
+	}
 	l.SendParcel(&parcel.Parcel{
 		Action:  aMigrateCommit,
 		Target:  l.w.LocalityGVA(mp.g.Home()),

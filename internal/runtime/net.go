@@ -34,6 +34,11 @@ type network interface {
 	// commitAtHome installs the post-migration authoritative route at
 	// b's home, honoring the configured update-propagation policy.
 	commitAtHome(home int, b gas.BlockID, owner int)
+	// installReadRoute steers rank's read traffic for b to the replica
+	// at target (replication install).
+	installReadRoute(rank int, b gas.BlockID, target int)
+	// dropReadRoute removes rank's read steering for b.
+	dropReadRoute(rank int, b gas.BlockID)
 	// dropAll removes all translation state for b everywhere (free).
 	dropAll(b gas.BlockID)
 	// tableLen reports rank's evictable NIC-table size (metrics).
@@ -70,6 +75,14 @@ func (n *desNet) commitAtHome(home int, b gas.BlockID, owner int) {
 	if n.w.mirror != nil {
 		n.w.mirror.CommitAtHome(home, b, owner)
 	}
+}
+
+func (n *desNet) installReadRoute(rank int, b gas.BlockID, target int) {
+	n.w.fab.NIC(rank).InstallReadRoute(b, target)
+}
+
+func (n *desNet) dropReadRoute(rank int, b gas.BlockID) {
+	n.w.fab.NIC(rank).DropReadRoute(b)
 }
 
 func (n *desNet) dropAll(b gas.BlockID) {
@@ -116,6 +129,9 @@ type nicShard struct {
 	mu     sync.RWMutex
 	table  *netsim.TransTable
 	routes map[gas.BlockID]int
+	// readRoutes steers read traffic for replicated blocks to a nearby
+	// holder (the goroutine-engine mirror of netsim.NIC.readRoutes).
+	readRoutes map[gas.BlockID]int
 }
 
 func newGoNICState(tableCap int) *goNICState {
@@ -131,6 +147,7 @@ func newGoNICState(tableCap int) *goNICState {
 	for i := range st.shards {
 		st.shards[i].table = netsim.NewTransTable(tableCap)
 		st.shards[i].routes = make(map[gas.BlockID]int)
+		st.shards[i].readRoutes = make(map[gas.BlockID]int)
 	}
 	return st
 }
@@ -157,6 +174,14 @@ func (n *goNICState) lookup(b gas.BlockID) (int, bool) {
 		return o, true
 	}
 	o, ok := s.routes[b]
+	return o, ok
+}
+
+func (n *goNICState) readRoute(b gas.BlockID) (int, bool) {
+	s := n.shard(b)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	o, ok := s.readRoutes[b]
 	return o, ok
 }
 
@@ -229,10 +254,18 @@ func (c *chanNet) send(from int, m *netsim.Message) {
 		if !c.w.caps.NICTranslation {
 			c.w.fail("chanNet: ByGVA send under address space %q", c.w.caps.Name)
 		}
-		if o, ok := c.nics[from].lookup(m.Block); ok {
-			m.Dst = o
-		} else {
-			m.Dst = m.Target.Home()
+		if m.Read && c.w.replCount.Load() != 0 {
+			// Replicated blocks steer reads to a nearby holder.
+			if t, ok := c.nics[from].readRoute(m.Block); ok {
+				m.Dst = t
+			}
+		}
+		if m.Dst == netsim.ByGVA {
+			if o, ok := c.nics[from].lookup(m.Block); ok {
+				m.Dst = o
+			} else {
+				m.Dst = m.Target.Home()
+			}
 		}
 	}
 	if m.Dst < 0 || m.Dst >= len(c.nics) {
@@ -301,6 +334,10 @@ func (c *chanNet) arrive(l *Locality, m *netsim.Message) {
 		return
 	}
 	resident := l.residentForNIC(m.Block)
+	if !resident && m.Read && l.residentForRead(m.Block) {
+		// A fresh read replica lives here: serve the read in place.
+		resident = true
+	}
 	if resident {
 		if m.DMA {
 			l.onDMA(m)
@@ -395,6 +432,19 @@ func (c *chanNet) scatterBatch(l *Locality, st *goNICState, m *netsim.Message) {
 }
 
 func (c *chanNet) misroute(l *Locality, st *goNICState, m *netsim.Message) {
+	if m.Read {
+		if t, ok := st.readRoute(m.Block); ok && t != l.rank && m.Hops < c.w.cfg.Policy.HopCap() {
+			// We cannot serve this read but know a replica holder:
+			// forward the read there instead of chasing the owner.
+			fwd := netsim.NewMessage()
+			*fwd = *m
+			fwd.Dst = t
+			fwd.Hops = m.Hops + 1
+			m.Release()
+			c.send(l.rank, fwd)
+			return
+		}
+	}
 	owner, known := st.route(m.Block)
 	if !known {
 		if l.rank == m.Target.Home() {
@@ -465,7 +515,22 @@ func (c *chanNet) clearResident(rank int, b gas.BlockID) {
 	s := c.nics[rank].shard(b)
 	s.mu.Lock()
 	delete(s.routes, b)
+	delete(s.readRoutes, b)
 	s.table.Invalidate(b)
+	s.mu.Unlock()
+}
+
+func (c *chanNet) installReadRoute(rank int, b gas.BlockID, target int) {
+	s := c.nics[rank].shard(b)
+	s.mu.Lock()
+	s.readRoutes[b] = target
+	s.mu.Unlock()
+}
+
+func (c *chanNet) dropReadRoute(rank int, b gas.BlockID) {
+	s := c.nics[rank].shard(b)
+	s.mu.Lock()
+	delete(s.readRoutes, b)
 	s.mu.Unlock()
 }
 
@@ -493,6 +558,7 @@ func (c *chanNet) dropAll(b gas.BlockID) {
 		s := st.shard(b)
 		s.mu.Lock()
 		delete(s.routes, b)
+		delete(s.readRoutes, b)
 		s.table.Invalidate(b)
 		s.mu.Unlock()
 	}

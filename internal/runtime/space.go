@@ -35,6 +35,10 @@ type Caps struct {
 	// HostTranslation reports that host software resolves GVAs (caches,
 	// host forwarding, host repair of stale one-sided operations).
 	HostTranslation bool
+	// Replication reports that layouts can be replicated live
+	// (ReplicateLive): the space implements the replica install/route/
+	// drop hooks and the coherence protocol keeps holders fresh.
+	Replication bool
 }
 
 // AddressSpace is the per-locality translation strategy. One instance
@@ -101,9 +105,27 @@ type AddressSpace interface {
 	// (home is b's home rank). Network-held state is swept separately.
 	OnFree(b gas.BlockID, home int)
 
+	// InstallReplicas tells this locality that block b now has a
+	// replica set (master plus holder ranks). Each space decides what
+	// its rank needs: the network-managed space installs a NIC read
+	// route on non-holder ranks, the host-translated spaces install a
+	// host-side replica route, holders and the master need nothing.
+	// Called on every locality at ReplicateLive time (setup-phase).
+	InstallReplicas(b gas.BlockID, master int, holders []int)
+	// DropReplicas removes whatever InstallReplicas set up for b at
+	// this locality (Unreplicate, Free).
+	DropReplicas(b gas.BlockID)
+	// ReadRoute resolves a read of b in host software: the rank whose
+	// replica should serve it, charged per the mode's translation
+	// story. ok is false when reads should follow ordinary ownership
+	// routing (unreplicated block, or the mode routes reads in the NIC).
+	ReadRoute(b gas.BlockID) (target int, ok bool)
+
 	// Directory, Cache, and Tombstones expose the underlying agas
 	// structures where the strategy has them, and nil where it does
-	// not. Drivers and the load balancer use these read-mostly.
+	// not. Drivers and the load balancer use these read-mostly. Every
+	// space with Replication keeps a Directory: it is the owner-side
+	// replica directory even when ownership itself is static.
 	Directory() *agas.Directory
 	Cache() *agas.SWCache
 	Tombstones() *agas.Tombstones

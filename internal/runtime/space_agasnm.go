@@ -14,7 +14,7 @@ import (
 // every change to it is mirrored into NIC state at the migration
 // protocol points (BeginMigrate/CommitMigrate/FinishMigrate).
 
-var nmCaps = Caps{Name: "agas-nm", Migration: true, NICTranslation: true}
+var nmCaps = Caps{Name: "agas-nm", Migration: true, NICTranslation: true, Replication: true}
 
 func nmBuilder() spaceBuilder {
 	return spaceBuilder{
@@ -135,10 +135,37 @@ func (s *nmSpace) HomeOwner(b gas.BlockID) int {
 }
 
 func (s *nmSpace) OnFree(b gas.BlockID, home int) {
+	s.dir.DropReplicas(b)
 	if s.l.rank == home {
 		s.dir.Drop(b)
 	}
 }
+
+func (s *nmSpace) InstallReplicas(b gas.BlockID, master int, holders []int) {
+	// The replica set lives in the network: non-holder ranks get a NIC
+	// read route to a nearby replica, so reads of hot blocks resolve in
+	// the fabric with zero host detours. Holders and the master serve
+	// reads from local memory.
+	l := s.l
+	r := l.rank
+	if r == master {
+		return
+	}
+	for _, h := range holders {
+		if h == r {
+			return
+		}
+	}
+	l.w.net.installReadRoute(r, b, l.w.readTarget(r, master, holders))
+}
+
+func (s *nmSpace) DropReplicas(b gas.BlockID) {
+	s.l.w.net.dropReadRoute(s.l.rank, b)
+}
+
+// ReadRoute is a no-op: read steering happens in the NIC, not in host
+// software.
+func (s *nmSpace) ReadRoute(gas.BlockID) (int, bool) { return 0, false }
 
 func (s *nmSpace) Directory() *agas.Directory   { return s.dir }
 func (s *nmSpace) Cache() *agas.SWCache         { return nil }

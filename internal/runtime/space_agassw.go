@@ -13,7 +13,7 @@ import (
 // correction messages back to the source, and old owners keep host
 // tombstones so traffic chases migrated blocks.
 
-var swCaps = Caps{Name: "agas-sw", Migration: true, HostTranslation: true}
+var swCaps = Caps{Name: "agas-sw", Migration: true, HostTranslation: true, Replication: true}
 
 func swBuilder() spaceBuilder {
 	return spaceBuilder{
@@ -21,10 +21,11 @@ func swBuilder() spaceBuilder {
 		initWorld: func(*World) {},
 		newLocal: func(l *Locality) AddressSpace {
 			return &swSpace{
-				l:     l,
-				dir:   agas.NewDirectory(),
-				cache: agas.NewSWCache(l.w.cfg.SWCacheCap, l.w.cfg.SWCorrection),
-				tombs: agas.NewTombstones(),
+				l:      l,
+				dir:    agas.NewDirectory(),
+				cache:  agas.NewSWCache(l.w.cfg.SWCacheCap, l.w.cfg.SWCorrection),
+				tombs:  agas.NewTombstones(),
+				routes: agas.NewReplicaRoutes(),
 			}
 		},
 	}
@@ -32,10 +33,15 @@ func swBuilder() spaceBuilder {
 
 type swSpace struct {
 	l *Locality
-	// dir is authoritative for blocks homed at this locality.
+	// dir is authoritative for blocks homed at this locality, and is
+	// the owner-side replica directory for blocks mastered here.
 	dir   *agas.Directory
 	cache *agas.SWCache
 	tombs *agas.Tombstones
+	// routes is the host-cached replica read-routing table: pushed to
+	// every locality at install time, probed (at SWLookup cost) on each
+	// read of a replicated block.
+	routes *agas.ReplicaRoutes
 }
 
 func (s *swSpace) Caps() Caps { return swCaps }
@@ -105,6 +111,12 @@ func (s *swSpace) OnStaleDelivery(m *netsim.Message, p *parcel.Parcel) {
 		return
 	}
 	owner, ok := s.forwardTarget(b, m.Target.Home())
+	if !ok && m.Read && l.rank != m.Target.Home() {
+		// A read steered to a replica holder that has since dropped its
+		// copy (unreplicate racing in-flight reads): the home directory
+		// still resolves the master, chase through it.
+		owner, ok = m.Target.Home(), true
+	}
 	if !ok {
 		if l.relStaleDrop(m) {
 			return
@@ -171,9 +183,38 @@ func (s *swSpace) OnFree(b gas.BlockID, home int) {
 	// Tombstones would only mislead future traffic for a reused
 	// address; the home also forgets its directory entry.
 	s.tombs.Drop(b)
+	s.dir.DropReplicas(b)
+	s.routes.Drop(b)
 	if s.l.rank == home {
 		s.dir.Drop(b)
 	}
+}
+
+func (s *swSpace) InstallReplicas(b gas.BlockID, master int, holders []int) {
+	r := s.l.rank
+	if r == master {
+		return
+	}
+	for _, h := range holders {
+		if h == r {
+			return
+		}
+	}
+	s.routes.Set(b, s.l.w.readTarget(r, master, holders))
+}
+
+func (s *swSpace) DropReplicas(b gas.BlockID) { s.routes.Drop(b) }
+
+func (s *swSpace) ReadRoute(b gas.BlockID) (int, bool) {
+	t, ok := s.routes.Get(b)
+	if !ok {
+		return 0, false
+	}
+	// Host-software replica routing: the probe costs a software lookup,
+	// the same dime every sw translation pays.
+	s.l.exec.Charge(s.l.w.cfg.Model.SWLookup)
+	s.l.Stats.SWLookups.Inc()
+	return t, true
 }
 
 func (s *swSpace) Directory() *agas.Directory   { return s.dir }

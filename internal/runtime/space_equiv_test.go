@@ -152,6 +152,176 @@ func runEquivWorkload(t *testing.T, mode Mode, eng EngineKind, mutate ...func(*C
 	}, w
 }
 
+// replEquivCounters extends the golden slice with the replica coherence
+// counters that are deterministic for the serialized replicated workload
+// (reads happen only on settled replica state, so the stale-read count
+// is pinned at zero rather than racy).
+type replEquivCounters struct {
+	equivCounters
+	ReplicaReads      int64
+	ReplicaStaleReads int64
+	ReplicaInvals     int64
+	ReplicaFills      int64
+}
+
+func (c replEquivCounters) String() string {
+	return fmt.Sprintf("%v + {ReplicaReads: %d, ReplicaStaleReads: %d, ReplicaInvals: %d, ReplicaFills: %d}",
+		c.equivCounters, c.ReplicaReads, c.ReplicaStaleReads, c.ReplicaInvals, c.ReplicaFills)
+}
+
+// replGolden pins the replicated workload per mode, identical across
+// engines (the goroutine transport models the same crossbar the DES
+// fabric simulates, so read-target choice agrees).
+var replGolden = map[Mode]replEquivCounters{
+	PGAS: {equivCounters: equivCounters{LocalRuns: 25,
+		PutOps: 9, GetOps: 33, PutBytes: 72, GetBytes: 264},
+		ReplicaReads: 22, ReplicaInvals: 8, ReplicaFills: 8},
+	AGASSW: {equivCounters: equivCounters{ParcelsSent: 5, ParcelsRun: 5, LocalRuns: 40,
+		HostNacks: 4, SWLookups: 36,
+		PutOps: 10, GetOps: 49, PutBytes: 80, GetBytes: 392, Migrations: 1},
+		ReplicaReads: 33, ReplicaInvals: 10, ReplicaFills: 10},
+	AGASNM: {equivCounters: equivCounters{ParcelsSent: 5, ParcelsRun: 5, LocalRuns: 40,
+		PutOps: 10, GetOps: 49, PutBytes: 80, GetBytes: 392, Migrations: 1},
+		ReplicaReads: 33, ReplicaInvals: 10, ReplicaFills: 10},
+}
+
+// settleRepl drains in-flight coherence traffic: DES empties the event
+// queue, the goroutine engine polls the aggregate counters up to pred.
+func settleRepl(t *testing.T, w *World, pred func(WorldStats) bool) {
+	t.Helper()
+	settleCoherence(t, w, pred)
+}
+
+// runReplEquivWorkload is the replicated analogue of runEquivWorkload: a
+// fixed serialized workload over a live replica set — reads before and
+// after coherent writes, a master migration that re-homes the set, and a
+// final unreplicate — with every read's value checked, so the goldens
+// pin both the counters and the data the application observed.
+func runReplEquivWorkload(t *testing.T, mode Mode, eng EngineKind, mutate ...func(*Config)) (replEquivCounters, *World) {
+	t.Helper()
+	const ranks = 4
+	const nblocks = 4
+	cfg := Config{Ranks: ranks, Mode: mode, Engine: eng}
+	for _, fn := range mutate {
+		fn(&cfg)
+	}
+	w := testWorld(t, cfg)
+	w.Start()
+	lay, err := w.AllocCyclic(0, 64, nblocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stamp := func(d uint32, v byte) []byte {
+		buf := make([]byte, 8)
+		for i := range buf {
+			buf[i] = v + byte(d)
+		}
+		return buf
+	}
+	readAll := func(phase string, want func(d uint32) byte) {
+		for r := 0; r < ranks; r++ {
+			for d := uint32(0); d < nblocks; d++ {
+				got := w.MustWait(w.Proc(r).Get(lay.BlockAt(d), 8))
+				if got[0] != want(d) || got[7] != want(d) {
+					t.Fatalf("%s: rank %d read %v from block %d, want %d", phase, r, got, d, want(d))
+				}
+			}
+		}
+	}
+
+	// Seed, then go live with 2 replicas per block.
+	for d := uint32(0); d < nblocks; d++ {
+		w.MustWait(w.Proc(0).Put(lay.BlockAt(d), stamp(d, 10)))
+	}
+	if err := w.ReplicateLive(lay, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Phase A: every rank reads every block off the settled replica set.
+	readAll("A", func(d uint32) byte { return 10 + byte(d) })
+	// Phase B: one coherent write per block, settle, re-read everywhere.
+	for d := uint32(0); d < nblocks; d++ {
+		w.MustWait(w.Proc((int(d)+1)%ranks).Put(lay.BlockAt(d), stamp(d, 50)))
+	}
+	settleRepl(t, w, func(s WorldStats) bool {
+		return s.ReplicaInvals >= 8 && s.ReplicaFills >= 8
+	})
+	readAll("B", func(d uint32) byte { return 50 + byte(d) })
+	// Phase C (migrating modes): move block 0's master — the replica set
+	// re-homes — then write at the new master and re-read everywhere.
+	if mode != PGAS {
+		if st := w.MustWait(w.Proc(0).Migrate(lay.BlockAt(0), 3)); MigrateStatus(st) != MigrateOK {
+			t.Fatalf("migrate: status %d", MigrateStatus(st))
+		}
+		w.MustWait(w.Proc(1).Put(lay.BlockAt(0), stamp(0, 90)))
+		settleRepl(t, w, func(s WorldStats) bool {
+			return s.ReplicaInvals >= 10 && s.ReplicaFills >= 10
+		})
+		readAll("C", func(d uint32) byte {
+			if d == 0 {
+				return 90
+			}
+			return 50 + byte(d)
+		})
+	}
+	// Unreplicate: plain ownership again, one write-read to prove it.
+	if err := w.Unreplicate(lay); err != nil {
+		t.Fatal(err)
+	}
+	w.MustWait(w.Proc(2).Put(lay.BlockAt(1), stamp(1, 120)))
+	if got := w.MustWait(w.Proc(3).Get(lay.BlockAt(1), 8)); got[0] != 121 {
+		t.Fatalf("post-unreplicate read %v", got)
+	}
+	if err := w.Free(lay); err != nil {
+		t.Fatal(err)
+	}
+	w.Stop()
+
+	s := w.Stats()
+	return replEquivCounters{
+		equivCounters: equivCounters{
+			ParcelsSent:  s.ParcelsSent,
+			ParcelsRun:   s.ParcelsRun,
+			LocalRuns:    s.LocalRuns,
+			HostForwards: s.HostForwards,
+			HostNacks:    s.HostNacks,
+			NICNacks:     s.NICNacks,
+			Queued:       s.Queued,
+			SWLookups:    s.SWLookups,
+			PutOps:       s.PutOps,
+			GetOps:       s.GetOps,
+			PutBytes:     s.PutBytes,
+			GetBytes:     s.GetBytes,
+			Migrations:   s.Migrations,
+		},
+		ReplicaReads:      s.ReplicaReads,
+		ReplicaStaleReads: s.ReplicaStaleReads,
+		ReplicaInvals:     s.ReplicaInvals,
+		ReplicaFills:      s.ReplicaFills,
+	}, w
+}
+
+// TestReplicatedEquivalence is TestAddressSpaceEquivalence's replicated
+// sibling: the same golden-counter discipline applied to a layout with a
+// live replica set, across all modes and both engines.
+func TestReplicatedEquivalence(t *testing.T) {
+	for _, mode := range allModes {
+		for _, eng := range allEngines {
+			mode, eng := mode, eng
+			t.Run(mode.String()+"/"+eng.String(), func(t *testing.T) {
+				got, _ := runReplEquivWorkload(t, mode, eng)
+				want, ok := replGolden[mode]
+				if !ok {
+					t.Logf("GOLDEN %v: %+v", mode, got)
+					t.Skip("no golden recorded for mode")
+				}
+				if got != want {
+					t.Errorf("replicated counters diverged\n got: %+v\nwant: %+v", got, want)
+				}
+			})
+		}
+	}
+}
+
 func TestAddressSpaceEquivalence(t *testing.T) {
 	for _, mode := range allModes {
 		for _, eng := range allEngines {

@@ -13,14 +13,19 @@ import (
 // translation state to maintain, nothing can be stale, and blocks never
 // move.
 
-var pgasCaps = Caps{Name: "pgas"}
+var pgasCaps = Caps{Name: "pgas", Replication: true}
 
 func pgasBuilder() spaceBuilder {
 	return spaceBuilder{
 		caps:      pgasCaps,
 		initWorld: func(*World) {},
 		newLocal: func(l *Locality) AddressSpace {
-			return &pgasSpace{l: l, res: pgas.NewResolver(l.w.cfg.Ranks)}
+			return &pgasSpace{
+				l:      l,
+				res:    pgas.NewResolver(l.w.cfg.Ranks),
+				dir:    agas.NewDirectory(),
+				routes: agas.NewReplicaRoutes(),
+			}
 		},
 	}
 }
@@ -28,6 +33,13 @@ func pgasBuilder() spaceBuilder {
 type pgasSpace struct {
 	l   *Locality
 	res *pgas.Resolver
+	// dir holds no ownership entries (ownership is static) — it exists
+	// purely as the owner-side replica directory.
+	dir *agas.Directory
+	// routes is the static read-routing table filled at ReplicateLive
+	// time: consistent with pgas philosophy, it never changes between
+	// install and drop.
+	routes *agas.ReplicaRoutes
 }
 
 func (s *pgasSpace) Caps() Caps { return pgasCaps }
@@ -75,8 +87,32 @@ func (s *pgasSpace) noMigration(b gas.BlockID) {
 
 func (s *pgasSpace) HomeOwner(gas.BlockID) int { return s.l.rank }
 
-func (s *pgasSpace) OnFree(gas.BlockID, int) {}
+func (s *pgasSpace) OnFree(b gas.BlockID, _ int) {
+	s.dir.DropReplicas(b)
+	s.routes.Drop(b)
+}
 
-func (s *pgasSpace) Directory() *agas.Directory   { return nil }
+func (s *pgasSpace) InstallReplicas(b gas.BlockID, master int, holders []int) {
+	r := s.l.rank
+	if r == master {
+		return
+	}
+	for _, h := range holders {
+		if h == r {
+			return
+		}
+	}
+	s.routes.Set(b, s.l.w.readTarget(r, master, holders))
+}
+
+func (s *pgasSpace) DropReplicas(b gas.BlockID) { s.routes.Drop(b) }
+
+func (s *pgasSpace) ReadRoute(b gas.BlockID) (int, bool) {
+	// Static table fill: no per-read charge, mirroring pgas's zero-cost
+	// address arithmetic.
+	return s.routes.Get(b)
+}
+
+func (s *pgasSpace) Directory() *agas.Directory   { return s.dir }
 func (s *pgasSpace) Cache() *agas.SWCache         { return nil }
 func (s *pgasSpace) Tombstones() *agas.Tombstones { return nil }

@@ -174,8 +174,10 @@ func (l *Locality) hostPutVec(m *netsim.Message) {
 	if blk.Kind != gas.KindData {
 		l.w.fail("rank %d: put to non-data block %d", l.rank, b)
 	}
-	if blk.Frozen {
-		l.w.fail("rank %d: put to frozen (replicated) block %d", l.rank, b)
+	if blk.Replica {
+		// Writes never land on replicas: chase the master.
+		l.routeToExplicit(m, l.replicaMaster(b, m.Target.Home()))
+		return
 	}
 	if !l.relAccept(m) {
 		l.recycle(m)
@@ -187,6 +189,7 @@ func (l *Locality) hostPutVec(m *netsim.Message) {
 	opID, src := m.OpID, m.Src
 	l.releasePayload(m)
 	l.recycle(m)
+	l.replFanOut(b, false)
 	if src == l.rank {
 		l.completeOp(opID, nil)
 		return
@@ -207,6 +210,16 @@ func (l *Locality) hostGetVec(m *netsim.Message) {
 	}
 	if blk.Kind != gas.KindData {
 		l.w.fail("rank %d: get from non-data block %d", l.rank, b)
+	}
+	if blk.Replica {
+		if fresh, _ := l.replicaFresh(b); !fresh {
+			l.Stats.ReplicaStaleReads.Inc()
+			l.Stats.HostForwards.Inc()
+			l.traceOp(TraceHostForward, b, uint64(l.replicaMaster(b, m.Target.Home())), m.OpID)
+			l.routeToExplicit(m, l.replicaMaster(b, m.Target.Home()))
+			return
+		}
+		l.Stats.ReplicaReads.Inc()
 	}
 	if !l.relAccept(m) {
 		l.recycle(m)

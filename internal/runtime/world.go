@@ -3,6 +3,7 @@ package runtime
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"nmvgas/internal/gas"
@@ -59,6 +60,11 @@ type World struct {
 	// (action execution, one-sided op completion at the owner). The
 	// load balancer uses it to build block heat maps.
 	accessHook func(rank int, b gas.BlockID)
+
+	// replCount is the number of blocks with live replica sets. Every
+	// read-side coherence hook gates on it, so unreplicated worlds pay
+	// one atomic load and nothing else.
+	replCount atomic.Int64
 
 	started bool
 	stopped bool
@@ -126,6 +132,7 @@ func NewWorld(cfg Config) (*World, error) {
 			nic := w.fab.NIC(r)
 			loc := l
 			nic.Resident = loc.residentForNIC
+			nic.ResidentRead = loc.residentForRead
 			nic.HostDeliver = func(m *netsim.Message) {
 				loc.exec.Exec(cfg.Model.ORecv+cfg.Model.HandlerDispatch, func() { loc.onHostMsg(m) })
 			}

@@ -26,6 +26,25 @@ type WorldStats struct {
 	NICTableUpds  uint64
 	DMADeliveries uint64
 
+	// Replica coherence counters (zero without ReplicateLive). Reads
+	// served from fresh replicas vs. reads that arrived at a stale
+	// replica and chased the master; invalidations and update snapshots
+	// applied at holders; refills installed.
+	ReplicaReads      int64
+	ReplicaStaleReads int64
+	ReplicaInvals     int64
+	ReplicaUpdates    int64
+	ReplicaFills      int64
+
+	// Software translation-cache counters (AGASSW only): the full set
+	// from agas.SWCache.Stats — hits, misses, capacity evictions,
+	// in-place owner updates, and staleness corrections.
+	SWCacheHits        uint64
+	SWCacheMisses      uint64
+	SWCacheEvictions   uint64
+	SWCacheUpdates     uint64
+	SWCacheCorrections uint64
+
 	// BatchReroutes counts coalesced-batch records that reached a host
 	// which no longer owned their block and were re-routed in software —
 	// zero under in-NIC batch scatter for a plain migrating workload.
@@ -67,6 +86,19 @@ func (w *World) Stats() WorldStats {
 		s.BatchReroutes += l.Stats.BatchReroutes.Load()
 		s.ScatterSplits += uint64(l.Stats.ScatterSplits.Load())
 		s.ScatterForwards += uint64(l.Stats.ScatterForwards.Load())
+		s.ReplicaReads += l.Stats.ReplicaReads.Load()
+		s.ReplicaStaleReads += l.Stats.ReplicaStaleReads.Load()
+		s.ReplicaInvals += l.Stats.ReplicaInvals.Load()
+		s.ReplicaUpdates += l.Stats.ReplicaUpdates.Load()
+		s.ReplicaFills += l.Stats.ReplicaFills.Load()
+		if c := l.space.Cache(); c != nil {
+			h, m, ev, up, corr := c.Stats()
+			s.SWCacheHits += h
+			s.SWCacheMisses += m
+			s.SWCacheEvictions += ev
+			s.SWCacheUpdates += up
+			s.SWCacheCorrections += corr
+		}
 	}
 	s.Delivery = w.DeliveryStats()
 	s.Latencies = w.Latencies()
@@ -113,6 +145,16 @@ func (w *World) StatsTable() *stats.Table {
 	add("net.scatter_splits", s.ScatterSplits)
 	add("net.scatter_forwards", s.ScatterForwards)
 	add("coalesce.batch_reroutes", s.BatchReroutes)
+	add("replica.reads", s.ReplicaReads)
+	add("replica.stale_reads", s.ReplicaStaleReads)
+	add("replica.invalidations", s.ReplicaInvals)
+	add("replica.updates", s.ReplicaUpdates)
+	add("replica.fills", s.ReplicaFills)
+	add("swcache.hits", s.SWCacheHits)
+	add("swcache.misses", s.SWCacheMisses)
+	add("swcache.evictions", s.SWCacheEvictions)
+	add("swcache.updates", s.SWCacheUpdates)
+	add("swcache.corrections", s.SWCacheCorrections)
 	d := s.Delivery
 	add("rel.tracked", d.Tracked)
 	add("rel.retransmits", d.Retransmits)
@@ -141,6 +183,9 @@ func (w *World) StatsTable() *stats.Table {
 		lrow("lat.mig_update", lat.MigUpdate)
 		lrow("lat.mig_drain", lat.MigDrain)
 		lrow("lat.mig_total", lat.MigTotal)
+		lrow("lat.repl_inval", lat.ReplInval)
+		lrow("lat.repl_update", lat.ReplUpdate)
+		lrow("lat.repl_fill", lat.ReplFill)
 	}
 	return tb
 }

@@ -381,3 +381,56 @@ func TestPumpValidation(t *testing.T) {
 		t.Fatal("zero perRank accepted")
 	}
 }
+
+func TestReadHotSkewAndMix(t *testing.T) {
+	// The Zipf stream must concentrate on low-numbered blocks, the write
+	// mix must follow writeEvery, and replication must not change what
+	// the workload observes (same op counts, all completions fire).
+	for _, mode := range testModes {
+		w := newW(t, mode, 4)
+		rh := NewReadHot(w)
+		w.Start()
+		if err := rh.Setup(256, 8, 64, 1.6, 10, 7); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.ReplicateLive(rh.Layout(), 2); err != nil {
+			t.Fatal(err)
+		}
+		total, err := rh.Run(100, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if total != 400 {
+			t.Fatalf("mode %v: total ops %d, want 400", mode, total)
+		}
+		if rh.Reads()+rh.Writes() != 400 {
+			t.Fatalf("mode %v: reads %d + writes %d != 400", mode, rh.Reads(), rh.Writes())
+		}
+		if rh.Writes() != 40 {
+			t.Fatalf("mode %v: writes %d, want every 10th of 400", mode, rh.Writes())
+		}
+		if w.Stats().ReplicaReads == 0 {
+			t.Fatalf("mode %v: skewed reads never hit a replica", mode)
+		}
+	}
+}
+
+func TestReadHotRejectsBadConfig(t *testing.T) {
+	w := newW(t, runtime.PGAS, 2)
+	rh := NewReadHot(w)
+	w.Start()
+	for _, bad := range []func() error{
+		func() error { return rh.Setup(256, 8, 64, 0.9, 10, 1) },  // skew <= 1
+		func() error { return rh.Setup(256, 1, 64, 1.5, 10, 1) },  // too few blocks
+		func() error { return rh.Setup(250, 8, 64, 1.5, 10, 1) },  // unaligned block
+		func() error { return rh.Setup(256, 8, 0, 1.5, 10, 1) },   // zero read size
+		func() error { return rh.Setup(256, 8, 512, 1.5, 10, 1) }, // read > block
+	} {
+		if err := bad(); err == nil {
+			t.Fatal("bad config accepted")
+		}
+	}
+	if _, err := rh.Run(10, 2); err == nil {
+		t.Fatal("Run before a successful Setup accepted")
+	}
+}

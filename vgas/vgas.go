@@ -47,6 +47,7 @@
 package vgas
 
 import (
+	"nmvgas/internal/agas"
 	"nmvgas/internal/gas"
 	"nmvgas/internal/lco"
 	"nmvgas/internal/netsim"
@@ -123,6 +124,20 @@ type (
 	TraceKind = runtime.TraceKind
 	// WorldStats aggregates runtime counters.
 	WorldStats = runtime.WorldStats
+	// Coherence selects the replica coherence policy (Config.Coherence).
+	Coherence = agas.Coherence
+)
+
+// Replica coherence policies (see World.ReplicateLive).
+const (
+	// WriteInvalidate fans invalidations out to replica holders on every
+	// master write; stale holders refill on demand (the default).
+	WriteInvalidate = agas.WriteInvalidate
+	// WriteUpdate pushes the written block's new contents to every holder.
+	WriteUpdate = agas.WriteUpdate
+	// RWLease skips per-write coherence traffic; holders re-validate when
+	// their time-bounded lease (Config.LeaseNs) expires.
+	RWLease = agas.RWLease
 )
 
 // Modes.
@@ -192,6 +207,10 @@ func ParseMode(s string) (Mode, error) { return runtime.ParseMode(s) }
 
 // ParseEngine parses an EngineKind.String name ("des", "go").
 func ParseEngine(s string) (EngineKind, error) { return runtime.ParseEngine(s) }
+
+// ParseCoherence parses a Coherence.String name ("write-invalidate",
+// "write-update", "rw-lease").
+func ParseCoherence(s string) (Coherence, error) { return agas.ParseCoherence(s) }
 
 // MigrateStatus decodes a Migrate future's value.
 func MigrateStatus(v []byte) int64 { return runtime.MigrateStatus(v) }
