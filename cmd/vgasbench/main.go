@@ -8,6 +8,8 @@
 //	vgasbench -csv F1               # emit CSV instead of aligned tables
 //	vgasbench -modes agas-nm F6     # restrict row-per-mode sweeps
 //	vgasbench -loss 0.05 -dup 0.02 -reorder C1   # extra chaos fault plan
+//	vgasbench -kill 1:50000 -join 1:60000000 C2  # schedule a whole-node crash + rejoin
+//	NMVGAS_FAULTS="kill=1:50000,restart=1:60000000" vgasbench C2  # same, via env (CI hook)
 //	vgasbench -replicas 3 -coherence write-update F16   # replication sweep override
 //	vgasbench -bench-json BENCH.json             # fast-path microbenchmarks as JSON
 //	vgasbench -cpuprofile cpu.out -quick F5      # pprof the run
@@ -48,6 +50,10 @@ func main() {
 	loss := flag.Float64("loss", 0, "message drop probability [0,1) for the chaos experiment's extra plan")
 	dup := flag.Float64("dup", 0, "message duplication probability [0,1) for the chaos experiment's extra plan")
 	reorder := flag.Bool("reorder", false, "randomize per-message delay (reordering) in the chaos experiment's extra plan")
+	kill := flag.String("kill", "", "schedule whole-locality crashes in the fault plan: comma-separated "+
+		"rank:vtime pairs in simulated ns (e.g. -kill 1:50000)")
+	join := flag.String("join", "", "schedule crashed localities' links back up (the runtime re-admits them "+
+		"via Join once the death is confirmed): comma-separated rank:vtime pairs (e.g. -join 1:60000000)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	benchJSON := flag.String("bench-json", "", "run the fast-path microbenchmarks and write results as JSON to this file ('-' = stdout), then exit")
@@ -119,8 +125,28 @@ func main() {
 		}
 		o.Coherence = c
 	}
+	// The fault plan layers: NMVGAS_FAULTS (full spec string, the CI
+	// chaos job's override hook) is the base, then the individual flags
+	// override or extend it.
+	if env := os.Getenv("NMVGAS_FAULTS"); env != "" {
+		p, err := netsim.ParseFaultPlan(env)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vgasbench: NMVGAS_FAULTS: %v\n", err)
+			os.Exit(2)
+		}
+		o.Faults = p
+	}
 	if *loss != 0 || *dup != 0 || *reorder {
-		o.Faults = netsim.FaultPlan{Drop: *loss, Duplicate: *dup, Reorder: *reorder, Seed: *seed}
+		o.Faults.Drop, o.Faults.Duplicate, o.Faults.Reorder = *loss, *dup, *reorder
+	}
+	if *kill != "" {
+		o.Faults.KillAt = mergeSchedule(o.Faults.KillAt, parseSchedule("kill", *kill))
+	}
+	if *join != "" {
+		o.Faults.RestartAt = mergeSchedule(o.Faults.RestartAt, parseSchedule("restart", *join))
+	}
+	if o.Faults.Enabled() && o.Faults.Seed == 0 {
+		o.Faults.Seed = *seed
 	}
 	if *modes != "" {
 		for _, name := range strings.Split(*modes, ",") {
@@ -153,6 +179,36 @@ func main() {
 		}
 		fmt.Println()
 	}
+}
+
+// parseSchedule turns a "rank:vtime,rank:vtime" flag value into a fault
+// schedule by feeding each pair through the canonical fault-plan parser
+// under the given key ("kill" or "restart").
+func parseSchedule(key, spec string) map[int]netsim.VTime {
+	terms := make([]string, 0, 4)
+	for _, t := range strings.Split(spec, ",") {
+		terms = append(terms, key+"="+strings.TrimSpace(t))
+	}
+	p, err := netsim.ParseFaultPlan(strings.Join(terms, ","))
+	if err != nil {
+		fatalf("vgasbench: bad %s schedule %q: %v", key, spec, err)
+	}
+	if key == "kill" {
+		return p.KillAt
+	}
+	return p.RestartAt
+}
+
+// mergeSchedule overlays add onto base (flag entries win over the
+// NMVGAS_FAULTS base plan).
+func mergeSchedule(base, add map[int]netsim.VTime) map[int]netsim.VTime {
+	if base == nil {
+		return add
+	}
+	for r, t := range add {
+		base[r] = t
+	}
+	return base
 }
 
 // observedRun drives a migration-under-load workload on the DES engine

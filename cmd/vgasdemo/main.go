@@ -22,6 +22,8 @@ func main() {
 	coherenceFlag := flag.String("coherence", "", "replica coherence policy: write-invalidate, write-update, or rw-lease")
 	httpAddr := flag.String("http", "", "after the tour, serve /metrics, /metrics.json, "+
 		"/trace.json and /debug/pprof on this address (e.g. :8080) until interrupted")
+	killFlag := flag.Bool("kill", false, "add a failure step: crash rank 1 mid-tour, watch the survivors "+
+		"declare it dead and promote replicas, then re-admit it via Join")
 	flag.Parse()
 
 	mode, err := vgas.ParseMode(*modeFlag)
@@ -44,9 +46,16 @@ func main() {
 	sp := vgas.SpaceFor(mode)
 
 	fmt.Printf("== virtual global address space demo: %s on %s ==\n", sp, engine)
-	w, err := vgas.NewWorldFor(sp, vgas.Config{
+	cfg := vgas.Config{
 		Ranks: 4, Engine: engine, Coherence: coherence, Metrics: *httpAddr != "",
-	})
+	}
+	if *killFlag {
+		// Crash recovery rides on reliable delivery: retransmission
+		// silence is what raises suspicion, and the stalled op must
+		// survive the backoff climb plus two probe rounds.
+		cfg.Reliability = vgas.ReliabilityConfig{Force: true, MaxAttempts: 64}
+	}
+	w, err := vgas.NewWorldFor(sp, cfg)
 	if err != nil {
 		panic(err)
 	}
@@ -110,6 +119,57 @@ func main() {
 		fmt.Printf("   rank 1 reads back after the write: %q\n", got)
 	}
 
+	// chaos narrates the failure step: a whole-node crash, failure
+	// suspicion driven by retransmission silence, replica promotion on
+	// the survivors, and runtime re-admission through Join.
+	chaos := func(step int) {
+		if !*killFlag {
+			return
+		}
+		victim := lay.BlockAt(5) // homed at rank 1, the rank about to die
+		if *replicasFlag <= 0 {
+			fmt.Printf("\n%d. Install 2 read replicas per block so rank 1's data survives it.\n", step)
+			if err := w.ReplicateLive(lay, 2); err != nil {
+				panic(err)
+			}
+			step++
+		}
+		fmt.Printf("\n%d. Crash rank 1: its link goes down, fail-stop, no goodbye.\n", step)
+		w.Kill(1)
+		fmt.Println("   rank 2 writes to a block homed at the corpse; the put stalls in")
+		fmt.Println("   retransmission, backoff hits its ceiling, probes confirm the death,")
+		fmt.Println("   a surviving replica holder is promoted, and the put lands there.")
+		w.MustWait(w.Proc(2).Put(victim, []byte("crash")))
+		if !w.AwaitMember(1, vgas.MemberDead, 30*time.Second) {
+			panic("demo: rank 1 was never declared dead")
+		}
+		// Let the write's coherence fan-out reach the surviving holders
+		// before reading through them (same settle as the replication
+		// step).
+		if engine == vgas.EngineDES {
+			w.Drain()
+		} else {
+			time.Sleep(50 * time.Millisecond)
+		}
+		ms := w.Stats().Membership
+		fmt.Printf("   death confirmed: %d suspicion probes, %d blocks re-homed, %d lost, epoch %d\n",
+			ms.Suspicions, ms.Rehomed, ms.Lost, ms.Epoch)
+		got := w.MustWait(w.Proc(3).Get(victim, 5))
+		fmt.Printf("   rank 3 reads %q from the promoted holder — the address never changed\n", got)
+
+		fmt.Printf("\n%d. Re-admit rank 1 via Join: state wiped, routes relearned, epoch bumped.\n", step+1)
+		if err := w.Join(1); err != nil {
+			panic(err)
+		}
+		if !w.AwaitMember(1, vgas.MemberAlive, 30*time.Second) {
+			panic("demo: rank 1 never rejoined")
+		}
+		got = w.MustWait(w.Proc(1).Get(victim, 5))
+		ms = w.Stats().Membership
+		fmt.Printf("   reborn rank 1 reads %q; membership: deaths=%d joins=%d epoch=%d\n",
+			got, ms.Deaths, ms.Joins, ms.Epoch)
+	}
+
 	serve := func() {
 		if *httpAddr == "" {
 			return
@@ -131,6 +191,7 @@ func main() {
 		st := w.MustWait(w.Proc(0).Migrate(g, 2))
 		fmt.Printf("   migrate status: %d (1 = pinned/refused)\n", vgas.MigrateStatus(st))
 		replication(5)
+		chaos(6)
 		fmt.Println("\nDone.")
 		serve()
 		return
@@ -161,6 +222,7 @@ func main() {
 	}
 
 	replication(6)
+	chaos(7)
 
 	if w.Fabric() != nil {
 		fmt.Printf("\nSimulated time elapsed: %v. Done.\n", w.Now())

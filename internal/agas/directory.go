@@ -149,6 +149,43 @@ func (d *Directory) DropReplicas(block gas.BlockID) {
 	delete(d.repl, block)
 }
 
+// Entries returns a snapshot of every away-from-home ownership entry.
+// The membership layer uses it to harvest a dying home's routing
+// knowledge (the directory is logically replicated metadata, so it
+// survives the home's data loss) and to find entries naming a dead
+// owner.
+func (d *Directory) Entries() map[gas.BlockID]int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make(map[gas.BlockID]int, len(d.owners))
+	for b, o := range d.owners {
+		out[b] = o
+	}
+	return out
+}
+
+// ReplicaEntries returns a snapshot of every replica set tracked here,
+// deep-copied so callers cannot alias directory state.
+func (d *Directory) ReplicaEntries() map[gas.BlockID]ReplicaSet {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make(map[gas.BlockID]ReplicaSet, len(d.repl))
+	for b, s := range d.repl {
+		out[b] = s.clone()
+	}
+	return out
+}
+
+// Clear wipes every ownership entry and replica set. A locality reborn
+// through the membership layer's Join starts with an empty directory and
+// reclaims authority through the catch-up sync.
+func (d *Directory) Clear() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.owners = make(map[gas.BlockID]int)
+	d.repl = make(map[gas.BlockID]ReplicaSet)
+}
+
 // ReplicatedLen returns the number of replicated blocks tracked here.
 func (d *Directory) ReplicatedLen() int {
 	d.mu.RLock()

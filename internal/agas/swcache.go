@@ -66,6 +66,14 @@ func (c *SWCache) Correct(block gas.BlockID, owner int) {
 	c.table.Update(block, owner)
 }
 
+// Clear drops every cached translation (a reborn locality's previous
+// incarnation's cache is meaningless to the new one).
+func (c *SWCache) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.table.Reset()
+}
+
 // Stats returns the full counter set: the underlying table's
 // hit/miss/eviction/update counters plus the cache's own staleness
 // corrections. (Earlier versions silently discarded the eviction and

@@ -42,6 +42,15 @@ func (t *Tombstones) Drop(block gas.BlockID) {
 	delete(t.m, block)
 }
 
+// Clear drops every tombstone (rebirth of the owning locality — the
+// previous incarnation's forwarding chains must not mislead the new
+// one).
+func (t *Tombstones) Clear() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.m = make(map[gas.BlockID]int)
+}
+
 // Len returns the tombstone count.
 func (t *Tombstones) Len() int {
 	t.mu.RLock()

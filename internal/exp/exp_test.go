@@ -23,7 +23,7 @@ func cell(t *testing.T, tb interface{ Rows() [][]string }, row, col int) float64
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"T1", "T2", "T3", "T4", "T5", "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9", "F10", "F11", "F12", "F13", "F14", "F15", "F16", "A1", "A2"}
+	want := []string{"T1", "T2", "T3", "T4", "T5", "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9", "F10", "F11", "F12", "F13", "F14", "F15", "F16", "A1", "A2", "C1", "C2"}
 	for _, id := range want {
 		if _, ok := Find(id); !ok {
 			t.Errorf("experiment %s missing from registry", id)
@@ -434,6 +434,36 @@ func TestC1ChaosShape(t *testing.T) {
 	for r := 0; r < tb.NumRows(); r += 2 {
 		if cell(t, tb, r, 4) != 0 || cell(t, tb, r, 7) != 0 {
 			t.Fatalf("row %d: baseline shows retransmits/abandons", r)
+		}
+	}
+}
+
+func TestC2RecoveryShape(t *testing.T) {
+	tb := mustRun(t, "C2")
+	// Quick: 3 modes × DES only. Every row must be golden — a
+	// whole-node crash, recovery, and rejoin must leave the surviving
+	// membership exactly where a never-faulted run lands.
+	if got := tb.NumRows(); got != 3 {
+		t.Fatalf("row count %d, want 3", got)
+	}
+	for r := 0; r < tb.NumRows(); r++ {
+		row := tb.Rows()[r]
+		if row[2] != "yes" {
+			t.Fatalf("row %d (%s/%s) not golden: %v", r, row[0], row[1], row)
+		}
+		if cell(t, tb, r, 3) != 1 || cell(t, tb, r, 4) != 1 {
+			t.Fatalf("row %d: deaths/joins %s/%s, want 1/1", r, row[3], row[4])
+		}
+		// The kill really bit: suspicion probes ran, blocks re-homed,
+		// traffic was fenced at the dead link, and nothing black-holed.
+		if cell(t, tb, r, 5) == 0 || cell(t, tb, r, 6) == 0 {
+			t.Fatalf("row %d: no suspicion or no re-homed blocks: %v", r, row)
+		}
+		if cell(t, tb, r, 8) == 0 {
+			t.Fatalf("row %d: kill produced no down-link drops: %v", r, row)
+		}
+		if cell(t, tb, r, 10) != 0 {
+			t.Fatalf("row %d: %s messages black-holed", r, row[10])
 		}
 	}
 }

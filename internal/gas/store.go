@@ -22,6 +22,11 @@ type Block struct {
 	Kind  BlockKind
 	BSize uint32
 	Data  []byte
+	// Home is the rank the block's GVA names as its home (where the
+	// ownership directory entry lives). Residency code never consults it;
+	// it exists so elastic-membership code can rebuild a block's GVA from
+	// its resident image when draining or recovering a locality.
+	Home int
 	// Pinned blocks (LCOs, per-locality infrastructure) refuse to
 	// migrate.
 	Pinned bool

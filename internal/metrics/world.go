@@ -18,10 +18,12 @@ type WorldPublisher struct {
 	counters map[string]*Counter // world-level cumulative counters
 	gauges   map[string]*Gauge   // world-level gauges
 
-	rankSent  []*Gauge
-	rankRun   []*Gauge
-	rankQueue []*Gauge
-	rankTable []*Gauge
+	rankSent      []*Gauge
+	rankRun       []*Gauge
+	rankQueue     []*Gauge
+	rankTable     []*Gauge
+	rankDownDrops []*Gauge
+	rankDeadNacks []*Gauge
 
 	lat map[string]*Summary
 }
@@ -70,6 +72,27 @@ func PublishWorld(reg *Registry, w *runtime.World) *WorldPublisher {
 	counter("nmvgas_replica_updates_total", "Write-update snapshots applied at holders")
 	counter("nmvgas_replica_fills_total", "Replica refills installed at holders")
 
+	// Fault-injector and membership-fencing counters (all zero on an
+	// unperturbed world).
+	counter("nmvgas_fault_dropped_total", "Messages lost by the fault injector")
+	counter("nmvgas_fault_duplicated_total", "Messages duplicated by the fault injector")
+	counter("nmvgas_fault_delayed_total", "Messages delayed by the fault injector")
+	counter("nmvgas_fault_targeted_drops_total", "Targeted control-class drops injected")
+	counter("nmvgas_fault_table_entries_lost_total", "NIC translation entries soft-errored away")
+	counter("nmvgas_fault_down_drops_total", "Messages swallowed at a down locality's link")
+	counter("nmvgas_fault_dead_nacks_total", "NACKs synthesized for traffic routed at a dead locality")
+	counter("nmvgas_fault_stale_epoch_drops_total", "NIC table updates discarded as older than the membership epoch")
+	gauge := func(name, help string) {
+		p.gauges[name] = reg.Gauge(name, help, base...)
+	}
+	gauge("nmvgas_member_epoch", "Current membership epoch (0 = membership never changed)")
+	gauge("nmvgas_member_deaths", "Localities declared dead")
+	gauge("nmvgas_member_joins", "Localities re-admitted via Join")
+	gauge("nmvgas_member_retires", "Localities retired gracefully")
+	gauge("nmvgas_member_suspicions", "Liveness probes raised (including false alarms)")
+	gauge("nmvgas_member_rehomed_blocks", "Blocks re-homed onto survivors after a death")
+	gauge("nmvgas_member_lost_blocks", "Blocks lost with their owner (no replica to promote)")
+
 	ranks := w.Ranks()
 	for r := 0; r < ranks; r++ {
 		lbl := append(append([]Label(nil), base...), L("rank", strconv.Itoa(r)))
@@ -77,6 +100,8 @@ func PublishWorld(reg *Registry, w *runtime.World) *WorldPublisher {
 		p.rankRun = append(p.rankRun, reg.Gauge("nmvgas_rank_parcels_run", "Parcel handlers executed by one locality", lbl...))
 		p.rankQueue = append(p.rankQueue, reg.Gauge("nmvgas_rank_queue_depth", "Pending host-executor backlog (goroutine engine mailbox length)", lbl...))
 		p.rankTable = append(p.rankTable, reg.Gauge("nmvgas_rank_nic_table_entries", "NIC-resident translation table size", lbl...))
+		p.rankDownDrops = append(p.rankDownDrops, reg.Gauge("nmvgas_fault_rank_down_drops", "Messages this NIC swallowed at a down link (DES fabric only)", lbl...))
+		p.rankDeadNacks = append(p.rankDeadNacks, reg.Gauge("nmvgas_fault_rank_dead_nacks", "Dead-rank NACKs this NIC synthesized (DES fabric only)", lbl...))
 	}
 
 	if cfg.Metrics {
@@ -114,12 +139,34 @@ func (p *WorldPublisher) Refresh() {
 	set("nmvgas_replica_updates_total", s.ReplicaUpdates)
 	set("nmvgas_replica_fills_total", s.ReplicaFills)
 
+	f := s.Delivery.Faults
+	set("nmvgas_fault_dropped_total", int64(f.Dropped))
+	set("nmvgas_fault_duplicated_total", int64(f.Duplicated))
+	set("nmvgas_fault_delayed_total", int64(f.Delayed))
+	set("nmvgas_fault_targeted_drops_total", int64(f.TargetedDrops))
+	set("nmvgas_fault_table_entries_lost_total", int64(f.TableEntriesLost))
+	ms := s.Membership
+	set("nmvgas_fault_down_drops_total", int64(ms.DownDrops))
+	set("nmvgas_fault_dead_nacks_total", int64(ms.DeadNacks))
+	set("nmvgas_fault_stale_epoch_drops_total", int64(ms.StaleEpochDrops))
+	sg := func(name string, v float64) { p.gauges[name].Set(v) }
+	sg("nmvgas_member_epoch", float64(ms.Epoch))
+	sg("nmvgas_member_deaths", float64(ms.Deaths))
+	sg("nmvgas_member_joins", float64(ms.Joins))
+	sg("nmvgas_member_retires", float64(ms.Retires))
+	sg("nmvgas_member_suspicions", float64(ms.Suspicions))
+	sg("nmvgas_member_rehomed_blocks", float64(ms.Rehomed))
+	sg("nmvgas_member_lost_blocks", float64(ms.Lost))
+
 	for r := 0; r < p.w.Ranks(); r++ {
 		ls := &p.w.Locality(r).Stats
 		p.rankSent[r].Set(float64(ls.ParcelsSent.Load()))
 		p.rankRun[r].Set(float64(ls.ParcelsRun.Load()))
 		p.rankQueue[r].Set(float64(p.w.QueueDepth(r)))
 		p.rankTable[r].Set(float64(p.w.NICTableLen(r)))
+		dd, dn, _ := p.w.NICFaultStats(r)
+		p.rankDownDrops[r].Set(float64(dd))
+		p.rankDeadNacks[r].Set(float64(dn))
 	}
 
 	if len(p.lat) > 0 && s.Latencies.Enabled {

@@ -26,6 +26,27 @@ type FabricConfig struct {
 	Faults FaultPlan
 }
 
+// Liveness lets the runtime's membership layer tell the fabric which
+// localities are reachable. Down is the ground truth at the fabric
+// boundary (the link is dead, whether or not anyone has noticed);
+// DeadHint is the runtime's declared belief, which upgrades silent loss
+// into a clean NACK-with-hint. Nil means every locality is up forever.
+type Liveness interface {
+	// Down reports whether rank's link is down (crashed, possibly not
+	// yet declared dead). Traffic to or from a down rank is swallowed.
+	Down(rank int) bool
+	// DeadHint reports whether rank has been declared dead by the
+	// membership layer, and the surrogate/home rank to redirect to.
+	DeadHint(rank int) (hint int, dead bool)
+	// Epoch returns the current membership epoch for stamping control
+	// pushes.
+	Epoch() uint64
+	// Rehome returns the recovered owner of a block whose previous owner
+	// died (a promoted replica master or a re-homed directory entry),
+	// letting in-flight traffic redirect at the NIC instead of bouncing.
+	Rehome(b gas.BlockID) (owner int, ok bool)
+}
+
 // Fabric is a full-crossbar network of NICs driven by one discrete-event
 // engine: every pair of localities is directly connected, with per-NIC
 // transmit occupancy and a uniform per-hop wire latency.
@@ -36,6 +57,19 @@ type Fabric struct {
 	NICs  []*NIC
 	// Faults is nil on a perfect fabric.
 	Faults *FaultInjector
+	// Live is nil unless the runtime wires in membership.
+	Live Liveness
+}
+
+// SetLiveness installs the runtime's membership view on the fabric.
+func (f *Fabric) SetLiveness(lv Liveness) { f.Live = lv }
+
+// BumpEpoch raises every NIC translation table's trusted membership
+// epoch, fencing all cached entries installed under older epochs.
+func (f *Fabric) BumpEpoch(epoch uint64) {
+	for _, n := range f.NICs {
+		n.Table.BumpEpoch(epoch)
+	}
 }
 
 // NewFabric builds a fabric with cfg.Ranks NICs on the given engine.
@@ -94,6 +128,9 @@ func (f *Fabric) TotalStats() NICStats {
 		t.Delayed += n.Stats.Delayed
 		t.TableLost += n.Stats.TableLost
 		t.LoopNacks += n.Stats.LoopNacks
+		t.DownDrops += n.Stats.DownDrops
+		t.DeadNacks += n.Stats.DeadNacks
+		t.StaleEpochDrops += n.Stats.StaleEpochDrops
 	}
 	return t
 }

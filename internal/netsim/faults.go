@@ -39,17 +39,29 @@ type FaultPlan struct {
 	// NIC forgets one random translation-table entry (soft-error model
 	// for the finite NIC table).
 	TableLoss float64
+	// KillAt schedules whole-locality crashes: rank → virtual time at
+	// which the locality's link goes down (fail-stop at the fabric
+	// boundary). Unlike the probabilistic faults above, kills are exact
+	// scheduled events, so a given plan replays the identical failure
+	// under the DES engine.
+	KillAt map[int]VTime
+	// RestartAt schedules a killed locality's link coming back up. The
+	// runtime notices and re-admits the rank through World.Join once its
+	// membership layer has finished declaring the death.
+	RestartAt map[int]VTime
 }
 
 // Enabled reports whether the plan injects any fault at all.
 func (p FaultPlan) Enabled() bool {
 	return p.Drop > 0 || p.Duplicate > 0 || p.DelayProb > 0 || p.Reorder ||
-		p.TableLoss > 0 || len(p.DropNthCtl) > 0
+		p.TableLoss > 0 || len(p.DropNthCtl) > 0 || len(p.KillAt) > 0 ||
+		len(p.RestartAt) > 0
 }
 
 // ParseFaultPlan parses a compact comma-separated spec such as
 // "drop=0.05,dup=0.02,reorder=1,seed=7,delay=0.1,maxdelay=2000,tableloss=0.01,
-// dropctl=1:3". Unknown keys are errors. An empty string is the zero plan.
+// dropctl=1:3,kill=2:500000,restart=2:2000000". Unknown keys are errors.
+// An empty string is the zero plan.
 func ParseFaultPlan(s string) (FaultPlan, error) {
 	var p FaultPlan
 	if strings.TrimSpace(s) == "" {
@@ -96,6 +108,27 @@ func ParseFaultPlan(s string) (FaultPlan, error) {
 				p.DropNthCtl = make(map[uint8]int)
 			}
 			p.DropNthCtl[uint8(c)] = n
+		case "kill", "restart":
+			rank, at, ok := strings.Cut(v, ":")
+			if !ok {
+				return p, fmt.Errorf("netsim: %s wants rank:time, got %q", k, v)
+			}
+			r, err1 := strconv.Atoi(rank)
+			t, err2 := strconv.ParseInt(at, 10, 64)
+			if err1 != nil || err2 != nil {
+				return p, fmt.Errorf("netsim: %s %q: bad numbers", k, v)
+			}
+			if k == "kill" {
+				if p.KillAt == nil {
+					p.KillAt = make(map[int]VTime)
+				}
+				p.KillAt[r] = VTime(t)
+			} else {
+				if p.RestartAt == nil {
+					p.RestartAt = make(map[int]VTime)
+				}
+				p.RestartAt[r] = VTime(t)
+			}
 		default:
 			return p, fmt.Errorf("netsim: unknown fault plan key %q", k)
 		}
@@ -257,5 +290,20 @@ func (p FaultPlan) String() string {
 	for _, c := range keys {
 		parts = append(parts, fmt.Sprintf("dropctl=%d:%d", c, p.DropNthCtl[uint8(c)]))
 	}
+	for _, r := range sortedRanks(p.KillAt) {
+		parts = append(parts, fmt.Sprintf("kill=%d:%d", r, p.KillAt[r]))
+	}
+	for _, r := range sortedRanks(p.RestartAt) {
+		parts = append(parts, fmt.Sprintf("restart=%d:%d", r, p.RestartAt[r]))
+	}
 	return strings.Join(parts, ",")
+}
+
+func sortedRanks(m map[int]VTime) []int {
+	rs := make([]int, 0, len(m))
+	for r := range m {
+		rs = append(rs, r)
+	}
+	sort.Ints(rs)
+	return rs
 }

@@ -103,6 +103,13 @@ type Message struct {
 	// at its sender; past a small cap the sender abandons it.
 	Bounces int
 
+	// Epoch stamps control pushes (CtlTableUpdate/CtlTableBatch) with the
+	// sender's membership epoch. A receiving NIC whose table already
+	// trusts a newer epoch ignores the push, so a stale in-flight update
+	// cannot resurrect a route to a dead or re-homed locality. Zero on
+	// ordinary traffic.
+	Epoch uint64
+
 	// Scatter marks a coalesced batch whose payload is a sequence of
 	// per-parcel GVA sub-headers (see AppendScatterRecord). A GVA-routing
 	// NIC splits such a batch on arrival: it translates every record

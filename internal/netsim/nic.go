@@ -64,6 +64,17 @@ type NICStats struct {
 	Delayed    uint64
 	TableLost  uint64
 	LoopNacks  uint64
+
+	// Whole-node failure counters. DownDrops counts messages silently
+	// swallowed because a link was down (crashed locality, not yet
+	// declared dead — the silence is what drives suspicion). DeadNacks
+	// counts sends to a membership-declared-dead rank bounced back with
+	// a home hint instead of delivered to the corpse. StaleEpochDrops
+	// counts control pushes ignored because they carried an older
+	// membership epoch than the receiving table trusts.
+	DownDrops       uint64
+	DeadNacks       uint64
+	StaleEpochDrops uint64
 }
 
 // NIC models one locality's network interface. When GVARouting is on (the
@@ -133,6 +144,17 @@ func (n *NIC) DropRoute(block gas.BlockID) {
 	delete(n.readRoutes, block)
 }
 
+// ResetState wipes every translation structure on this NIC — the
+// evictable table, the authoritative routes, and the read steering.
+// Used when a dead locality rejoins the world: the reborn NIC starts
+// empty and relearns its state through the catch-up sync and ordinary
+// control traffic. Link occupancy horizons and counters survive.
+func (n *NIC) ResetState() {
+	n.Table.Reset()
+	n.routes = make(map[gas.BlockID]int)
+	n.readRoutes = make(map[gas.BlockID]int)
+}
+
 // InstallReadRoute steers this NIC's read traffic for block to the
 // replica at target. The replication runtime calls it at install time.
 func (n *NIC) InstallReadRoute(block gas.BlockID, target int) {
@@ -190,6 +212,50 @@ func (n *NIC) Send(m *Message) {
 func (n *NIC) transmit(m *Message, extra VTime) {
 	if m.Dst < 0 || m.Dst >= len(n.fab.NICs) {
 		panic(fmt.Sprintf("netsim: transmit to bad rank %d", m.Dst))
+	}
+	if lv := n.fab.Live; lv != nil {
+		if lv.Down(n.Rank) {
+			// Outbound fence: a crashed locality's NIC transmits nothing.
+			n.Stats.DownDrops++
+			return
+		}
+		if m.Dst != n.Rank && lv.Down(m.Dst) {
+			if owner, ok := lv.Rehome(m.Block); ok && !lv.Down(owner) && m.Ctl == CtlNone {
+				// The block already recovered onto a survivor (promoted
+				// replica or re-homed entry): redirect in flight instead of
+				// bouncing to the sender.
+				m.Dst = owner
+			} else if hint, dead := lv.DeadHint(m.Dst); dead && m.Ctl == CtlNone && !m.Target.IsNull() {
+				// The destination has been declared dead by membership:
+				// NACK back to the sender with a hint (the PR 2 bounce
+				// path) instead of delivering to a corpse.
+				if h := m.Target.Home(); h != m.Dst && !lv.Down(h) {
+					// Prefer the live home as the hint: its directory
+					// re-resolves authoritatively, where the surrogate can
+					// only terminate traffic for genuinely lost blocks.
+					hint = h
+				}
+				n.Stats.DeadNacks++
+				nk := &Message{
+					Ctl:    CtlNackLoop,
+					Src:    n.Rank,
+					Dst:    m.Src,
+					Block:  m.Block,
+					Owner:  hint,
+					Wire:   wireHeader,
+					Nacked: m,
+				}
+				n.transmit(nk, n.fab.Model.NICForward)
+				return
+			} else {
+				// Down but not yet declared (or rank-addressed control
+				// traffic with nowhere to bounce): the message silently
+				// vanishes, and that silence is exactly what raises
+				// suspicion upstream.
+				n.Stats.DownDrops++
+				return
+			}
+		}
 	}
 	eng, model := n.fab.Eng, n.fab.Model
 	wire := m.Wire
@@ -256,6 +322,12 @@ func (n *NIC) scheduleArrival(m *Message, wire int, bw float64, arrive VTime) {
 // in-network forwarding or NACKing, and final delivery.
 func (n *NIC) receive(m *Message) {
 	model := n.fab.Model
+	if lv := n.fab.Live; lv != nil && lv.Down(n.Rank) {
+		// In-flight traffic arriving at a crashed locality hits a dead
+		// link and vanishes.
+		n.Stats.DownDrops++
+		return
+	}
 	n.Stats.Received++
 	wire := m.Wire
 	if wire == 0 {
@@ -265,9 +337,17 @@ func (n *NIC) receive(m *Message) {
 
 	switch m.Ctl {
 	case CtlTableUpdate:
-		// Consumed entirely on the NIC.
+		// Consumed entirely on the NIC. A push stamped with an older
+		// membership epoch than the table trusts is dropped: it was in
+		// flight across a membership change and could resurrect a route
+		// to a dead or re-homed locality.
 		n.Stats.TableUpdatesRx++
+		ep := m.Epoch
 		n.fab.Eng.After(model.NICUpdate, func() {
+			if ep < n.Table.Epoch() {
+				n.Stats.StaleEpochDrops++
+				return
+			}
 			n.Table.Update(m.Block, m.Owner)
 		})
 		return
@@ -275,9 +355,14 @@ func (n *NIC) receive(m *Message) {
 		// One control message installs a whole migration burst. The
 		// entries land in one deferred event after a single NICUpdate
 		// charge: the table write port is the bottleneck once, not per
-		// block.
+		// block. Epoch-fenced like CtlTableUpdate.
 		n.Stats.TableUpdatesRx++
+		ep := m.Epoch
 		n.fab.Eng.After(model.NICUpdate, func() {
+			if ep < n.Table.Epoch() {
+				n.Stats.StaleEpochDrops++
+				return
+			}
 			ForEachTableEntry(m.Payload, n.Table.Update)
 		})
 		return
@@ -379,6 +464,19 @@ func (n *NIC) misroute(m *Message) {
 		n.deliverHost(m)
 		return
 	}
+	if lv := n.fab.Live; lv != nil && lv.Down(owner) {
+		// Our best knowledge routes to a downed rank. Redirect through
+		// the recovery overlay when the block was re-homed; otherwise, if
+		// the rank is confirmed dead, terminate at this live host's
+		// stale-delivery path (a clean, acked drop) rather than chasing a
+		// corpse through the bounce machinery.
+		if no, ok := lv.Rehome(m.Block); ok && !lv.Down(no) && no != n.Rank {
+			owner = no
+		} else if _, dead := lv.DeadHint(owner); dead {
+			n.deliverHost(m)
+			return
+		}
+	}
 	if !n.Policy.ForwardInNetwork {
 		n.nack(m, owner)
 		return
@@ -414,6 +512,7 @@ func (n *NIC) misroute(m *Message) {
 			Block: m.Block,
 			Owner: owner,
 			Wire:  wireHeader,
+			Epoch: n.Table.Epoch(),
 		}
 		n.transmit(upd, model.NICForward)
 	}

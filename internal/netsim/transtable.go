@@ -18,12 +18,21 @@ type TransTable struct {
 	m     map[gas.BlockID]*list.Element
 	order *list.List // front = most recently used
 
-	hits, misses, evictions, updates uint64
+	// epoch is the membership epoch the table currently trusts. Entries
+	// installed under an older epoch are fenced: Lookup treats them as
+	// missing and evicts them lazily, so a membership change (death,
+	// retire, join) invalidates every cached translation in O(1) without
+	// walking the table — the stale entry NACKs at the authoritative side
+	// instead of routing traffic to a corpse.
+	epoch uint64
+
+	hits, misses, evictions, updates, fenced uint64
 }
 
 type ttEntry struct {
 	block gas.BlockID
 	owner int
+	epoch uint64 // membership epoch at install time
 }
 
 // NewTransTable returns a table bounded to capacity entries; capacity 0
@@ -37,33 +46,49 @@ func NewTransTable(capacity int) *TransTable {
 }
 
 // Lookup returns the cached owner of block, recording a hit or miss.
+// Entries from a fenced (older) epoch read as misses and are evicted.
 func (t *TransTable) Lookup(block gas.BlockID) (owner int, ok bool) {
 	el, ok := t.m[block]
 	if !ok {
 		t.misses++
 		return 0, false
 	}
+	e := el.Value.(*ttEntry)
+	if e.epoch < t.epoch {
+		t.order.Remove(el)
+		delete(t.m, block)
+		t.fenced++
+		t.misses++
+		return 0, false
+	}
 	t.hits++
 	t.order.MoveToFront(el)
-	return el.Value.(*ttEntry).owner, true
+	return e.owner, true
 }
 
 // Peek is Lookup without touching the LRU order or the hit/miss counters
-// (used by invariant checks and tests).
+// (used by invariant checks and tests). Fenced entries read as missing
+// but are not evicted.
 func (t *TransTable) Peek(block gas.BlockID) (owner int, ok bool) {
 	el, ok := t.m[block]
 	if !ok {
 		return 0, false
 	}
-	return el.Value.(*ttEntry).owner, true
+	e := el.Value.(*ttEntry)
+	if e.epoch < t.epoch {
+		return 0, false
+	}
+	return e.owner, true
 }
 
-// Update installs or overwrites the owner of block, evicting the least
-// recently used entry if the table is full.
+// Update installs or overwrites the owner of block at the table's current
+// epoch, evicting the least recently used entry if the table is full.
 func (t *TransTable) Update(block gas.BlockID, owner int) {
 	t.updates++
 	if el, ok := t.m[block]; ok {
-		el.Value.(*ttEntry).owner = owner
+		e := el.Value.(*ttEntry)
+		e.owner = owner
+		e.epoch = t.epoch
 		t.order.MoveToFront(el)
 		return
 	}
@@ -73,7 +98,20 @@ func (t *TransTable) Update(block gas.BlockID, owner int) {
 		delete(t.m, back.Value.(*ttEntry).block)
 		t.evictions++
 	}
-	t.m[block] = t.order.PushFront(&ttEntry{block: block, owner: owner})
+	t.m[block] = t.order.PushFront(&ttEntry{block: block, owner: owner, epoch: t.epoch})
+}
+
+// Epoch returns the membership epoch the table currently trusts.
+func (t *TransTable) Epoch() uint64 { return t.epoch }
+
+// BumpEpoch raises the table's trusted epoch, fencing every entry
+// installed under an older one. Entries are invalidated lazily on Lookup
+// rather than walked eagerly. Bumping to an older or equal epoch is a
+// no-op, so out-of-order membership notifications cannot unfence.
+func (t *TransTable) BumpEpoch(epoch uint64) {
+	if epoch > t.epoch {
+		t.epoch = epoch
+	}
 }
 
 // Invalidate removes block's entry if present, reporting whether it was.
@@ -106,6 +144,15 @@ func (t *TransTable) DropIndex(i int) (gas.BlockID, bool) {
 	return b, true
 }
 
+// Reset drops every entry and returns the table to its post-construction
+// state (counters and the trusted epoch survive — a reborn NIC still
+// lives in the current membership epoch). Used when a dead locality
+// rejoins: the new incarnation starts with an empty table.
+func (t *TransTable) Reset() {
+	t.m = make(map[gas.BlockID]*list.Element)
+	t.order = list.New()
+}
+
 // Len returns the number of resident entries.
 func (t *TransTable) Len() int { return t.order.Len() }
 
@@ -116,6 +163,10 @@ func (t *TransTable) Cap() int { return t.cap }
 func (t *TransTable) Stats() (hits, misses, evictions, updates uint64) {
 	return t.hits, t.misses, t.evictions, t.updates
 }
+
+// Fenced returns how many entries were lazily evicted because their
+// install epoch predated the table's trusted epoch.
+func (t *TransTable) Fenced() uint64 { return t.fenced }
 
 // HitRate returns hits/(hits+misses), or 0 if no lookups happened.
 func (t *TransTable) HitRate() float64 {

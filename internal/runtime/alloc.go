@@ -53,9 +53,11 @@ func (w *World) alloc(origin int, bsize, nblocks uint32, dist gas.Dist) (gas.Lay
 	}
 	for d := uint32(0); d < nblocks; d++ {
 		home := l.HomeOf(d)
-		if _, err := w.locs[home].store.Create(base+gas.BlockID(d), bsize); err != nil {
+		blk, err := w.locs[home].store.Create(base+gas.BlockID(d), bsize)
+		if err != nil {
 			return gas.Layout{}, err
 		}
+		blk.Home = home
 		w.locs[home].space.InstallInitial(base + gas.BlockID(d))
 	}
 	return l, nil

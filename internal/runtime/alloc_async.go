@@ -28,9 +28,11 @@ func allocBlocks(c *Ctx) {
 	n := int(parcel.U32(p, 4))
 	for i := 0; i < n; i++ {
 		id := gas.BlockID(parcel.U32(p, 8+4*i))
-		if _, err := c.l.store.Create(id, bsize); err != nil {
+		blk, err := c.l.store.Create(id, bsize)
+		if err != nil {
 			c.l.w.fail("rank %d: alloc: %v", c.l.rank, err)
 		}
+		blk.Home = c.l.rank
 		c.l.space.InstallInitial(id)
 	}
 	c.Continue(nil)

@@ -50,6 +50,12 @@ const (
 	kReplFill
 	// kReplFillRep answers a kReplFill with the snapshot.
 	kReplFillRep
+	// kMemberPing / kMemberPong are the failure-suspicion probe and its
+	// answer: rank-addressed control traffic outside the reliability
+	// layer (their silence is the death signal; retransmitting them
+	// would blur it).
+	kMemberPing
+	kMemberPong
 )
 
 // LocStats are per-locality runtime counters (distinct from the fabric's
@@ -451,6 +457,17 @@ func (l *Locality) onHostMsg(m *netsim.Message) {
 		l.onReplFill(m)
 	case kReplFillRep:
 		l.onReplFillRep(m)
+	case kMemberPing:
+		pong := netsim.NewMessage()
+		pong.Kind = kMemberPong
+		pong.Src = l.rank
+		pong.Dst = m.Src
+		pong.Wire = 32
+		l.w.net.nicSend(l.rank, pong)
+		l.recycle(m)
+	case kMemberPong:
+		l.w.mem.pongFrom(m.Src)
+		l.recycle(m)
 	default:
 		l.w.fail("rank %d: unknown message kind %d", l.rank, m.Kind)
 	}

@@ -233,7 +233,7 @@ func migrateData(c *Ctx) {
 		mp.holders = kept
 	}
 
-	nb := &gas.Block{ID: b, Kind: gas.KindData, BSize: mp.bsize, Data: append([]byte(nil), mp.data...)}
+	nb := &gas.Block{ID: b, Kind: gas.KindData, BSize: mp.bsize, Data: append([]byte(nil), mp.data...), Home: mp.g.Home()}
 	l.exec.Charge(l.w.cfg.Model.CopyTime(len(mp.data)))
 	if err := l.store.Insert(nb); err != nil {
 		l.w.fail("rank %d: migrate install: %v", l.rank, err)

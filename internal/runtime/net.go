@@ -219,6 +219,31 @@ func (n *goNICState) peekTable(b gas.BlockID) (int, bool) {
 	return s.table.Peek(b)
 }
 
+// bumpEpoch raises every shard's trusted membership epoch, fencing
+// cached entries installed under older ones (the goroutine-engine
+// mirror of Fabric.BumpEpoch).
+func (n *goNICState) bumpEpoch(epoch uint64) {
+	for i := range n.shards {
+		s := &n.shards[i]
+		s.mu.Lock()
+		s.table.BumpEpoch(epoch)
+		s.mu.Unlock()
+	}
+}
+
+// reset wipes every shard's translation state (Join: the reborn NIC
+// starts empty).
+func (n *goNICState) reset() {
+	for i := range n.shards {
+		s := &n.shards[i]
+		s.mu.Lock()
+		s.table.Reset()
+		s.routes = make(map[gas.BlockID]int)
+		s.readRoutes = make(map[gas.BlockID]int)
+		s.mu.Unlock()
+	}
+}
+
 // tableLen sums evictable entries across shards (tests).
 func (n *goNICState) tableLen() int {
 	total := 0
@@ -271,6 +296,45 @@ func (c *chanNet) send(from int, m *netsim.Message) {
 	if m.Dst < 0 || m.Dst >= len(c.nics) {
 		c.w.fail("chanNet: send to bad rank %d", m.Dst)
 	}
+	if mem := c.w.mem; mem.active() {
+		// Whole-node liveness fencing, mirroring netsim.NIC.transmit.
+		if mem.Down(from) {
+			// Outbound fence: a crashed locality transmits nothing.
+			mem.downDrops.Add(1)
+			return
+		}
+		if m.Dst != from && mem.Down(m.Dst) {
+			if owner, ok := mem.Rehome(m.Block); ok && !mem.Down(owner) && m.Ctl == netsim.CtlNone {
+				// The block already recovered onto a survivor: redirect in
+				// flight instead of bouncing to the sender.
+				m.Dst = owner
+			} else if hint, dead := mem.DeadHint(m.Dst); dead && m.Ctl == netsim.CtlNone && !m.Target.IsNull() {
+				// Declared dead: NACK back with a hint — the live home
+				// (whose directory re-resolves authoritatively) when it is
+				// not the corpse, else the surrogate.
+				if h := m.Target.Home(); h != m.Dst && !mem.Down(h) {
+					hint = h
+				}
+				mem.deadNacks.Add(1)
+				nk := netsim.NewMessage()
+				nk.Ctl = netsim.CtlNackLoop
+				nk.Src = from
+				nk.Dst = m.Src
+				nk.Block = m.Block
+				nk.Owner = hint
+				nk.Wire = 32
+				nk.Nacked = m
+				c.deliver(nk, 0)
+				return
+			} else {
+				// Down but not yet declared (or rank-addressed control
+				// traffic with nowhere to bounce): silent loss is the
+				// suspicion signal.
+				mem.downDrops.Add(1)
+				return
+			}
+		}
+	}
 	if fi := c.w.faults; fi != nil {
 		act := fi.Decide(m)
 		if act.Drop {
@@ -311,8 +375,22 @@ func (c *chanNet) nicSend(from int, m *netsim.Message) { c.send(from, m) }
 // the destination actor and applies the same routing decisions.
 func (c *chanNet) arrive(l *Locality, m *netsim.Message) {
 	st := c.nics[l.rank]
+	if mem := c.w.mem; mem.active() && mem.Down(l.rank) {
+		// Inbound fence: a crashed locality receives nothing. The message
+		// is left to the collector (single-owner recycling must not race
+		// a concurrent duplicate).
+		mem.downDrops.Add(1)
+		return
+	}
 	switch m.Ctl {
 	case netsim.CtlTableUpdate:
+		if mem := c.w.mem; mem.active() && m.Epoch < mem.Epoch() {
+			// A control push from before the last membership change: the
+			// table no longer trusts that epoch.
+			mem.staleEpochDrops.Add(1)
+			m.Release()
+			return
+		}
 		st.updateTable(m.Block, m.Owner)
 		m.Release() // consumed by the NIC; never reaches the host
 		return
@@ -457,6 +535,17 @@ func (c *chanNet) misroute(l *Locality, st *goNICState, m *netsim.Message) {
 		// Mid-migration: the host queues.
 		l.onHostMsg(m)
 		return
+	}
+	if mem := c.w.mem; mem.active() && mem.Down(owner) {
+		// Best knowledge routes to a downed rank: redirect through the
+		// recovery overlay, or terminate a confirmed-dead route at this
+		// live host's stale-delivery path (mirroring netsim.NIC.misroute).
+		if no, ok := mem.Rehome(m.Block); ok && !mem.Down(no) && no != l.rank {
+			owner = no
+		} else if mem.declaredDead(owner) {
+			l.onHostMsg(m)
+			return
+		}
 	}
 	pol := c.w.cfg.Policy
 	if !pol.ForwardInNetwork {

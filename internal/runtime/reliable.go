@@ -204,7 +204,8 @@ func relChanOf(m *netsim.Message) int32 {
 // relTrack enrolls m in reliable delivery at injection time. Control
 // messages, acks, and already-tracked messages (resends) pass through.
 func (l *Locality) relTrack(m *netsim.Message) {
-	if l.rel == nil || m.RelSeq != 0 || m.Ctl != netsim.CtlNone || m.Kind == kRelAck {
+	if l.rel == nil || m.RelSeq != 0 || m.Ctl != netsim.CtlNone || m.Kind == kRelAck ||
+		m.Kind == kMemberPing || m.Kind == kMemberPong {
 		return
 	}
 	ch := relChanOf(m)
@@ -322,6 +323,12 @@ func (l *Locality) relTimer(ch int32) {
 			p.deadline = now + tc.rto
 		}
 	}
+	// A channel pinned at its backoff ceiling with work still unacked
+	// means something is silently eating traffic — the whole-node
+	// failure signature. Raise membership suspicion (outside the lock,
+	// below); the sweep is armed-gated and single-flight, so healthy
+	// worlds and already-probing ones pay nothing.
+	ceiling := len(resend) > 0 && tc.rto >= l.w.relCfg.MaxRTO
 	next := tc.rto
 	if len(resend) == 0 && nextDue > now {
 		next = nextDue - now
@@ -340,6 +347,9 @@ func (l *Locality) relTimer(ch int32) {
 	rw.stats.Abandoned += abandoned
 	rw.mu.Unlock()
 
+	if ceiling {
+		l.w.mem.suspectSweep(l)
+	}
 	for _, m := range resend {
 		l.trace(TraceRetransmit, m.Block, m.RelSeq)
 		// The pristine copy still carries its original destination
@@ -518,6 +528,26 @@ func (l *Locality) relLateCompletion() bool {
 	rw.stats.LateCompletions++
 	rw.mu.Unlock()
 	return true
+}
+
+// UnackedMessages counts messages still held for retransmission across
+// every locality's send channels. Once a workload has drained, a
+// nonzero count means traffic was black-holed — neither delivered and
+// acknowledged, nor NACKed back, nor explicitly abandoned — which the
+// recovery experiments assert never happens, even across a crash.
+func (w *World) UnackedMessages() int {
+	n := 0
+	for _, l := range w.locs {
+		if l.rel == nil {
+			continue
+		}
+		l.rel.mu.Lock()
+		for _, tc := range l.rel.tx {
+			n += len(tc.unacked)
+		}
+		l.rel.mu.Unlock()
+	}
+	return n
 }
 
 // reliable reports whether the world runs the reliability layer.

@@ -419,6 +419,7 @@ func (w *World) installReplicaSet(lay gas.Layout, b gas.BlockID, master int, hol
 			Kind:    gas.KindData,
 			BSize:   blk.BSize,
 			Data:    append([]byte(nil), snap...),
+			Home:    lay.HomeOf(uint32(b - lay.Base.Block())),
 			Pinned:  true,
 			Replica: true,
 		}

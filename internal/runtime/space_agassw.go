@@ -59,6 +59,12 @@ func (s *swSpace) Translate(g gas.GVA) int {
 		// We are home: the directory is local and authoritative.
 		dst = s.dir.Resolve(b, l.rank)
 		if dst == l.rank {
+			if l.w.mem.isLost(b) {
+				// The block died with its owner: deliver to self, where
+				// the stale-delivery path terminates the message with an
+				// acked drop instead of a protocol failure.
+				return dst
+			}
 			// Directory says it is here but it is not resident: the
 			// block was never allocated.
 			l.w.fail("rank %d: send to unallocated block %d", l.rank, b)
@@ -66,7 +72,9 @@ func (s *swSpace) Translate(g gas.GVA) int {
 	} else if o, ok := s.cache.Lookup(b); ok && o != l.rank {
 		dst = o
 	}
-	return dst
+	// Steer around dead ranks (armed worlds only): overlay route, then
+	// the live home's authoritative directory, then the surrogate.
+	return l.w.mem.redirect(b, dst, g.Home())
 }
 
 func (s *swSpace) OwnerHint(b gas.BlockID, home int) int {

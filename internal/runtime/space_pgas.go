@@ -51,7 +51,11 @@ func (s *pgasSpace) Translate(g gas.GVA) int {
 	if err != nil {
 		s.l.w.fail("rank %d (pgas): translate %v: %v", s.l.rank, g, err)
 	}
-	return o
+	// Static translation has no directory to re-resolve through, so the
+	// membership overlay is the only escape from a dead owner: promoted
+	// replicas of blocks whose home died are reached through it (armed
+	// worlds only; one atomic load otherwise).
+	return s.l.w.mem.redirect(g.Block(), o, g.Home())
 }
 
 func (s *pgasSpace) OwnerHint(b gas.BlockID, home int) int { return home }

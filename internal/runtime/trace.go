@@ -44,6 +44,27 @@ const (
 	// the transport playing the NIC (goroutine engine) rewrote a stale
 	// destination from its resident table mid-flight (Info = new owner).
 	TraceNICForward
+	// TraceMigrateAbort is a mid-flight migration abandoned at shutdown
+	// (the block stays at its old owner).
+	TraceMigrateAbort
+	// TraceMemberSuspect is a liveness probe raised against a silent
+	// rank (Rank = prober, Info = suspect).
+	TraceMemberSuspect
+	// TraceMemberAlive is a suspicion cleared by a pong (Info = the
+	// exonerated rank).
+	TraceMemberAlive
+	// TraceMemberDead is a membership death declaration (Info = the dead
+	// rank; planned retirements report here too once drained).
+	TraceMemberDead
+	// TraceMemberRetire is a planned departure beginning its drain
+	// (Info = the draining rank).
+	TraceMemberRetire
+	// TraceMemberJoin is a dead rank completing readmission (Info = the
+	// reborn rank).
+	TraceMemberJoin
+	// TraceRehome is a block recovered onto a survivor — a replica
+	// promotion or a harvested directory route (Block/Info = the block).
+	TraceRehome
 )
 
 func (k TraceKind) String() string {
@@ -72,6 +93,20 @@ func (k TraceKind) String() string {
 		return "dup-suppressed"
 	case TraceNICForward:
 		return "nic-forward"
+	case TraceMigrateAbort:
+		return "migrate-abort"
+	case TraceMemberSuspect:
+		return "member-suspect"
+	case TraceMemberAlive:
+		return "member-alive"
+	case TraceMemberDead:
+		return "member-dead"
+	case TraceMemberRetire:
+		return "member-retire"
+	case TraceMemberJoin:
+		return "member-join"
+	case TraceRehome:
+		return "rehome"
 	}
 	return "unknown"
 }
@@ -144,6 +179,16 @@ func (w *World) traceNow() netsim.VTime {
 
 func (l *Locality) trace(kind TraceKind, block gas.BlockID, info uint64) {
 	l.traceOp(kind, block, info, 0)
+}
+
+// traceMember emits a membership protocol step attributed to rank.
+func (w *World) traceMember(rank int, kind TraceKind, info uint64) {
+	if w.tracer == nil {
+		return
+	}
+	w.tracer(TraceEvent{
+		Time: w.traceNow(), Rank: rank, Kind: kind, Info: info, Span: SpanInstant,
+	})
 }
 
 func (l *Locality) traceOp(kind TraceKind, block gas.BlockID, info, opID uint64) {

@@ -40,6 +40,10 @@ type World struct {
 	relw   *relWorld
 	relCfg ReliabilityConfig
 
+	// mem is the elastic-membership table (always present; unarmed until
+	// the world kills, retires, or joins a locality).
+	mem *membership
+
 	// locBase is the first of the per-locality infrastructure blocks;
 	// locality r's block is locBase + r.
 	locBase gas.BlockID
@@ -109,6 +113,7 @@ func NewWorld(cfg Config) (*World, error) {
 	if cfg.reliable() {
 		w.relw = newRelWorld()
 	}
+	w.mem = newMembership(w)
 
 	for r := 0; r < cfg.Ranks; r++ {
 		w.locs = append(w.locs, newLocality(w, r, bld))
@@ -165,7 +170,7 @@ func NewWorld(cfg Config) (*World, error) {
 	}
 	w.locBase = base
 	for r, l := range w.locs {
-		b := &gas.Block{ID: base + gas.BlockID(r), Kind: gas.KindData, BSize: 64, Data: make([]byte, 64), Pinned: true}
+		b := &gas.Block{ID: base + gas.BlockID(r), Kind: gas.KindData, BSize: 64, Data: make([]byte, 64), Home: r, Pinned: true}
 		if err := l.store.Insert(b); err != nil {
 			return nil, err
 		}
@@ -204,6 +209,9 @@ func (w *World) Start() {
 	}
 	w.started = true
 	w.reg.seal()
+	if w.fab != nil {
+		w.fab.SetLiveness(w.mem)
+	}
 	if w.cfg.Engine == EngineGo {
 		if w.pool != nil {
 			w.pool.Start()
@@ -212,22 +220,74 @@ func (w *World) Start() {
 			l.exec.(*goExec).start()
 		}
 	}
+	w.scheduleFaultMembership()
 }
 
-// Stop shuts the world down. Under EngineGo it drains and stops the
-// actors and pool; under EngineDES it is a no-op beyond marking the world
-// stopped.
+// StopDrainTimeout bounds how long Stop waits for in-flight migrations
+// to finish on the goroutine engine before abandoning them.
+var StopDrainTimeout = 2 * time.Second
+
+// Stop shuts the world down. Under EngineGo it first waits (briefly,
+// bounded by StopDrainTimeout) for in-flight migrations to complete —
+// tearing the actors down around a half-moved block would strand its
+// queued traffic — then drains and stops the actors and pool, and
+// deterministically aborts anything still mid-move so the final state
+// is consistent for post-mortem inspection. Under EngineDES it is a
+// no-op beyond marking the world stopped.
 func (w *World) Stop() {
 	if w.stopped {
 		return
 	}
 	w.stopped = true
 	if w.cfg.Engine == EngineGo {
+		w.awaitMigrationDrain(StopDrainTimeout)
 		for _, l := range w.locs {
 			l.exec.(*goExec).stop()
 		}
 		if w.pool != nil {
 			w.pool.Stop()
+		}
+		w.abortStrandedMigrations()
+	}
+}
+
+// awaitMigrationDrain polls until no locality has a block mid-move, or
+// the deadline passes. Only migrations that have already pinned count;
+// a migrate.req still queued behind the stop simply never pins.
+func (w *World) awaitMigrationDrain(timeout time.Duration) {
+	deadline := time.Now().Add(timeout)
+	for {
+		moving := 0
+		for _, l := range w.locs {
+			l.mu.Lock()
+			moving += len(l.moving)
+			l.mu.Unlock()
+		}
+		if moving == 0 || time.Now().After(deadline) {
+			return
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// abortStrandedMigrations runs after the actors have stopped: any block
+// still pinned mid-move is unpinned in place (the move is abandoned;
+// the block stays at its old owner) and its queued arrivals are
+// discarded, so the stopped world's image is consistent.
+func (w *World) abortStrandedMigrations() {
+	for _, l := range w.locs {
+		l.mu.Lock()
+		var stranded []gas.BlockID
+		for b := range l.moving {
+			stranded = append(stranded, b)
+		}
+		for _, b := range stranded {
+			delete(l.moving, b)
+		}
+		l.mu.Unlock()
+		for _, b := range stranded {
+			l.space.AbortMigrate(b)
+			l.trace(TraceMigrateAbort, b, 0)
 		}
 	}
 }
@@ -344,7 +404,7 @@ func (w *World) newLCO(rank int, obj lco.LCO) *LCORef {
 	if err != nil {
 		w.fail("LCO allocation: %v", err)
 	}
-	b := &gas.Block{ID: id, Kind: gas.KindLCO, Pinned: true, Ctl: obj}
+	b := &gas.Block{ID: id, Kind: gas.KindLCO, Home: rank, Pinned: true, Ctl: obj}
 	if err := w.locs[rank].store.Insert(b); err != nil {
 		w.fail("LCO install: %v", err)
 	}

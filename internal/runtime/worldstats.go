@@ -59,6 +59,10 @@ type WorldStats struct {
 	// zero when neither faults nor Reliability.Force are configured).
 	Delivery DeliveryStats
 
+	// Membership is the elastic-membership report (all zero until the
+	// world kills, retires, or joins a locality).
+	Membership MembershipStats
+
 	// Latencies is the runtime latency report (zero unless
 	// Config.Metrics; see WorldLatencies).
 	Latencies WorldLatencies
@@ -101,6 +105,7 @@ func (w *World) Stats() WorldStats {
 		}
 	}
 	s.Delivery = w.DeliveryStats()
+	s.Membership = w.MembershipStats()
 	s.Latencies = w.Latencies()
 	if w.fab != nil {
 		n := w.fab.TotalStats()
@@ -164,7 +169,20 @@ func (w *World) StatsTable() *stats.Table {
 	add("faults.dropped", d.Faults.Dropped)
 	add("faults.duplicated", d.Faults.Duplicated)
 	add("faults.delayed", d.Faults.Delayed)
+	add("faults.targeted_drops", d.Faults.TargetedDrops)
 	add("faults.table_lost", d.Faults.TableEntriesLost)
+	if ms := s.Membership; ms.Epoch > 0 || ms.Suspicions > 0 {
+		add("member.epoch", ms.Epoch)
+		add("member.deaths", ms.Deaths)
+		add("member.joins", ms.Joins)
+		add("member.retires", ms.Retires)
+		add("member.suspicions", ms.Suspicions)
+		add("member.rehomed_blocks", ms.Rehomed)
+		add("member.lost_blocks", ms.Lost)
+		add("member.down_drops", ms.DownDrops)
+		add("member.dead_nacks", ms.DeadNacks)
+		add("member.stale_epoch_drops", ms.StaleEpochDrops)
+	}
 	if lat := s.Latencies; lat.Enabled {
 		lrow := func(name string, l LatencySummary) {
 			if l.Count == 0 {

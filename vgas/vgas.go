@@ -126,6 +126,19 @@ type (
 	WorldStats = runtime.WorldStats
 	// Coherence selects the replica coherence policy (Config.Coherence).
 	Coherence = agas.Coherence
+	// MemberState is one locality's lifecycle state in the membership
+	// table (see World.MemberState, World.Kill, World.Retire, World.Join).
+	MemberState = runtime.MemberState
+	// MembershipStats reports the elastic-membership counters
+	// (WorldStats.Membership).
+	MembershipStats = runtime.MembershipStats
+	// FaultPlan schedules message-level faults and whole-locality
+	// kill/restart events on the fabric (Config.Faults).
+	FaultPlan = netsim.FaultPlan
+	// ReliabilityConfig tunes reliable delivery (Config.Reliability);
+	// Force enables it even without a fault plan, which crash recovery
+	// requires.
+	ReliabilityConfig = runtime.ReliabilityConfig
 )
 
 // Replica coherence policies (see World.ReplicateLive).
@@ -187,6 +200,15 @@ const (
 	MigrateBadTarget = runtime.MigrateBadTarget
 )
 
+// Membership lifecycle states (see World.MemberState).
+const (
+	MemberAlive    = runtime.MemberAlive
+	MemberSuspect  = runtime.MemberSuspect
+	MemberDraining = runtime.MemberDraining
+	MemberDead     = runtime.MemberDead
+	MemberJoining  = runtime.MemberJoining
+)
+
 // NewWorld builds a world; see Config.
 func NewWorld(cfg Config) (*World, error) { return runtime.NewWorld(cfg) }
 
@@ -211,6 +233,10 @@ func ParseEngine(s string) (EngineKind, error) { return runtime.ParseEngine(s) }
 // ParseCoherence parses a Coherence.String name ("write-invalidate",
 // "write-update", "rw-lease").
 func ParseCoherence(s string) (Coherence, error) { return agas.ParseCoherence(s) }
+
+// ParseFaultPlan parses a compact fault-plan spec such as
+// "drop=0.05,kill=1:50000,restart=1:60000000" (see netsim.ParseFaultPlan).
+func ParseFaultPlan(s string) (FaultPlan, error) { return netsim.ParseFaultPlan(s) }
 
 // MigrateStatus decodes a Migrate future's value.
 func MigrateStatus(v []byte) int64 { return runtime.MigrateStatus(v) }
