@@ -11,6 +11,9 @@
 //	vgasbench -kill 1:50000 -join 1:60000000 C2  # schedule a whole-node crash + rejoin
 //	NMVGAS_FAULTS="kill=1:50000,restart=1:60000000" vgasbench C2  # same, via env (CI hook)
 //	vgasbench -replicas 3 -coherence write-update F16   # replication sweep override
+//	vgasbench -localities 1024 -shards 1,8 F17   # scaling sweep override
+//	vgasbench -topology dragonfly:group=32 F17   # fabric override for the sweep
+//	vgasbench -scale-json BENCH.json             # F17 scaling rows as JSON (CI artifact)
 //	vgasbench -bench-json BENCH.json             # fast-path microbenchmarks as JSON
 //	vgasbench -cpuprofile cpu.out -quick F5      # pprof the run
 //	vgasbench -metrics-out m.prom -trace-out t.json  # instrumented run: metrics + Chrome trace
@@ -54,6 +57,16 @@ func main() {
 		"rank:vtime pairs in simulated ns (e.g. -kill 1:50000)")
 	join := flag.String("join", "", "schedule crashed localities' links back up (the runtime re-admits them "+
 		"via Join once the death is confirmed): comma-separated rank:vtime pairs (e.g. -join 1:60000000)")
+	localities := flag.String("localities", "", "comma-separated world sizes for the scaling "+
+		"experiment's sweep (e.g. -localities 256,1024; empty = default sweep)")
+	shards := flag.String("shards", "", "comma-separated event-shard counts for the scaling "+
+		"experiment's sweep (0 = classic single-heap engine; empty = default sweep)")
+	topology := flag.String("topology", "", "fabric spec for the scaling experiment "+
+		"(crossbar, two-tier, fat-tree, dragonfly, with optional :key=value params; "+
+		"empty = balanced fat-tree)")
+	scaleJSON := flag.String("scale-json", "", "run the F17 scaling sweep and write the rows as "+
+		"JSON to this file ('-' = stdout), then exit; defaults to 64/256/1024 localities × "+
+		"shards {0,1,4} unless -localities/-shards override")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	benchJSON := flag.String("bench-json", "", "run the fast-path microbenchmarks and write results as JSON to this file ('-' = stdout), then exit")
@@ -116,7 +129,17 @@ func main() {
 		return
 	}
 
-	o := exp.Options{Quick: *quick, Seed: *seed, Replicas: *replicas}
+	o := exp.Options{Quick: *quick, Seed: *seed, Replicas: *replicas,
+		Localities: parseIntList("localities", *localities),
+		ShardSweep: parseIntList("shards", *shards),
+		Topology:   *topology}
+
+	if *scaleJSON != "" {
+		if err := scaleRun(o, *scaleJSON); err != nil {
+			fatalf("vgasbench: %v", err)
+		}
+		return
+	}
 	if *coherence != "" {
 		c, err := agas.ParseCoherence(*coherence)
 		if err != nil {
@@ -179,6 +202,56 @@ func main() {
 		}
 		fmt.Println()
 	}
+}
+
+// parseIntList parses a comma-separated list of non-negative ints from
+// a flag value ("" = nil).
+func parseIntList(name, spec string) []int {
+	if spec == "" {
+		return nil
+	}
+	var out []int
+	for _, t := range strings.Split(spec, ",") {
+		var n int
+		if _, err := fmt.Sscanf(strings.TrimSpace(t), "%d", &n); err != nil || n < 0 {
+			fatalf("vgasbench: bad -%s entry %q: want a non-negative integer", name, t)
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+// scaleRun emits the F17 scaling sweep as JSON (the CI scaling-smoke
+// job's BENCH_PR8.json artifact). Without -localities/-shards overrides
+// it measures 64/256/1024 localities at shards {0, 1, 4}.
+func scaleRun(o exp.Options, path string) error {
+	if len(o.Localities) == 0 {
+		o.Localities = []int{64, 256, 1024}
+	}
+	if len(o.ShardSweep) == 0 {
+		o.ShardSweep = []int{0, 1, 4}
+	}
+	out := struct {
+		Description string           `json:"description"`
+		Rows        []exp.ScalePoint `json:"rows"`
+	}{
+		Description: "F17 parallel-DES scaling rows: hot-potato parcel storm on a balanced " +
+			"fat-tree, AGAS-NM space. golden_parcels is the determinism gate — it must be " +
+			"identical across shard counts at each world size. events_per_sec and " +
+			"ns_per_event are wall-clock and scale with the host's core count. " +
+			"Regenerate with `go run ./cmd/vgasbench -scale-json -`.",
+		Rows: exp.ScaleBench(o),
+	}
+	enc, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if path == "-" {
+		os.Stdout.Write(enc)
+		return nil
+	}
+	return os.WriteFile(path, enc, 0o644)
 }
 
 // parseSchedule turns a "rank:vtime,rank:vtime" flag value into a fault

@@ -10,6 +10,7 @@ import (
 	"os"
 	"time"
 
+	"nmvgas/internal/exp"
 	"nmvgas/internal/metrics"
 	"nmvgas/internal/trace"
 	"nmvgas/vgas"
@@ -24,6 +25,9 @@ func main() {
 		"/trace.json and /debug/pprof on this address (e.g. :8080) until interrupted")
 	killFlag := flag.Bool("kill", false, "add a failure step: crash rank 1 mid-tour, watch the survivors "+
 		"declare it dead and promote replicas, then re-admit it via Join")
+	topologyFlag := flag.String("topology", "", "add a topology tour step: build a 64-rank fabric of this "+
+		"spec (fat-tree, dragonfly:group=8, two-tier, ...) and print the per-distance "+
+		"translation/forwarding cost table for all three address spaces")
 	flag.Parse()
 
 	mode, err := vgas.ParseMode(*modeFlag)
@@ -170,6 +174,30 @@ func main() {
 			got, ms.Deaths, ms.Joins, ms.Epoch)
 	}
 
+	// topoTour narrates distance-dependent translation cost: on a 64-rank
+	// hierarchical fabric, a stale translation's repair detour spans real
+	// hop distance, so where the forwarding happens (host vs NIC) shows
+	// up in the latency — the nm-vs-sw crossover, interactively.
+	topoTour := func(step int) {
+		if *topologyFlag == "" {
+			return
+		}
+		topo, err := vgas.ParseTopology(*topologyFlag, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vgasdemo: -topology: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("\n%d. Topology tour: 64 localities on a %s fabric.\n", step, topo.Name())
+		fmt.Println("   Each row migrates a block one tier further from the sender, then")
+		fmt.Println("   times the first put against the now-stale translation. The software")
+		fmt.Println("   space detours through the old home's host; the network-managed")
+		fmt.Println("   space forwards in the NIC — watch the gap widen with distance.")
+		if err := exp.DistanceCosts(*topologyFlag).Fprint(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "vgasdemo: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	serve := func() {
 		if *httpAddr == "" {
 			return
@@ -192,6 +220,7 @@ func main() {
 		fmt.Printf("   migrate status: %d (1 = pinned/refused)\n", vgas.MigrateStatus(st))
 		replication(5)
 		chaos(6)
+		topoTour(8)
 		fmt.Println("\nDone.")
 		serve()
 		return
@@ -223,6 +252,7 @@ func main() {
 
 	replication(6)
 	chaos(7)
+	topoTour(9)
 
 	if w.Fabric() != nil {
 		fmt.Printf("\nSimulated time elapsed: %v. Done.\n", w.Now())

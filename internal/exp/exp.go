@@ -39,6 +39,18 @@ type Options struct {
 	// Coherence selects the replica coherence policy the replication
 	// experiment runs under (vgasbench maps -coherence here).
 	Coherence agas.Coherence
+	// Localities replaces the scaling experiment's world-size sweep
+	// (vgasbench maps -localities here). Nil = the experiment's default
+	// sweep.
+	Localities []int
+	// ShardSweep replaces the scaling experiment's shard-count sweep
+	// (vgasbench maps -shards here). Nil = default sweep; an explicit 0
+	// selects the classic single-heap engine.
+	ShardSweep []int
+	// Topology is a netsim.ParseTopology spec the scaling experiment
+	// builds its fabric from at each world size (vgasbench maps
+	// -topology here). Empty = the experiment's default fat-tree.
+	Topology string
 }
 
 // sweep returns the address spaces a row-per-mode experiment iterates.

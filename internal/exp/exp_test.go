@@ -23,7 +23,7 @@ func cell(t *testing.T, tb interface{ Rows() [][]string }, row, col int) float64
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"T1", "T2", "T3", "T4", "T5", "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9", "F10", "F11", "F12", "F13", "F14", "F15", "F16", "A1", "A2", "C1", "C2"}
+	want := []string{"T1", "T2", "T3", "T4", "T5", "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9", "F10", "F11", "F12", "F13", "F14", "F15", "F16", "F17", "F18", "A1", "A2", "C1", "C2"}
 	for _, id := range want {
 		if _, ok := Find(id); !ok {
 			t.Errorf("experiment %s missing from registry", id)
@@ -464,6 +464,55 @@ func TestC2RecoveryShape(t *testing.T) {
 		}
 		if cell(t, tb, r, 10) != 0 {
 			t.Fatalf("row %d: %s messages black-holed", r, row[10])
+		}
+	}
+}
+
+func TestF17ParScalingShape(t *testing.T) {
+	tb := mustRun(t, "F17")
+	// Within each rank-count group, the golden parcel counter must be
+	// identical across every shard row (classic included) — that is the
+	// determinism gate the CI scaling smoke replays at 256 localities.
+	golden := map[float64]float64{}
+	for r := 0; r < tb.NumRows(); r++ {
+		ranks := cell(t, tb, r, 0)
+		g := cell(t, tb, r, 3)
+		if g <= 0 {
+			t.Fatalf("row %d: no parcels ran", r)
+		}
+		if want, ok := golden[ranks]; ok && g != want {
+			t.Fatalf("ranks=%v shards=%v: golden %v != %v — shard count leaked into behavior",
+				ranks, cell(t, tb, r, 1), g, want)
+		}
+		golden[ranks] = g
+		if ev := cell(t, tb, r, 2); ev < g {
+			t.Fatalf("row %d: %v events for %v parcels", r, ev, g)
+		}
+	}
+}
+
+func TestF18DistanceCrossoverShape(t *testing.T) {
+	tb := mustRun(t, "F18")
+	if tb.NumRows() != 3 {
+		t.Fatalf("want 3 distance tiers, got %d", tb.NumRows())
+	}
+	prevPGAS := 0.0
+	for r := 0; r < tb.NumRows(); r++ {
+		pgas, sw, nm := cell(t, tb, r, 2), cell(t, tb, r, 3), cell(t, tb, r, 4)
+		// Direct cost grows with hop distance.
+		if pgas <= prevPGAS {
+			t.Fatalf("row %d: direct put cost %v not increasing with distance", r, pgas)
+		}
+		prevPGAS = pgas
+		// Stale repair always costs more than a direct put, and the
+		// host-forward detour (sw) must cost more than the in-network
+		// forward (nm) at every distance — the crossover the network-
+		// managed design exists to win.
+		if sw <= pgas || nm <= pgas {
+			t.Fatalf("row %d: stale costs (sw %v, nm %v) not above direct %v", r, sw, nm, pgas)
+		}
+		if nm >= sw {
+			t.Fatalf("row %d: in-network forward %v not cheaper than host forward %v", r, nm, sw)
 		}
 	}
 }

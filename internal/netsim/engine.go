@@ -41,20 +41,31 @@ func (t VTime) String() string {
 // Micros returns t in microseconds as a float, for table output.
 func (t VTime) Micros() float64 { return float64(t) / float64(Microsecond) }
 
+// event is one scheduled closure. tie breaks equal-time events into a
+// strict total order; rank names the locality whose state the closure
+// touches (-1 for driver/barrier work), which the sharded engine uses to
+// route the event to the right shard heap and to stamp events the
+// closure schedules in turn.
 type event struct {
-	at  VTime
-	seq uint64 // tie-break so equal-time events run in schedule order
-	fn  func()
+	at   VTime
+	tie  uint64
+	rank int32
+	fn   func()
 }
 
-// evLess orders events by (at, seq); seq is unique, so the order is a
+// evLess orders events by (at, tie); tie is unique, so the order is a
 // strict total order and pop sequence is independent of heap shape.
 func evLess(a, b event) bool {
 	if a.at != b.at {
 		return a.at < b.at
 	}
-	return a.seq < b.seq
+	return a.tie < b.tie
 }
+
+// minQueueCap is the floor below which eventQueue never shrinks its
+// backing array: bursts smaller than this are steady-state noise, not
+// worth a reallocation to reclaim.
+const minQueueCap = 64
 
 // eventQueue is an index-typed 4-ary min-heap over a flat event slice.
 // Compared to container/heap it pays no interface-boxing allocation per
@@ -86,6 +97,14 @@ func (q *eventQueue) pop() event {
 	last := h[n]
 	h[n] = event{} // release the closure: the slot becomes free-list space
 	h = h[:n]
+	if cap(h) > minQueueCap && n < cap(h)/4 {
+		// A drained burst would otherwise pin its high-water backing array
+		// (and its zeroed closure slots) forever. Halving keeps headroom
+		// for the next burst while bounding the waste at 4× live size.
+		s := make(eventQueue, n, cap(h)/2)
+		copy(s, h)
+		h = s
+	}
 	*q = h
 	if n > 0 {
 		i := 0
@@ -115,9 +134,17 @@ func (q *eventQueue) pop() event {
 	return root
 }
 
-// Engine is a single-threaded discrete-event simulator. All simulated
-// work — NIC activity, host handlers, runtime actions — runs as events on
-// one goroutine, which makes every run bit-for-bit deterministic.
+// Engine is a discrete-event simulator. In the classic (default)
+// configuration all simulated work — NIC activity, host handlers,
+// runtime actions — runs as events on one goroutine, which makes every
+// run bit-for-bit deterministic.
+//
+// An Engine can also be one face of a sharded ParEngine (see par.go):
+// either the driver façade the harness holds (Run/RunUntil execute
+// conservative-lookahead windows across all shards) or a per-shard
+// engine owning one heap that a worker drains. The scheduling API is
+// identical in both configurations, so the NIC and runtime layers are
+// written once.
 type Engine struct {
 	q   eventQueue
 	now VTime
@@ -125,28 +152,78 @@ type Engine struct {
 	// processed counts executed events, exposed for sanity checks and the
 	// engine-overhead ablation.
 	processed uint64
+
+	// Sharded-mode wiring (nil/zero on a classic engine). shard is -1 on
+	// the driver façade; curRank is the rank of the executing event (-1
+	// between events and in driver context) and stamps the invariant
+	// ordering key of everything that event schedules.
+	par     *ParEngine
+	shard   int32
+	curRank int32
 }
 
-// NewEngine returns an engine at simulated time zero.
-func NewEngine() *Engine { return &Engine{} }
+// NewEngine returns a classic single-threaded engine at simulated time
+// zero.
+func NewEngine() *Engine { return &Engine{shard: -1, curRank: -1} }
 
-// Now returns the current simulated time.
+// Sharded reports whether this engine is a face of a sharded ParEngine.
+func (e *Engine) Sharded() bool { return e.par != nil }
+
+// Par returns the underlying ParEngine (nil on a classic engine).
+func (e *Engine) Par() *ParEngine { return e.par }
+
+// RankEngine returns the engine face that schedules rank's events: the
+// rank's shard engine under sharding, the engine itself otherwise.
+func (e *Engine) RankEngine(rank int) *Engine {
+	if e.par == nil {
+		return e
+	}
+	return e.par.shards[e.par.shardOf(rank)]
+}
+
+// Now returns the current simulated time: event time on a classic or
+// shard engine, the last barrier time on a sharded driver façade.
 func (e *Engine) Now() VTime { return e.now }
 
-// Processed returns the number of events executed so far.
-func (e *Engine) Processed() uint64 { return e.processed }
+// Processed returns the number of events executed so far (summed across
+// shards on a sharded driver façade).
+func (e *Engine) Processed() uint64 {
+	if e.par != nil && e.shard < 0 {
+		return e.par.processedAll()
+	}
+	return e.processed
+}
 
-// Pending returns the number of scheduled-but-unexecuted events.
-func (e *Engine) Pending() int { return len(e.q) }
+// Pending returns the number of scheduled-but-unexecuted events (summed
+// across shard heaps, inboxes, and barrier tasks on a driver façade).
+func (e *Engine) Pending() int {
+	if e.par != nil && e.shard < 0 {
+		return e.par.pendingAll()
+	}
+	return len(e.q)
+}
 
 // At schedules fn to run at absolute simulated time t. Scheduling in the
-// past is a protocol bug and panics.
+// past is a protocol bug and panics. On a sharded engine the event is
+// attributed to the currently executing rank; use AtRank to schedule
+// onto a specific rank (required from driver context, where no rank is
+// executing).
 func (e *Engine) At(t VTime, fn func()) {
 	if t < e.now {
 		panic(fmt.Sprintf("netsim: scheduling at %v before now %v", t, e.now))
 	}
-	e.seq++
-	e.q.push(event{at: t, seq: e.seq, fn: fn})
+	if e.par == nil {
+		e.seq++
+		e.q.push(event{at: t, tie: e.seq, rank: -1, fn: fn})
+		return
+	}
+	if e.shard < 0 {
+		// Driver façade: the task runs serially at the first barrier whose
+		// time reaches t, between windows, where it may touch any rank.
+		e.par.barrierPush(e, t, fn)
+		return
+	}
+	e.q.push(event{at: t, tie: e.par.nextTie(e), rank: e.curRank, fn: fn})
 }
 
 // After schedules fn to run d after the current simulated time.
@@ -157,28 +234,78 @@ func (e *Engine) After(d VTime, fn func()) {
 	e.At(e.now+d, fn)
 }
 
+// AtRank schedules fn at absolute time t attributed to rank. On a
+// classic engine this is At. On a sharded engine it is the only legal
+// way to schedule across ranks: a cross-rank event must land at or
+// beyond the current window's end (the conservative-lookahead
+// guarantee), and events bound for another shard travel through a
+// lock-free inbox merged at the next barrier.
+func (e *Engine) AtRank(rank int, t VTime, fn func()) {
+	if e.par == nil {
+		e.At(t, fn)
+		return
+	}
+	e.par.atRank(e, rank, t, fn)
+}
+
+// AfterRank schedules fn d after now, attributed to rank (see AtRank).
+func (e *Engine) AfterRank(rank int, d VTime, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("netsim: negative delay %v", d))
+	}
+	e.AtRank(rank, e.now+d, fn)
+}
+
+// AtBarrier defers fn to the next merge barrier, where it runs serially
+// and may touch any rank's state (membership transitions, epoch bumps,
+// recovery). On a classic engine there is no barrier and no concurrency,
+// so fn runs immediately.
+func (e *Engine) AtBarrier(fn func()) {
+	if e.par == nil {
+		fn()
+		return
+	}
+	e.par.atBarrier(e, fn)
+}
+
 // Step executes the next event, returning false when the queue is empty.
+// On a sharded driver façade it advances one whole window instead.
 func (e *Engine) Step() bool {
+	if e.par != nil && e.shard < 0 {
+		return e.par.advance()
+	}
 	if len(e.q) == 0 {
 		return false
 	}
 	ev := e.q.pop()
 	e.now = ev.at
+	e.curRank = ev.rank
 	e.processed++
 	ev.fn()
+	e.curRank = -1
 	return true
 }
 
 // Run executes events until the queue drains.
 func (e *Engine) Run() {
+	if e.par != nil && e.shard < 0 {
+		e.par.run()
+		return
+	}
 	for e.Step() {
 	}
 }
 
 // RunUntil executes events until done reports true or the queue drains.
-// It returns whether done was satisfied. The predicate is evaluated after
-// every event.
+// It returns whether done was satisfied. On a classic engine the
+// predicate is evaluated after every event; on a sharded driver façade
+// it is evaluated at merge barriers (the only points where the
+// predicate's view of the world is well-defined), so completion is
+// quantized to the lookahead window.
 func (e *Engine) RunUntil(done func() bool) bool {
+	if e.par != nil && e.shard < 0 {
+		return e.par.runUntil(done)
+	}
 	if done() {
 		return true
 	}
@@ -190,9 +317,40 @@ func (e *Engine) RunUntil(done func() bool) bool {
 	return done()
 }
 
+// RunUntilStride is RunUntil checking done only every stride events, for
+// hot drain loops where a closure call per event is measurable (large
+// worlds push tens of millions of events per run). A stride below 1 is
+// treated as 1; on a sharded driver façade the stride is ignored, since
+// the predicate already runs only at barriers.
+func (e *Engine) RunUntilStride(done func() bool, stride int) bool {
+	if e.par != nil && e.shard < 0 {
+		return e.par.runUntil(done)
+	}
+	if stride < 1 {
+		stride = 1
+	}
+	if done() {
+		return true
+	}
+	for {
+		for i := 0; i < stride; i++ {
+			if !e.Step() {
+				return done()
+			}
+		}
+		if done() {
+			return true
+		}
+	}
+}
+
 // RunFor executes events with timestamps up to and including deadline.
 func (e *Engine) RunFor(d VTime) {
 	deadline := e.now + d
+	if e.par != nil && e.shard < 0 {
+		e.par.runFor(deadline)
+		return
+	}
 	for len(e.q) > 0 && e.q[0].at <= deadline {
 		e.Step()
 	}

@@ -1,0 +1,514 @@
+package netsim
+
+import (
+	"fmt"
+	"sync"
+)
+
+// ParEngine is the conservative-lookahead parallel configuration of the
+// discrete-event engine. Ranks are partitioned into contiguous shards,
+// each owning one event heap (the same zero-alloc 4-ary heap the classic
+// engine uses) and its own clock. Execution proceeds in windows derived
+// from the cost model's minimum cross-rank delay L (min link latency ×
+// topology-minimum hop count): given the earliest pending event time m,
+// every shard drains its events with timestamps in [m, m+L) with no
+// synchronization, because any event one rank schedules on another
+// cannot land before now+L ≥ m+L — the lookahead guarantee the LogGP
+// wire latency provides for free. Cross-shard events travel through
+// per-(src,dst) inboxes written only by the source shard's worker and
+// merged at the window barrier; work that must see or mutate global
+// state (membership transitions, epoch bumps, kills) runs as barrier
+// tasks between windows on the single driver goroutine.
+//
+// Determinism does not come from the barrier alone: equal-time events
+// must also pop in an order no worker race can perturb. Every scheduled
+// event carries the invariant key (at, srcTag<<48|perRankSeq), where
+// perRankSeq is a per-rank counter advanced only by that rank's own
+// event stream. Because each rank's stream executes in a fixed order
+// regardless of how ranks are grouped into shards, the keys — and
+// therefore the total event order and final state — are bit-for-bit
+// identical for every shard count, including shards=1. Driver/barrier
+// work uses srcTag 1, sorting deterministically before rank traffic.
+type ParEngine struct {
+	ranks, nshards int
+	lookahead      VTime
+
+	driver *Engine   // the façade the harness holds; its heap is the barrier-task queue
+	shards []*Engine // one heap + clock per shard
+
+	// perRankSeq is the invariant tie counter; slot r is advanced only by
+	// rank r's executing events (one shard) or by the single-threaded
+	// driver phase, so it is written race-free without atomics.
+	perRankSeq []uint64
+	driverSeq  uint64
+
+	// inbox[src*nshards+dst] carries cross-shard events scheduled during
+	// a window: written only by shard src's worker, merged by the driver
+	// at the barrier.
+	inbox [][]event
+	// taskStage[s] carries barrier tasks deferred from shard s's worker.
+	taskStage [][]event
+
+	// windowEnd is the current window's exclusive bound, published before
+	// workers start; running marks the parallel phase (scheduling from an
+	// unranked context then is a bug and panics rather than racing).
+	windowEnd VTime
+	running   bool
+
+	// serial disables worker parallelism: windows execute on the driver
+	// goroutine by draining all shard heaps in merged global (at, tie)
+	// order — the exact sequence shards=1 executes, so serial runs are
+	// bit-identical to shards=1 by construction. Layers above request it
+	// (SetSerial) when they hold state the rank partition cannot isolate,
+	// e.g. a reliable-delivery dedup store that several receiving ranks
+	// legitimately touch within one window. Cross-rank scheduling inside
+	// the window is legal in this mode (the merged drain preserves
+	// causality), so the lookahead tripwire is off.
+	serial bool
+
+	workers  []*parWorker
+	launched []int
+	once     sync.Once
+	closed   bool
+}
+
+type parWorker struct {
+	eng   *Engine
+	start chan VTime
+	done  chan struct{}
+}
+
+// NewParEngine builds a sharded engine over ranks localities split into
+// nshards contiguous shards, with the given lookahead window (derive it
+// with Model.Latency × MinHops(topology); it must not exceed the true
+// minimum cross-rank delay or the lookahead guarantee is void — AtRank
+// panics loudly if a send ever violates it). Returns the driver façade;
+// shards=1 is the sequential degenerate case, run on the driver
+// goroutine with no worker handoff.
+func NewParEngine(ranks, nshards int, lookahead VTime) *Engine {
+	if ranks < 1 {
+		panic(fmt.Sprintf("netsim: par engine with %d ranks", ranks))
+	}
+	if nshards < 1 {
+		panic(fmt.Sprintf("netsim: par engine with %d shards", nshards))
+	}
+	if nshards > ranks {
+		nshards = ranks
+	}
+	if lookahead < 1 {
+		panic(fmt.Sprintf("netsim: par engine lookahead %v < 1ns", lookahead))
+	}
+	p := &ParEngine{
+		ranks:      ranks,
+		nshards:    nshards,
+		lookahead:  lookahead,
+		perRankSeq: make([]uint64, ranks),
+		inbox:      make([][]event, nshards*nshards),
+		taskStage:  make([][]event, nshards),
+	}
+	p.driver = &Engine{par: p, shard: -1, curRank: -1}
+	p.shards = make([]*Engine, nshards)
+	for s := range p.shards {
+		p.shards[s] = &Engine{par: p, shard: int32(s), curRank: -1}
+	}
+	return p.driver
+}
+
+// Driver returns the driver façade.
+func (p *ParEngine) Driver() *Engine { return p.driver }
+
+// Shards returns the shard count.
+func (p *ParEngine) Shards() int { return p.nshards }
+
+// Lookahead returns the conservative window size.
+func (p *ParEngine) Lookahead() VTime { return p.lookahead }
+
+// SetSerial switches window execution to the merged sequential drain
+// (see the serial field). Call it before the first Run/Step; it exists
+// for runs whose upper layers share state across ranks in ways the
+// shard partition cannot make race-free — determinism is preserved (the
+// serial order is exactly the shards=1 order), parallel speedup is not.
+func (p *ParEngine) SetSerial(on bool) { p.serial = on }
+
+// Serial reports whether windows run in merged sequential order.
+func (p *ParEngine) Serial() bool { return p.serial }
+
+// shardOf maps a rank to its contiguous shard.
+func (p *ParEngine) shardOf(rank int) int {
+	if rank < 0 || rank >= p.ranks {
+		panic(fmt.Sprintf("netsim: rank %d outside world of %d", rank, p.ranks))
+	}
+	return rank * p.nshards / p.ranks
+}
+
+// nextTie stamps the invariant ordering key for an event scheduled from
+// engine e's current context.
+func (p *ParEngine) nextTie(e *Engine) uint64 {
+	r := e.curRank
+	if r < 0 {
+		if p.running {
+			panic("netsim: unranked scheduling from a sharded worker context (use AtRank)")
+		}
+		p.driverSeq++
+		return 1<<48 | p.driverSeq
+	}
+	p.perRankSeq[r]++
+	return uint64(r+2)<<48 | p.perRankSeq[r]
+}
+
+// barrierPush queues fn as a barrier task at absolute time t (driver
+// phase only — worker-phase deferral goes through atBarrier's staging).
+func (p *ParEngine) barrierPush(e *Engine, t VTime, fn func()) {
+	p.driver.q.push(event{at: t, tie: p.nextTie(e), rank: -1, fn: fn})
+}
+
+// atBarrier defers fn to the next barrier from engine e's context.
+func (p *ParEngine) atBarrier(e *Engine, fn func()) {
+	if !p.running || e.shard < 0 {
+		p.barrierPush(e, maxVTime(e.now, p.driver.now), fn)
+		return
+	}
+	ev := event{at: e.now, tie: p.nextTie(e), rank: -1, fn: fn}
+	p.taskStage[e.shard] = append(p.taskStage[e.shard], ev)
+}
+
+func maxVTime(a, b VTime) VTime {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// atRank schedules fn at (rank, t) from engine e's context.
+func (p *ParEngine) atRank(e *Engine, rank int, t VTime, fn func()) {
+	dst := p.shardOf(rank)
+	ev := event{at: t, tie: p.nextTie(e), rank: int32(rank), fn: fn}
+	if !p.running {
+		// Driver phase: all heaps are quiescent, push directly.
+		tq := p.shards[dst]
+		if t < tq.now {
+			panic(fmt.Sprintf("netsim: scheduling at %v before shard clock %v", t, tq.now))
+		}
+		tq.q.push(ev)
+		return
+	}
+	if int32(rank) == e.curRank {
+		// Self-scheduling stays inside the current window legally.
+		if t < e.now {
+			panic(fmt.Sprintf("netsim: scheduling at %v before now %v", t, e.now))
+		}
+		e.q.push(ev)
+		return
+	}
+	if p.serial {
+		// Merged sequential drain: one goroutine owns every heap, and the
+		// global (at, tie) pop order makes any push at t ≥ the scheduling
+		// event's time causally safe, window boundary or not.
+		if t < e.now {
+			panic(fmt.Sprintf("netsim: scheduling at %v before now %v", t, e.now))
+		}
+		p.shards[dst].q.push(ev)
+		return
+	}
+	// Cross-rank during a window: the conservative-lookahead contract
+	// says it cannot land inside the current window. A violation means
+	// the lookahead was derived wrong (some path is cheaper than L) and
+	// determinism would silently break — fail loudly instead.
+	if t < p.windowEnd {
+		panic(fmt.Sprintf(
+			"netsim: lookahead violation: rank %d scheduled on rank %d at %v inside window ending %v",
+			e.curRank, rank, t, p.windowEnd))
+	}
+	if dst == int(e.shard) {
+		e.q.push(ev)
+		return
+	}
+	p.inbox[int(e.shard)*p.nshards+dst] = append(p.inbox[int(e.shard)*p.nshards+dst], ev)
+}
+
+// mergeStaged moves worker-deferred barrier tasks and cross-shard inbox
+// events into their destination heaps. Driver phase only.
+func (p *ParEngine) mergeStaged() {
+	for s := range p.taskStage {
+		for _, ev := range p.taskStage[s] {
+			p.driver.q.push(ev)
+		}
+		p.taskStage[s] = p.taskStage[s][:0]
+	}
+	for i := range p.inbox {
+		if len(p.inbox[i]) == 0 {
+			continue
+		}
+		dst := p.shards[i%p.nshards]
+		for _, ev := range p.inbox[i] {
+			dst.q.push(ev)
+		}
+		p.inbox[i] = p.inbox[i][:0]
+	}
+}
+
+// minEventTime returns the earliest pending shard event time.
+func (p *ParEngine) minEventTime() (VTime, bool) {
+	var m VTime
+	ok := false
+	for _, s := range p.shards {
+		if len(s.q) == 0 {
+			continue
+		}
+		if !ok || s.q[0].at < m {
+			m = s.q[0].at
+			ok = true
+		}
+	}
+	return m, ok
+}
+
+// advance runs barrier tasks due before the next event horizon, then
+// executes one window across all shards and merges. Returns false when
+// nothing remains.
+func (p *ParEngine) advance() bool {
+	p.mergeStaged()
+	for {
+		em, haveEv := p.minEventTime()
+		haveTask := len(p.driver.q) > 0
+		if !haveEv && !haveTask {
+			return false
+		}
+		if haveTask && (!haveEv || p.driver.q[0].at <= em) {
+			ev := p.driver.q.pop()
+			p.driver.now = maxVTime(p.driver.now, ev.at)
+			p.driver.curRank = -1
+			p.driver.processed++
+			ev.fn()
+			p.mergeStaged()
+			continue
+		}
+		// No barrier work due at or before the horizon: open a window.
+		we := em + p.lookahead
+		if haveTask && p.driver.q[0].at < we {
+			// Never straddle a pending barrier task: it must observe all
+			// events before its time and none after.
+			we = p.driver.q[0].at
+		}
+		p.runWindow(we)
+		p.mergeStaged()
+		for _, s := range p.shards {
+			if s.now < we {
+				s.now = we
+			}
+			s.curRank = -1
+		}
+		if p.driver.now < we {
+			p.driver.now = we
+		}
+		return true
+	}
+}
+
+// runWindow drains every shard's events in [·, we) — in parallel when
+// more than one shard has work.
+func (p *ParEngine) runWindow(we VTime) {
+	p.windowEnd = we
+	active := 0
+	last := -1
+	for s, e := range p.shards {
+		if len(e.q) > 0 && e.q[0].at < we {
+			active++
+			last = s
+		}
+	}
+	if active == 0 {
+		return
+	}
+	p.running = true
+	if p.serial && p.nshards > 1 {
+		// Always the merged drain, even with one active shard: a serial
+		// window may legally push cross-shard events below we, which only
+		// the all-heaps rescan picks up.
+		p.drainMerged(we)
+		p.running = false
+		return
+	}
+	if active == 1 || p.nshards == 1 {
+		drainShard(p.shards[last], we)
+		p.running = false
+		return
+	}
+	p.startWorkers()
+	p.launched = p.launched[:0]
+	for s, e := range p.shards {
+		if len(e.q) > 0 && e.q[0].at < we {
+			p.workers[s].start <- we
+			p.launched = append(p.launched, s)
+		}
+	}
+	for _, s := range p.launched {
+		<-p.workers[s].done
+	}
+	p.running = false
+}
+
+// startWorkers lazily spawns one persistent goroutine per shard.
+func (p *ParEngine) startWorkers() {
+	p.once.Do(func() {
+		p.workers = make([]*parWorker, p.nshards)
+		for s := range p.workers {
+			w := &parWorker{
+				eng:   p.shards[s],
+				start: make(chan VTime),
+				done:  make(chan struct{}),
+			}
+			p.workers[s] = w
+			go w.loop()
+		}
+	})
+}
+
+func (w *parWorker) loop() {
+	for we := range w.start {
+		drainShard(w.eng, we)
+		w.done <- struct{}{}
+	}
+}
+
+// drainMerged executes every shard's events below we in global (at, tie)
+// order on the calling goroutine — the shards=1 sequence, replayed over N
+// heaps. Shard count is small, so the linear min scan per pop is cheaper
+// than maintaining a heap-of-heaps.
+func (p *ParEngine) drainMerged(we VTime) {
+	for {
+		var best *Engine
+		for _, s := range p.shards {
+			if len(s.q) == 0 || s.q[0].at >= we {
+				continue
+			}
+			if best == nil || evLess(s.q[0], best.q[0]) {
+				best = s
+			}
+		}
+		if best == nil {
+			return
+		}
+		ev := best.q.pop()
+		best.now = ev.at
+		best.curRank = ev.rank
+		best.processed++
+		ev.fn()
+		best.curRank = -1
+	}
+}
+
+// drainShard executes e's events with timestamps strictly below we.
+func drainShard(e *Engine, we VTime) {
+	for len(e.q) > 0 && e.q[0].at < we {
+		ev := e.q.pop()
+		e.now = ev.at
+		e.curRank = ev.rank
+		e.processed++
+		ev.fn()
+	}
+	e.curRank = -1
+}
+
+// run advances windows until every heap, inbox, and barrier queue drains.
+func (p *ParEngine) run() {
+	for p.advance() {
+	}
+}
+
+// runUntil advances windows until done reports true at a barrier, or
+// everything drains. Both the sharded sequential case (shards=1) and
+// every parallel shard count quantize the check identically, which is
+// what makes their completions — and everything scheduled after —
+// bit-for-bit comparable.
+func (p *ParEngine) runUntil(done func() bool) bool {
+	if done() {
+		return true
+	}
+	for p.advance() {
+		if done() {
+			return true
+		}
+	}
+	return done()
+}
+
+// runFor advances windows while work remains at or before deadline, then
+// clamps the driver clock forward.
+func (p *ParEngine) runFor(deadline VTime) {
+	for {
+		p.mergeStaged()
+		em, haveEv := p.minEventTime()
+		haveTask := len(p.driver.q) > 0
+		next := VTime(0)
+		switch {
+		case haveEv && haveTask:
+			next = minVTime(em, p.driver.q[0].at)
+		case haveEv:
+			next = em
+		case haveTask:
+			next = p.driver.q[0].at
+		default:
+			break
+		}
+		if (!haveEv && !haveTask) || next > deadline {
+			break
+		}
+		if !p.advance() {
+			break
+		}
+	}
+	if p.driver.now < deadline {
+		p.driver.now = deadline
+	}
+	for _, s := range p.shards {
+		if s.now < deadline {
+			s.now = deadline
+		}
+	}
+}
+
+func minVTime(a, b VTime) VTime {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// processedAll sums executed events across the driver and every shard.
+func (p *ParEngine) processedAll() uint64 {
+	n := p.driver.processed
+	for _, s := range p.shards {
+		n += s.processed
+	}
+	return n
+}
+
+// pendingAll sums scheduled-but-unexecuted events everywhere.
+func (p *ParEngine) pendingAll() int {
+	n := len(p.driver.q)
+	for _, s := range p.shards {
+		n += len(s.q)
+	}
+	for i := range p.inbox {
+		n += len(p.inbox[i])
+	}
+	for s := range p.taskStage {
+		n += len(p.taskStage[s])
+	}
+	return n
+}
+
+// Shutdown stops the worker goroutines. The engine must be quiescent
+// (no window in flight); further parallel windows after Shutdown panic.
+func (p *ParEngine) Shutdown() {
+	if p.closed || p.workers == nil {
+		p.closed = true
+		return
+	}
+	p.closed = true
+	for _, w := range p.workers {
+		close(w.start)
+	}
+	p.workers = nil
+}

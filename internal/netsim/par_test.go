@@ -1,0 +1,272 @@
+package netsim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestEventQueueShrinksOnDrain pins the pop-side shrink: a drained burst
+// must not pin its high-water backing array. Push well past minQueueCap,
+// drain below a quarter of capacity, and assert the backing array was
+// reallocated smaller.
+func TestEventQueueShrinksOnDrain(t *testing.T) {
+	var q eventQueue
+	const burst = 1024
+	for i := 0; i < burst; i++ {
+		q.push(event{at: VTime(i), tie: uint64(i)})
+	}
+	peak := cap(q)
+	if peak < burst {
+		t.Fatalf("cap %d after %d pushes", peak, burst)
+	}
+	// Drain until live size is far below the peak. The shrink halves
+	// capacity each time len falls under cap/4, so after the drain the
+	// capacity must be strictly below the high-water mark.
+	for len(q) > burst/16 {
+		q.pop()
+	}
+	if cap(q) >= peak {
+		t.Fatalf("queue did not shrink: cap %d (peak %d, len %d)", cap(q), peak, len(q))
+	}
+	// The floor holds: draining to empty never reallocates below
+	// minQueueCap.
+	for len(q) > 0 {
+		q.pop()
+	}
+	if cap(q) > 0 && cap(q) < minQueueCap/2 {
+		t.Fatalf("shrank below floor: cap %d", cap(q))
+	}
+	// Heap order survived the reallocations: refill and pop in order.
+	for i := burst; i > 0; i-- {
+		q.push(event{at: VTime(i), tie: uint64(i)})
+	}
+	prev := VTime(-1)
+	for len(q) > 0 {
+		ev := q.pop()
+		if ev.at < prev {
+			t.Fatalf("heap order broken after shrink: %d after %d", ev.at, prev)
+		}
+		prev = ev.at
+	}
+}
+
+// TestRunUntilStride checks the stride-checked drain: the predicate is
+// consulted only every stride events, so the engine may overshoot by at
+// most stride-1 events, and never stalls short of the goal.
+func TestRunUntilStride(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	for i := 0; i < 1000; i++ {
+		e.At(VTime(i), func() { ran++ })
+	}
+	const goal, stride = 500, 64
+	if ok := e.RunUntilStride(func() bool { return ran >= goal }, stride); !ok {
+		t.Fatal("RunUntilStride reported queue exhaustion before the goal")
+	}
+	if ran < goal || ran >= goal+stride {
+		t.Fatalf("ran %d events; want within [%d, %d)", ran, goal, goal+stride)
+	}
+	// Exhaustion path: predicate never satisfied drains the queue and
+	// reports false.
+	if ok := e.RunUntilStride(func() bool { return false }, stride); ok {
+		t.Fatal("RunUntilStride reported success on an unsatisfiable predicate")
+	}
+	if ran != 1000 {
+		t.Fatalf("exhaustion drain ran %d of 1000", ran)
+	}
+}
+
+// parTrace runs a deterministic cascading workload on a sharded engine
+// and returns each rank's execution trace. Every event appends only to
+// its own rank's slice, so the recording itself is race-free under
+// window-parallel workers; equivalence across shard counts is then a
+// per-rank slice comparison.
+func parTrace(ranks, shards int, lookahead VTime, serial bool) [][]string {
+	drv := NewParEngine(ranks, shards, lookahead)
+	drv.Par().SetSerial(serial)
+	defer drv.Par().Shutdown()
+	traces := make([][]string, ranks)
+	var barrierLog []string // driver/barrier context only: serial by construction
+
+	// Each rank runs a cascade driven by a tiny per-rank LCG: a few
+	// self-events at sub-lookahead delays, then a cross-rank send at a
+	// delay ≥ lookahead, until the hop budget runs out.
+	var hop func(rank int, state uint64, budget int) func()
+	hop = func(rank int, state uint64, budget int) func() {
+		return func() {
+			re := drv.RankEngine(rank)
+			traces[rank] = append(traces[rank],
+				fmt.Sprintf("%d@%d s=%d b=%d", rank, re.Now(), state, budget))
+			if budget == 0 {
+				return
+			}
+			s := state*6364136223846793005 + 1442695040888963407
+			// Two rank-local follow-ups inside the lookahead window.
+			re.After(VTime(s%97+1), hop(rank, s^1, 0))
+			re.After(VTime(s%251+1), hop(rank, s^2, 0))
+			// One cross-rank hop, paying at least the wire latency.
+			dst := int(s>>32) % ranks
+			if dst < 0 {
+				dst += ranks
+			}
+			re.AfterRank(dst, lookahead+VTime(s%503), hop(dst, s^3, budget-1))
+			// Occasionally a global action via the barrier.
+			if s%5 == 0 {
+				at := re.Now()
+				re.AtBarrier(func() {
+					barrierLog = append(barrierLog, fmt.Sprintf("bar r=%d at=%d s=%d", rank, at, s))
+				})
+			}
+		}
+	}
+	for r := 0; r < ranks; r++ {
+		drv.AtRank(r, VTime(10*r+5), hop(r, uint64(r+1)*0x9E37, 6))
+	}
+	drv.Run()
+	// Fold the barrier log into rank 0's trace so divergence there fails
+	// the comparison too.
+	traces[0] = append(traces[0], barrierLog...)
+	return traces
+}
+
+// TestShardedEquivalence is the determinism tentpole at the netsim
+// layer: the same seeded workload must produce bit-identical per-rank
+// execution traces (times, ranks, cascade states, barrier log) for every
+// shard count. shards=1 is the reference.
+func TestShardedEquivalence(t *testing.T) {
+	const ranks = 12
+	la := 900 * Nanosecond
+	ref := parTrace(ranks, 1, la, false)
+	for _, serial := range []bool{false, true} {
+		for _, shards := range []int{2, 3, 4, 8, ranks} {
+			got := parTrace(ranks, shards, la, serial)
+			for r := range ref {
+				if len(got[r]) != len(ref[r]) {
+					t.Fatalf("shards=%d serial=%v rank %d: %d events vs %d in reference",
+						shards, serial, r, len(got[r]), len(ref[r]))
+				}
+				for i := range ref[r] {
+					if got[r][i] != ref[r][i] {
+						t.Fatalf("shards=%d serial=%v rank %d event %d: %q vs reference %q",
+							shards, serial, r, i, got[r][i], ref[r][i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSerialModeAllowsSubLookaheadSends pins the serial-mode contract:
+// cross-rank scheduling inside the window is legal (the merged drain
+// preserves global order), so a custom layer with shared state can keep
+// scheduling freely after SetSerial.
+func TestSerialModeAllowsSubLookaheadSends(t *testing.T) {
+	drv := NewParEngine(2, 2, 900*Nanosecond)
+	drv.Par().SetSerial(true)
+	defer drv.Par().Shutdown()
+	var got []VTime
+	drv.AtRank(0, 10, func() {
+		// 1ns cross-rank: a lookahead violation in parallel mode, legal
+		// here.
+		drv.RankEngine(0).AfterRank(1, 1, func() { got = append(got, drv.RankEngine(1).Now()) })
+	})
+	drv.Run()
+	if len(got) != 1 || got[0] != 11 {
+		t.Fatalf("serial cross-rank send ran at %v; want [11ns]", got)
+	}
+}
+
+// TestShardedProcessedAggregates checks Processed/Pending on the driver
+// façade sum across shard heaps.
+func TestShardedProcessedAggregates(t *testing.T) {
+	drv := NewParEngine(4, 2, 900)
+	defer drv.Par().Shutdown()
+	for r := 0; r < 4; r++ {
+		drv.AtRank(r, 10, func() {})
+	}
+	if p := drv.Pending(); p != 4 {
+		t.Fatalf("Pending = %d before run", p)
+	}
+	drv.Run()
+	if p := drv.Processed(); p != 4 {
+		t.Fatalf("Processed = %d after run", p)
+	}
+	if p := drv.Pending(); p != 0 {
+		t.Fatalf("Pending = %d after run", p)
+	}
+}
+
+// TestLookaheadViolationPanics pins the conservative-window tripwire: a
+// rank-context event scheduling onto another shard's rank at a time
+// inside the current window is a model bug (a cross-rank delivery faster
+// than the wire allows) and must panic rather than silently reorder.
+func TestLookaheadViolationPanics(t *testing.T) {
+	drv := NewParEngine(2, 2, 900*Nanosecond)
+	defer drv.Par().Shutdown()
+	drv.AtRank(0, 10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("cross-rank schedule inside the window did not panic")
+			}
+		}()
+		// 1ns cross-rank: far below the 900ns lookahead.
+		drv.RankEngine(0).AfterRank(1, 1, func() {})
+	})
+	drv.Run()
+}
+
+// TestShardedBarrierDefersGlobalWork asserts AtBarrier from a rank
+// context runs after the window completes: an event later in the same
+// window must execute before the barrier task.
+func TestShardedBarrierDefersGlobalWork(t *testing.T) {
+	drv := NewParEngine(2, 2, 900*Nanosecond)
+	defer drv.Par().Shutdown()
+	var order []string
+	drv.AtRank(0, 10, func() {
+		drv.RankEngine(0).AtBarrier(func() { order = append(order, "barrier") })
+	})
+	// Same window (10 and 500 both fall in [10, 910)), other rank.
+	drv.AtRank(1, 500, func() { order = append(order, "in-window") })
+	drv.Run()
+	if len(order) != 2 || order[0] != "in-window" || order[1] != "barrier" {
+		t.Fatalf("barrier ordering %v; want in-window before barrier", order)
+	}
+}
+
+// TestShardedRunUntil checks the driver façade's RunUntil quantizes to
+// window boundaries but still stops once the predicate holds.
+func TestShardedRunUntil(t *testing.T) {
+	drv := NewParEngine(4, 2, 900*Nanosecond)
+	defer drv.Par().Shutdown()
+	fired := 0
+	for i := 0; i < 32; i++ {
+		r := i % 4
+		drv.AtRank(r, VTime(i)*2*Microsecond+5, func() { fired++ })
+	}
+	if ok := drv.RunUntil(func() bool { return fired >= 10 }); !ok {
+		t.Fatal("RunUntil exhausted the queue before the predicate held")
+	}
+	if fired < 10 {
+		t.Fatalf("predicate reported satisfied at fired=%d", fired)
+	}
+	drv.Run()
+	if fired != 32 {
+		t.Fatalf("drain after RunUntil fired %d of 32", fired)
+	}
+}
+
+// TestNewParEngineClamps pins constructor edge cases: shard count clamps
+// to ranks, and a non-positive lookahead is a programming error.
+func TestNewParEngineClamps(t *testing.T) {
+	drv := NewParEngine(3, 16, 900)
+	if n := drv.Par().Shards(); n != 3 {
+		t.Fatalf("shards clamped to %d; want 3", n)
+	}
+	drv.Par().Shutdown()
+	defer func() {
+		if recover() == nil {
+			t.Error("NewParEngine accepted lookahead 0")
+		}
+	}()
+	NewParEngine(2, 2, 0)
+}

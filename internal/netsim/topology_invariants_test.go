@@ -1,0 +1,192 @@
+package netsim
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// Satellite: topology invariants shared by every Topology implementation.
+// Hops must be symmetric, self-distance must be the minimum, and
+// bandwidth derating can only slow traffic down (factor ≥ 1).
+
+func topologiesUnderTest() map[string]Topology {
+	return map[string]Topology{
+		"crossbar":  Crossbar{},
+		"two-tier":  NewTwoTier(8, 4),
+		"fat-tree":  NewFatTree(4, 4, 2, 2.5),
+		"dragonfly": NewDragonfly(16, 4),
+	}
+}
+
+func TestTopologyHopsSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	const ranks = 256
+	for name, top := range topologiesUnderTest() {
+		for i := 0; i < 2000; i++ {
+			a, b := rng.Intn(ranks), rng.Intn(ranks)
+			if top.Hops(a, b) != top.Hops(b, a) {
+				t.Fatalf("%s: Hops(%d,%d)=%d but Hops(%d,%d)=%d",
+					name, a, b, top.Hops(a, b), b, a, top.Hops(b, a))
+			}
+			if top.BWFactor(a, b) != top.BWFactor(b, a) {
+				t.Fatalf("%s: BWFactor asymmetric at (%d,%d)", name, a, b)
+			}
+		}
+	}
+}
+
+func TestTopologySelfDistance(t *testing.T) {
+	for name, top := range topologiesUnderTest() {
+		for _, r := range []int{0, 1, 7, 63, 255} {
+			if h := top.Hops(r, r); h != 1 {
+				t.Fatalf("%s: Hops(%d,%d) = %d; want 1 (loopback is modeled as one hop)", name, r, r, h)
+			}
+			if f := top.BWFactor(r, r); f != 1 {
+				t.Fatalf("%s: BWFactor(%d,%d) = %v; want 1", name, r, r, f)
+			}
+		}
+	}
+}
+
+func TestTopologyBWFactorAtLeastOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	const ranks = 512
+	for name, top := range topologiesUnderTest() {
+		for i := 0; i < 2000; i++ {
+			a, b := rng.Intn(ranks), rng.Intn(ranks)
+			if f := top.BWFactor(a, b); f < 1 {
+				t.Fatalf("%s: BWFactor(%d,%d) = %v < 1 — derating cannot speed traffic up", name, a, b, f)
+			}
+		}
+	}
+}
+
+// TestFatTreeLevelMonotonicity: hop count and bandwidth derating both
+// climb as a pair crosses wider structure — intra-leaf < intra-pod <
+// inter-pod.
+func TestFatTreeLevelMonotonicity(t *testing.T) {
+	ft := NewFatTree(4, 4, 2, 2) // leaves of 4, pods of 16
+	sameLeaf := [2]int{0, 3}
+	samePod := [2]int{0, 5}
+	crossPod := [2]int{0, 17}
+	hl := ft.Hops(sameLeaf[0], sameLeaf[1])
+	hp := ft.Hops(samePod[0], samePod[1])
+	hx := ft.Hops(crossPod[0], crossPod[1])
+	if !(hl < hp && hp < hx) {
+		t.Fatalf("fat-tree hops not monotone across levels: leaf=%d pod=%d cross=%d", hl, hp, hx)
+	}
+	if hl != 1 || hp != 3 || hx != 5 {
+		t.Fatalf("fat-tree hop levels = %d/%d/%d; want 1/3/5", hl, hp, hx)
+	}
+	bl := ft.BWFactor(sameLeaf[0], sameLeaf[1])
+	bp := ft.BWFactor(samePod[0], samePod[1])
+	bx := ft.BWFactor(crossPod[0], crossPod[1])
+	if !(bl <= bp && bp <= bx) {
+		t.Fatalf("fat-tree BW derating not monotone: %v/%v/%v", bl, bp, bx)
+	}
+	if bl != 1 || bp != 2 || bx != 4 {
+		t.Fatalf("fat-tree BW factors = %v/%v/%v; want 1/2/4", bl, bp, bx)
+	}
+	// Randomized: hop count at any pair matches the level implied by
+	// leaf/pod membership, and derating matches the hop level.
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 2000; i++ {
+		a, b := rng.Intn(256), rng.Intn(256)
+		wantH := 1
+		switch {
+		case a/16 != b/16:
+			wantH = 5
+		case a/4 != b/4:
+			wantH = 3
+		}
+		if h := ft.Hops(a, b); h != wantH {
+			t.Fatalf("fat-tree Hops(%d,%d) = %d; want %d", a, b, h, wantH)
+		}
+	}
+}
+
+func TestDragonflyLevels(t *testing.T) {
+	df := NewDragonfly(16, 4)
+	if h := df.Hops(0, 15); h != 1 {
+		t.Fatalf("intra-group hops = %d; want 1", h)
+	}
+	if h := df.Hops(0, 16); h != 3 {
+		t.Fatalf("inter-group hops = %d; want 3 (local, global, local)", h)
+	}
+	if f := df.BWFactor(0, 15); f != 1 {
+		t.Fatalf("intra-group BW factor = %v; want 1", f)
+	}
+	if f := df.BWFactor(0, 16); f != 4 {
+		t.Fatalf("inter-group BW factor = %v; want the global oversubscription 4", f)
+	}
+}
+
+func TestMinHopsDefaults(t *testing.T) {
+	if MinHops(nil) != 1 {
+		t.Fatal("MinHops(nil) != 1")
+	}
+	for name, top := range topologiesUnderTest() {
+		if MinHops(top) != 1 {
+			t.Fatalf("%s: MinHops != 1", name)
+		}
+	}
+}
+
+// customMinHops exercises the optional interface escape hatch.
+type customMinHops struct{ Crossbar }
+
+func (customMinHops) MinHops() int { return 3 }
+
+func TestMinHopsCustomInterface(t *testing.T) {
+	if h := MinHops(customMinHops{}); h != 3 {
+		t.Fatalf("custom MinHops = %d; want 3", h)
+	}
+}
+
+func TestParseTopology(t *testing.T) {
+	cases := []struct {
+		spec string
+		name string // expected Name() prefix
+	}{
+		{"", "crossbar"},
+		{"crossbar", "crossbar"},
+		{"two-tier", "two-tier"},
+		{"two-tier:pod=8,oversub=2", "two-tier(pod=8"},
+		{"fat-tree", "fat-tree"},
+		{"fat-tree:leaf=4,pod=4,edge=2,core=3", "fat-tree(leaf=4,pod=4"},
+		{"dragonfly", "dragonfly"},
+		{"dragonfly:group=32,oversub=8", "dragonfly(group=32"},
+	}
+	for _, c := range cases {
+		top, err := ParseTopology(c.spec, 64)
+		if err != nil {
+			t.Fatalf("ParseTopology(%q): %v", c.spec, err)
+		}
+		if !strings.HasPrefix(top.Name(), c.name) {
+			t.Fatalf("ParseTopology(%q).Name() = %q; want prefix %q", c.spec, top.Name(), c.name)
+		}
+	}
+	for _, bad := range []string{
+		"torus",                 // unknown topology
+		"two-tier:pod",          // not key=value
+		"two-tier:pod=0",        // below minimum
+		"two-tier:oversub=0.5",  // factor < 1
+		"fat-tree:leaf=x",       // not an integer
+		"dragonfly:oversub=abc", // not a float
+	} {
+		if _, err := ParseTopology(bad, 64); err == nil {
+			t.Fatalf("ParseTopology(%q) accepted a bad spec", bad)
+		}
+	}
+	// Defaults scale with the rank count: the balanced shape uses
+	// √ranks-sized groups.
+	top, err := ParseTopology("dragonfly", 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	df := top.(Dragonfly)
+	if df.GroupSize != 16 {
+		t.Fatalf("default dragonfly group for 256 ranks = %d; want 16", df.GroupSize)
+	}
+}

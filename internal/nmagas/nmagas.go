@@ -19,6 +19,8 @@
 package nmagas
 
 import (
+	"sync/atomic"
+
 	"nmvgas/internal/gas"
 	"nmvgas/internal/netsim"
 )
@@ -50,21 +52,31 @@ type Mirror struct {
 	fab    *netsim.Fabric
 	policy UpdatePolicy
 
-	installs   uint64
-	broadcasts uint64
-	batches    uint64
+	installs   atomic.Uint64
+	broadcasts atomic.Uint64
+	batches    atomic.Uint64
 
-	// pending accumulates broadcast entries per home rank until the
-	// armed flush event fires (scheduled at the current instant, so it
-	// runs after the committing event finishes but before time advances).
-	pending  map[int][]byte
-	pendingN map[int]int
-	armed    bool
+	// homes[r] accumulates broadcast entries committed at home r until
+	// r's armed flush event fires (scheduled at the current instant on
+	// r's own engine, so it runs after the committing event finishes but
+	// before time advances). One slot per home, touched only from that
+	// home's rank context: commits at different homes never share
+	// mutable state, and flush order is fixed by the per-home event
+	// streams rather than map iteration order — which also makes the
+	// eager policy safe under the sharded engine.
+	homes []mirrorHome
+}
+
+// mirrorHome is one home rank's broadcast accumulation slot.
+type mirrorHome struct {
+	entries []byte
+	n       int
+	armed   bool
 }
 
 // NewMirror returns a mirror over fab with the given update policy.
 func NewMirror(fab *netsim.Fabric, policy UpdatePolicy) *Mirror {
-	return &Mirror{fab: fab, policy: policy}
+	return &Mirror{fab: fab, policy: policy, homes: make([]mirrorHome, fab.Ranks())}
 }
 
 // Policy returns the configured update policy.
@@ -74,7 +86,7 @@ func (m *Mirror) Policy() UpdatePolicy { return m.policy }
 // NIC. Called when the home processes a migration commit. The caller is
 // responsible for charging netsim NICUpdate cost on the home's timeline.
 func (m *Mirror) CommitAtHome(home int, block gas.BlockID, owner int) {
-	m.installs++
+	m.installs.Add(1)
 	m.fab.NIC(home).InstallRoute(block, owner)
 	if m.policy == UpdateBroadcast {
 		m.broadcastUpdate(home, block, owner)
@@ -85,7 +97,7 @@ func (m *Mirror) CommitAtHome(home int, block gas.BlockID, owner int) {
 // locality the block just left, so in-flight and stale traffic bounces
 // onward without host involvement.
 func (m *Mirror) TombstoneAtOldOwner(old int, block gas.BlockID, owner int) {
-	m.installs++
+	m.installs.Add(1)
 	m.fab.NIC(old).InstallRoute(block, owner)
 }
 
@@ -115,40 +127,43 @@ func (m *Mirror) Drop(block gas.BlockID) {
 // same CtlTableBatch; deliveries are simulated traffic, so the eager
 // policy's cost stays visible in the results.
 func (m *Mirror) broadcastUpdate(home int, block gas.BlockID, owner int) {
-	m.broadcasts++
-	if m.pending == nil {
-		m.pending = make(map[int][]byte)
-		m.pendingN = make(map[int]int)
-	}
-	m.pending[home] = netsim.AppendTableEntry(m.pending[home], block, owner)
-	m.pendingN[home]++
-	if !m.armed {
-		m.armed = true
-		m.fab.Eng.After(0, m.flushBroadcasts)
+	m.broadcasts.Add(1)
+	slot := &m.homes[home]
+	slot.entries = netsim.AppendTableEntry(slot.entries, block, owner)
+	slot.n++
+	if !slot.armed {
+		slot.armed = true
+		eng := m.fab.NIC(home).Engine()
+		eng.AfterRank(home, 0, func() { m.flushHome(home) })
 	}
 }
 
-// flushBroadcasts emits one CtlTableBatch per (home, destination) pair
-// covering every commit queued since the last flush.
-func (m *Mirror) flushBroadcasts() {
-	m.armed = false
-	for home, entries := range m.pending {
-		delete(m.pending, home)
-		delete(m.pendingN, home)
-		src := m.fab.NIC(home)
-		for r := 0; r < m.fab.Ranks(); r++ {
-			if r == home {
-				continue
-			}
-			m.batches++
-			src.Send(&netsim.Message{
-				Ctl:     netsim.CtlTableBatch,
-				Src:     home,
-				Dst:     r,
-				Payload: entries,
-				Wire:    32 + len(entries),
-			})
+// flushHome emits one CtlTableBatch per destination covering every
+// commit queued at this home since its last flush. It runs as an event
+// on the home's own timeline, so the batch rides the home NIC's
+// transmit queue exactly where the commits happened.
+func (m *Mirror) flushHome(home int) {
+	slot := &m.homes[home]
+	entries := slot.entries
+	slot.entries = nil // ownership moves to the in-flight messages
+	slot.n = 0
+	slot.armed = false
+	if len(entries) == 0 {
+		return
+	}
+	src := m.fab.NIC(home)
+	for r := 0; r < m.fab.Ranks(); r++ {
+		if r == home {
+			continue
 		}
+		m.batches.Add(1)
+		src.Send(&netsim.Message{
+			Ctl:     netsim.CtlTableBatch,
+			Src:     home,
+			Dst:     r,
+			Payload: entries,
+			Wire:    32 + len(entries),
+		})
 	}
 }
 
@@ -156,9 +171,9 @@ func (m *Mirror) flushBroadcasts() {
 // counts committed blocks queued for eager propagation, not wire
 // messages — see BatchStats for the flushed control messages).
 func (m *Mirror) Stats() (installs, broadcasts uint64) {
-	return m.installs, m.broadcasts
+	return m.installs.Load(), m.broadcasts.Load()
 }
 
 // BatchStats returns how many CtlTableBatch control messages the eager
 // policy actually emitted.
-func (m *Mirror) BatchStats() (batches uint64) { return m.batches }
+func (m *Mirror) BatchStats() (batches uint64) { return m.batches.Load() }

@@ -110,8 +110,8 @@ func newCoalescer(l *Locality, cfg CoalesceConfig) *coalescer {
 // now returns the coalescer's gap clock: simulated time on DES, wall
 // clock scaled back to simulated nanoseconds on the goroutine engine.
 func (c *coalescer) now() netsim.VTime {
-	if c.l.w.eng != nil {
-		return c.l.w.eng.Now()
+	if c.l.eng != nil {
+		return c.l.eng.Now()
 	}
 	return netsim.VTime(time.Since(c.epoch).Nanoseconds() / int64(c.l.w.cfg.GoTimeScale))
 }
@@ -188,8 +188,10 @@ func (b *coalBuf) take(c *coalescer) []byte {
 
 // armFlush schedules the delayed flush for the given buffer generation.
 func (c *coalescer) armFlush(dst int, gen uint64) {
-	if c.l.w.eng != nil {
-		c.l.w.eng.After(c.maxDelay, func() { c.flushGen(dst, gen) })
+	if l := c.l; l.eng != nil {
+		// The flush drains this locality's own buffer and injects from its
+		// NIC: rank-local work, armed on the rank's own timeline.
+		l.eng.AfterRank(l.rank, c.maxDelay, func() { c.flushGen(dst, gen) })
 		return
 	}
 	time.AfterFunc(c.l.w.goWall(c.maxDelay), func() { c.flushGen(dst, gen) })

@@ -23,9 +23,13 @@ type Executor interface {
 	Offload(fn func())
 }
 
-// desExec models one host core on the discrete-event engine.
+// desExec models one host core on the discrete-event engine. eng is the
+// rank's engine face (its shard engine under the parallel engine), so
+// host tasks land on the rank's own timeline and the busy horizon is
+// only ever touched from that rank's event context.
 type desExec struct {
 	eng  *netsim.Engine
+	rank int
 	busy netsim.VTime
 }
 
@@ -36,7 +40,7 @@ func (e *desExec) Exec(cost netsim.VTime, fn func()) {
 	}
 	run := start + cost
 	e.busy = run
-	e.eng.At(run, fn)
+	e.eng.AtRank(e.rank, run, fn)
 }
 
 func (e *desExec) Charge(extra netsim.VTime) {

@@ -121,6 +121,11 @@ type Locality struct {
 
 	store *gas.Store
 	exec  Executor
+	// eng is this rank's DES engine face (the shard engine under the
+	// parallel engine, the world engine otherwise; nil under EngineGo).
+	// Rank-local timers (reliability retransmits, coalescer flushes) are
+	// scheduled here so they live on the rank's own timeline.
+	eng *netsim.Engine
 
 	// space is the mode's address-translation strategy (see space.go);
 	// all per-mode protocol behaviour lives behind it.

@@ -393,7 +393,11 @@ func (mem *membership) recoverDead(d int) {
 	w := mem.w
 	dl := w.locs[d]
 	mem.pending.Add(1)
-	dl.exec.Exec(0, func() {
+	// Under the sharded engine the whole harvest runs at a barrier
+	// (w.onActor), because it reads the corpse's store and directory and
+	// fans mutations out across surviving ranks — all of which is global
+	// work no single shard may do mid-window.
+	w.onActor(dl, func() {
 		defer mem.donePending()
 
 		// Harvest the corpse: resident master blocks, and the directory
@@ -473,7 +477,7 @@ func (mem *membership) promote(d int, blk *gas.Block, rs agas.ReplicaSet) {
 	data := append([]byte(nil), blk.Data...)
 	hl := w.locs[nm]
 	mem.pending.Add(1)
-	hl.exec.Exec(0, func() {
+	w.onActor(hl, func() {
 		defer mem.donePending()
 		if old, ok := hl.store.Get(b); ok && old.Replica {
 			hl.store.Remove(b)
@@ -495,7 +499,7 @@ func (mem *membership) promote(d int, blk *gas.Block, rs agas.ReplicaSet) {
 			// The home is alive: flip its directory authoritatively,
 			// exactly as a migration commit would.
 			mem.pending.Add(1)
-			w.locs[home].exec.Exec(0, func() {
+			w.onActor(w.locs[home], func() {
 				defer mem.donePending()
 				w.locs[home].space.CommitMigrate(b, nm)
 			})
@@ -601,7 +605,11 @@ func (w *World) AwaitMember(rank int, want MemberState, timeout time.Duration) b
 		if cond() {
 			return true
 		}
-		w.eng.RunUntil(cond)
+		// Stride-checked drain: the predicate takes the membership lock,
+		// and state transitions are thousands of events apart, so probing
+		// it per event is pure overhead. The ≤63-event overshoot is
+		// harmless — nothing here measures the stopping time.
+		w.eng.RunUntilStride(cond, 64)
 		return cond()
 	}
 	deadline := time.Now().Add(timeout)
@@ -719,7 +727,10 @@ func (w *World) Join(rank int) error {
 	mem.armed.Store(true)
 	l := w.locs[rank]
 	mem.pending.Add(1)
-	l.exec.Exec(0, func() {
+	// Rebirth wipes cross-cutting state (world receive streams, NIC
+	// tables, the recovery overlay), so under sharding it runs at a
+	// barrier like the rest of the membership transitions.
+	w.onActor(l, func() {
 		defer mem.donePending()
 		mem.rebirth(l)
 	})
@@ -928,13 +939,13 @@ type MembershipStats struct {
 func (w *World) MembershipStats() MembershipStats {
 	m := w.mem
 	s := MembershipStats{
-		Epoch:      m.epoch.Load(),
-		Deaths:     m.deaths.Load(),
-		Joins:      m.joins.Load(),
-		Retires:    m.retires.Load(),
-		Suspicions: m.suspicions.Load(),
-		Rehomed:    m.rehomed.Load(),
-		Lost:       m.lostCount.Load(),
+		Epoch:           m.epoch.Load(),
+		Deaths:          m.deaths.Load(),
+		Joins:           m.joins.Load(),
+		Retires:         m.retires.Load(),
+		Suspicions:      m.suspicions.Load(),
+		Rehomed:         m.rehomed.Load(),
+		Lost:            m.lostCount.Load(),
 		DownDrops:       m.downDrops.Load(),
 		DeadNacks:       m.deadNacks.Load(),
 		StaleEpochDrops: m.staleEpochDrops.Load(),

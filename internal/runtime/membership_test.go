@@ -247,7 +247,7 @@ func TestFaultPlanSchedulesKillAndRestart(t *testing.T) {
 		Ranks: 4, Mode: AGASNM, Engine: EngineDES,
 		Reliability: relStress,
 		Faults: netsim.FaultPlan{
-			KillAt:    map[int]netsim.VTime{1: 50_000},
+			KillAt: map[int]netsim.VTime{1: 50_000},
 			// The restart must land after death is confirmed (~20ms:
 			// five backoff doublings to the ceiling plus two probe
 			// rounds) or the partition is transient and no Join runs.

@@ -240,16 +240,19 @@ func (l *Locality) relTrack(m *netsim.Message) {
 // on the wall clock and real scheduling jitter does not masquerade as
 // loss).
 func (l *Locality) relNow() netsim.VTime {
-	if l.w.eng != nil {
-		return l.w.eng.Now()
+	if l.eng != nil {
+		return l.eng.Now()
 	}
 	return netsim.VTime(time.Now().UnixNano() / int64(l.w.cfg.GoTimeScale))
 }
 
 // relArm schedules the retransmission timer for channel ch.
 func (l *Locality) relArm(ch int32, d netsim.VTime) {
-	if l.w.eng != nil {
-		l.w.eng.After(d, func() { l.relTimer(ch) })
+	if l.eng != nil {
+		// The retransmission timer is rank-local work: it reads and
+		// mutates only this locality's send state, so it runs on the
+		// rank's own timeline (its shard under the parallel engine).
+		l.eng.AfterRank(l.rank, d, func() { l.relTimer(ch) })
 		return
 	}
 	time.AfterFunc(l.w.goWall(d), func() {
@@ -348,7 +351,9 @@ func (l *Locality) relTimer(ch int32) {
 	rw.mu.Unlock()
 
 	if ceiling {
-		l.w.mem.suspectSweep(l)
+		// The sweep inspects and arms world-level membership state, which
+		// a shard worker must not touch mid-window.
+		l.w.deferGlobal(l, func() { l.w.mem.suspectSweep(l) })
 	}
 	for _, m := range resend {
 		l.trace(TraceRetransmit, m.Block, m.RelSeq)
@@ -569,7 +574,7 @@ func (w *World) DeliveryStats() DeliveryStats {
 		d.HopCapNacks += uint64(l.Stats.LoopNacks.Load())
 	}
 	if w.fab != nil {
-		d.Faults = w.fab.Faults.Snapshot()
+		d.Faults = w.fab.FaultSnapshot()
 	} else {
 		d.Faults = w.faults.Snapshot()
 	}

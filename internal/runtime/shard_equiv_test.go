@@ -1,0 +1,228 @@
+package runtime
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"nmvgas/internal/netsim"
+	"nmvgas/internal/parcel"
+)
+
+// The sharded-engine equivalence suite: the windowed parallel DES engine
+// must be bit-for-bit indistinguishable across shard counts. shards=1 is
+// the reference execution (one shard, same windowed scheduler, no
+// parallelism), and every N > 1 must reproduce its golden counters,
+// delivery report, and memory image exactly — the invariant ordering key
+// makes the merge order independent of how ranks are partitioned.
+
+func withShards(n int) func(*Config) {
+	return func(c *Config) { c.Shards = n }
+}
+
+var shardCounts = []int{2, 4}
+
+// TestShardedGoldenEquivalence runs the protocol-workout workload on the
+// windowed engine at several shard counts and requires byte-identical
+// golden counters across all of them, per mode.
+func TestShardedGoldenEquivalence(t *testing.T) {
+	for _, mode := range allModes {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			ref, _ := runEquivWorkload(t, mode, EngineDES, withShards(1))
+			// The windowed engine changes event interleaving relative to the
+			// classic engine, but this workload serializes every operation, so
+			// even the classic goldens must hold.
+			if ref != equivGolden[mode] {
+				t.Errorf("shards=1 drifted from the classic goldens\n got: %v\nwant: %v", ref, equivGolden[mode])
+			}
+			for _, n := range shardCounts {
+				got, _ := runEquivWorkload(t, mode, EngineDES, withShards(n))
+				if got != ref {
+					t.Errorf("shards=%d diverged from shards=1\n got: %v\nwant: %v", n, got, ref)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedChaosEquivalence repeats the comparison on a faulty fabric:
+// with seeded drops, duplicates, and reordering active, shard count
+// still must not leak into anything observable — not even the repair
+// traffic, since the per-NIC fault streams are forked from the plan seed
+// independently of sharding.
+func TestShardedChaosEquivalence(t *testing.T) {
+	plan := chaosPlan(t)
+	for _, mode := range allModes {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			ref, rw := runEquivWorkload(t, mode, EngineDES, withFaults(plan), withShards(1))
+			refDel := fmt.Sprintf("%+v", rw.DeliveryStats())
+			if rw.DeliveryStats().Faults.Dropped == 0 {
+				t.Error("fault plan active but nothing dropped at shards=1")
+			}
+			for _, n := range shardCounts {
+				got, gw := runEquivWorkload(t, mode, EngineDES, withFaults(plan), withShards(n))
+				if got != ref {
+					t.Errorf("shards=%d counters diverged under faults\n got: %v\nwant: %v", n, got, ref)
+				}
+				if gotDel := fmt.Sprintf("%+v", gw.DeliveryStats()); gotDel != refDel {
+					t.Errorf("shards=%d delivery report diverged under faults\n got: %s\nwant: %s", n, gotDel, refDel)
+				}
+			}
+		})
+	}
+}
+
+// shardImage runs a migration-heavy workload and captures a full image:
+// the protocol-state dump plus every block's bytes read back. Everything
+// in it must be shard-count invariant.
+func shardImage(t *testing.T, mode Mode, shards int) string {
+	t.Helper()
+	const ranks, nblocks = 6, 12
+	w := testWorld(t, Config{Ranks: ranks, Mode: mode, Engine: EngineDES, Shards: shards})
+	bump := w.Register("bump", func(c *Ctx) {
+		data := c.Local(c.P.Target)
+		v := parcel.U64(data, 0)
+		copy(data, parcel.PutU64(nil, v+3))
+		c.Continue(nil)
+	})
+	w.Start()
+	lay, err := w.AllocCyclic(0, 64, nblocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < ranks; r++ {
+		for d := uint32(0); d < nblocks; d++ {
+			w.MustWait(w.Proc(r).Call(lay.BlockAt(d), bump, nil))
+			if (int(d)+r)%3 == 0 {
+				w.MustWait(w.Proc(r).Put(lay.BlockAt(d), []byte{byte(r), byte(d), 7, 7}))
+			}
+		}
+	}
+	if mode != PGAS {
+		for d := uint32(0); d < nblocks; d += 2 {
+			w.MustWait(w.Proc(int(d)%ranks).Migrate(lay.BlockAt(d), (int(d)+3)%ranks))
+		}
+		for r := 0; r < ranks; r++ {
+			for d := uint32(0); d < nblocks; d++ {
+				w.MustWait(w.Proc(r).Call(lay.BlockAt(d), bump, nil))
+			}
+		}
+	}
+	var img bytes.Buffer
+	for d := uint32(0); d < nblocks; d++ {
+		fmt.Fprintf(&img, "block %d: %x\n", d, w.MustWait(w.Proc(0).Get(lay.BlockAt(d), 16)))
+	}
+	if err := w.DumpState(&img); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(&img, "stats: %v\n", func() equivCounters {
+		s := w.Stats()
+		return equivCounters{
+			ParcelsSent: s.ParcelsSent, ParcelsRun: s.ParcelsRun, LocalRuns: s.LocalRuns,
+			HostForwards: s.HostForwards, HostNacks: s.HostNacks, NICNacks: s.NICNacks,
+			Queued: s.Queued, SWLookups: s.SWLookups,
+			PutOps: s.PutOps, GetOps: s.GetOps, PutBytes: s.PutBytes, GetBytes: s.GetBytes,
+			Migrations: s.Migrations,
+		}
+	}())
+	w.Stop()
+	return img.String()
+}
+
+// TestShardedMemoryImageEquivalence: block contents, residency layout,
+// engine clock, and counters — the whole observable image — must be
+// byte-identical across shard counts.
+func TestShardedMemoryImageEquivalence(t *testing.T) {
+	for _, mode := range allModes {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			ref := shardImage(t, mode, 1)
+			for _, n := range shardCounts {
+				if got := shardImage(t, mode, n); got != ref {
+					t.Errorf("shards=%d image diverged from shards=1\n got:\n%s\nwant:\n%s", n, got, ref)
+				}
+			}
+		})
+	}
+}
+
+// shardKillRun drives the C2-style scheduled kill/restart pipeline on a
+// sharded world and reports everything observable: membership stats,
+// values read around the death window, and the final state dump.
+func shardKillRun(t *testing.T, shards int) string {
+	t.Helper()
+	w := testWorld(t, Config{
+		Ranks: 4, Mode: AGASNM, Engine: EngineDES, Shards: shards,
+		Reliability: relStress,
+		Faults: netsim.FaultPlan{
+			KillAt:    map[int]netsim.VTime{1: 50_000},
+			RestartAt: map[int]netsim.VTime{1: 60_000_000},
+		},
+	})
+	w.Start()
+	lay, err := w.AllocLocal(1, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := lay.BlockAt(0)
+	var log bytes.Buffer
+	w.MustWait(w.Proc(0).Put(g, []byte{1}))
+	if err := w.ReplicateLive(lay, 2); err != nil {
+		t.Fatal(err)
+	}
+	w.Engine().RunUntil(func() bool { return w.Now() >= 50_000 })
+	w.MustWait(w.Proc(0).Put(g, []byte{2}))
+	if !w.AwaitMember(1, MemberDead, 20*time.Second) {
+		t.Fatalf("shards=%d: scheduled kill never confirmed: %+v", shards, w.MembershipStats())
+	}
+	fmt.Fprintf(&log, "after-death read: %v at %v\n", w.MustWait(w.Proc(2).Get(g, 1)), w.Now())
+	if !w.AwaitMember(1, MemberAlive, 20*time.Second) {
+		t.Fatalf("shards=%d: scheduled restart never rejoined: %+v", shards, w.MembershipStats())
+	}
+	fmt.Fprintf(&log, "reborn read: %v at %v\n", w.MustWait(w.Proc(1).Get(g, 1)), w.Now())
+	ms := w.MembershipStats()
+	fmt.Fprintf(&log, "membership: %+v\n", ms)
+	if ms.Deaths != 1 || ms.Joins != 1 {
+		t.Fatalf("shards=%d: deaths=%d joins=%d, want 1/1", shards, ms.Deaths, ms.Joins)
+	}
+	if err := w.DumpState(&log); err != nil {
+		t.Fatal(err)
+	}
+	w.Stop()
+	return log.String()
+}
+
+// TestShardedKillRestartEquivalence: the crash-recovery pipeline — kill,
+// suspicion, death, replica promotion, rebirth — runs through barrier
+// tasks under sharding and must replay identically at every shard count,
+// down to the virtual times at which the probe reads land.
+func TestShardedKillRestartEquivalence(t *testing.T) {
+	ref := shardKillRun(t, 1)
+	for _, n := range shardCounts {
+		if got := shardKillRun(t, n); got != ref {
+			t.Errorf("shards=%d kill/restart run diverged from shards=1\n got:\n%s\nwant:\n%s", n, got, ref)
+		}
+	}
+}
+
+// TestShardsConfigValidation pins Config.Shards normalization: negative
+// rejected, larger-than-ranks clamped, EngineGo unaffected.
+func TestShardsConfigValidation(t *testing.T) {
+	if _, err := NewWorld(Config{Ranks: 2, Shards: -1}); err == nil {
+		t.Error("negative Shards accepted")
+	}
+	w, err := NewWorld(Config{Ranks: 2, Shards: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Config().Shards != 2 {
+		t.Errorf("Shards not clamped to ranks: %d", w.Config().Shards)
+	}
+	if par := w.Engine().Par(); par == nil || par.Shards() != 2 {
+		t.Error("sharded world did not get a sharded engine")
+	}
+	w.Stop()
+}

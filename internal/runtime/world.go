@@ -121,7 +121,27 @@ func NewWorld(cfg Config) (*World, error) {
 
 	switch cfg.Engine {
 	case EngineDES:
-		w.eng = netsim.NewEngine()
+		if cfg.Shards > 0 {
+			// Conservative lookahead: no cross-rank event can land sooner
+			// than the cheapest wire path, one minimum-hop traversal at the
+			// model's link latency. See netsim.ParEngine.
+			la := cfg.Model.Latency * netsim.VTime(netsim.MinHops(cfg.Topology))
+			w.eng = netsim.NewParEngine(cfg.Ranks, cfg.Shards, la)
+			if cfg.reliable() {
+				// The reliable layer's exactly-once store is keyed per
+				// (source, channel) stream, and one stream is legitimately
+				// touched by different receiving ranks inside one window
+				// (host forwards, post-migration re-resolution, cumulative
+				// acks) — state the rank partition cannot isolate. Windows
+				// then run serially in merged global event order, which is
+				// bit-identical to shards=1; fault-free runs, where the
+				// layer is off and nothing crosses the partition, keep the
+				// parallel drain.
+				w.eng.Par().SetSerial(true)
+			}
+		} else {
+			w.eng = netsim.NewEngine()
+		}
 		w.fab = netsim.NewFabric(w.eng, netsim.FabricConfig{
 			Ranks:       cfg.Ranks,
 			Model:       cfg.Model,
@@ -133,7 +153,8 @@ func NewWorld(cfg Config) (*World, error) {
 		})
 		w.net = &desNet{w: w}
 		for r, l := range w.locs {
-			l.exec = &desExec{eng: w.eng}
+			l.eng = w.eng.RankEngine(r)
+			l.exec = &desExec{eng: l.eng, rank: r}
 			nic := w.fab.NIC(r)
 			loc := l
 			nic.Resident = loc.residentForNIC
@@ -239,6 +260,11 @@ func (w *World) Stop() {
 		return
 	}
 	w.stopped = true
+	if w.eng != nil {
+		if par := w.eng.Par(); par != nil {
+			par.Shutdown()
+		}
+	}
 	if w.cfg.Engine == EngineGo {
 		w.awaitMigrationDrain(StopDrainTimeout)
 		for _, l := range w.locs {
@@ -337,6 +363,32 @@ func (w *World) mustDES(op string) {
 	if w.eng == nil {
 		panic(fmt.Sprintf("runtime: %s requires the DES engine", op))
 	}
+}
+
+// onActor schedules fn as rank-l host work from global (driver or
+// barrier) context. On the classic DES engine it is an ordinary executor
+// task; under sharding it runs as a barrier task instead, because the
+// recovery and membership work routed through here freely reaches across
+// ranks — inside a parallel window that would race. Under EngineGo it is
+// a plain actor task.
+func (w *World) onActor(l *Locality, fn func()) {
+	if w.eng != nil && w.eng.Sharded() {
+		w.eng.After(0, fn)
+		return
+	}
+	l.exec.Exec(0, fn)
+}
+
+// deferGlobal runs fn in a context allowed to touch any rank's state:
+// immediately when called from a serial engine (classic DES, EngineGo's
+// own locking applies), at the next merge barrier under sharding. l is
+// the calling locality.
+func (w *World) deferGlobal(l *Locality, fn func()) {
+	if l.eng != nil {
+		l.eng.AtBarrier(fn)
+		return
+	}
+	fn()
 }
 
 // fail reports a broken protocol invariant. The runtime treats these as

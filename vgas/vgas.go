@@ -273,3 +273,27 @@ func DecodeLayout(b []byte) Layout { return runtime.DecodeLayout(b) }
 func NewTwoTier(podSize int, oversub float64) Topology {
 	return netsim.NewTwoTier(podSize, oversub)
 }
+
+// NewFatTree builds a hierarchical fat-tree: leaves of leafSize ranks,
+// podLeaves leaves per pod, with per-level oversubscription (edge at the
+// aggregation hop, edge×core across the core). Hop distances are 1
+// (intra-leaf), 3 (intra-pod), and 5 (inter-pod).
+func NewFatTree(leafSize, podLeaves int, edgeOversub, coreOversub float64) Topology {
+	return netsim.NewFatTree(leafSize, podLeaves, edgeOversub, coreOversub)
+}
+
+// NewDragonfly builds a dragonfly: all-to-all groups of groupSize ranks
+// joined by globalOversub×-tapered global links. Hop distances are 1
+// (intra-group) and 3 (inter-group).
+func NewDragonfly(groupSize int, globalOversub float64) Topology {
+	return netsim.NewDragonfly(groupSize, globalOversub)
+}
+
+// ParseTopology builds a fabric for the given rank count from a spec
+// string: "crossbar", "two-tier[:pod=N,oversub=F]",
+// "fat-tree[:leaf=N,pod=N,oversub=F]", or "dragonfly[:group=N,oversub=F]"
+// (omitted parameters default to balanced √ranks-sized groupings). Use
+// the result as Config.Topology.
+func ParseTopology(spec string, ranks int) (Topology, error) {
+	return netsim.ParseTopology(spec, ranks)
+}
