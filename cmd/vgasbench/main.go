@@ -13,7 +13,10 @@
 //	vgasbench -replicas 3 -coherence write-update F16   # replication sweep override
 //	vgasbench -localities 1024 -shards 1,8 F17   # scaling sweep override
 //	vgasbench -topology dragonfly:group=32 F17   # fabric override for the sweep
+//	vgasbench -tenants 16 -shift 2 F19           # rebalancing sweep overrides
+//	vgasbench -rebalance 8 F19                   # cap the policy's per-epoch move budget
 //	vgasbench -scale-json BENCH.json             # F17 scaling rows as JSON (CI artifact)
+//	vgasbench -rebalance-json BENCH.json         # F19 rebalancing rows as JSON (CI artifact)
 //	vgasbench -bench-json BENCH.json             # fast-path microbenchmarks as JSON
 //	vgasbench -cpuprofile cpu.out -quick F5      # pprof the run
 //	vgasbench -metrics-out m.prom -trace-out t.json  # instrumented run: metrics + Chrome trace
@@ -64,9 +67,18 @@ func main() {
 	topology := flag.String("topology", "", "fabric spec for the scaling experiment "+
 		"(crossbar, two-tier, fat-tree, dragonfly, with optional :key=value params; "+
 		"empty = balanced fat-tree)")
+	tenants := flag.Int("tenants", 0, "blocks per tenant for the rebalancing experiment "+
+		"(0 = default 8)")
+	shift := flag.Int("shift", 0, "hotspot shifts the rebalancing experiment applies, each "+
+		"followed by a convergence window (0 = default 1)")
+	rebalance := flag.Int("rebalance", 0, "per-epoch migration budget for the rebalancing "+
+		"policy (0 = default 16)")
 	scaleJSON := flag.String("scale-json", "", "run the F17 scaling sweep and write the rows as "+
 		"JSON to this file ('-' = stdout), then exit; defaults to 64/256/1024 localities × "+
 		"shards {0,1,4} unless -localities/-shards override")
+	rebalanceJSON := flag.String("rebalance-json", "", "run the F19 rebalancing sweep and write "+
+		"the rows as JSON to this file ('-' = stdout), then exit; honors -tenants/-shift/"+
+		"-rebalance/-quick")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	benchJSON := flag.String("bench-json", "", "run the fast-path microbenchmarks and write results as JSON to this file ('-' = stdout), then exit")
@@ -130,12 +142,19 @@ func main() {
 	}
 
 	o := exp.Options{Quick: *quick, Seed: *seed, Replicas: *replicas,
-		Localities: parseIntList("localities", *localities),
-		ShardSweep: parseIntList("shards", *shards),
-		Topology:   *topology}
+		Localities:   parseIntList("localities", *localities),
+		ShardSweep:   parseIntList("shards", *shards),
+		Topology:     *topology,
+		TenantBlocks: *tenants, Shifts: *shift, MoveBudget: *rebalance}
 
 	if *scaleJSON != "" {
 		if err := scaleRun(o, *scaleJSON); err != nil {
+			fatalf("vgasbench: %v", err)
+		}
+		return
+	}
+	if *rebalanceJSON != "" {
+		if err := rebalanceRun(o, *rebalanceJSON); err != nil {
 			fatalf("vgasbench: %v", err)
 		}
 		return
@@ -241,6 +260,35 @@ func scaleRun(o exp.Options, path string) error {
 			"ns_per_event are wall-clock and scale with the host's core count. " +
 			"Regenerate with `go run ./cmd/vgasbench -scale-json -`.",
 		Rows: exp.ScaleBench(o),
+	}
+	enc, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if path == "-" {
+		os.Stdout.Write(enc)
+		return nil
+	}
+	return os.WriteFile(path, enc, 0o644)
+}
+
+// rebalanceRun emits the F19 rebalancing sweep as JSON (the CI
+// rebalance-smoke job's BENCH_PR9.json artifact): the multi-tenant
+// Zipfian serving workload on every migrating space, policy off vs on,
+// across a mid-run hotspot shift.
+func rebalanceRun(o exp.Options, path string) error {
+	out := struct {
+		Description string               `json:"description"`
+		Rows        []exp.RebalancePoint `json:"rows"`
+	}{
+		Description: "F19 rebalancing rows: multi-tenant Zipfian serving with colocated " +
+			"hotspots, policy off vs on, across a mid-run hotspot shift. All columns are " +
+			"deterministic DES measurements (simulated time): pre/post_shift_ops_per_ms are " +
+			"the converged steady states of each regime, imbalance is max/mean per-rank " +
+			"sampled serving load at the end. Regenerate with " +
+			"`go run ./cmd/vgasbench -rebalance-json -`.",
+		Rows: exp.RebalanceBench(o),
 	}
 	enc, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {

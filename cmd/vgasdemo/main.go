@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"nmvgas/internal/exp"
+	"nmvgas/internal/loadbal"
 	"nmvgas/internal/metrics"
 	"nmvgas/internal/trace"
 	"nmvgas/vgas"
@@ -52,6 +53,10 @@ func main() {
 	fmt.Printf("== virtual global address space demo: %s on %s ==\n", sp, engine)
 	cfg := vgas.Config{
 		Ranks: 4, Engine: engine, Coherence: coherence, Metrics: *httpAddr != "",
+		// Sampled heat tracking feeds the rebalancing step (and the
+		// nmvgas_heat_* series when -http is on); off the hot paths it
+		// costs a single nil check.
+		Heat: vgas.HeatConfig{Enabled: true},
 	}
 	if *killFlag {
 		// Crash recovery rides on reliable delivery: retransmission
@@ -174,6 +179,45 @@ func main() {
 			got, ms.Deaths, ms.Joins, ms.Epoch)
 	}
 
+	// rebalanceTour narrates the closed control loop: sampled heat
+	// tracking spots a remote consumer hammering a block, and one policy
+	// epoch migrates the block to it — same address, now-local accesses.
+	rebalanceTour := func(step int) {
+		hot := lay.BlockAt(0)
+		fmt.Printf("\n%d. Heat-driven rebalancing: rank 3 hammers block 0, homed at rank %d.\n",
+			step, hot.Home())
+		w.HeatEpoch() // fresh sampling window for this story
+		start := w.Now()
+		for i := 0; i < 120; i++ {
+			w.MustWait(w.Proc(3).Get(hot, 64))
+		}
+		remote := w.Now() - start
+		if top := w.HeatTop(1); len(top) > 0 {
+			fmt.Printf("   the heat sketch agrees: hottest block is %d, %d sampled accesses, all from rank %d\n",
+				top[0].Block-lay.Base.Block(), top[0].Count, top[0].Src)
+		}
+		p, err := loadbal.NewPolicy(w, loadbal.PolicyConfig{Layout: lay, MinSamples: 32})
+		if err != nil {
+			panic(err)
+		}
+		rep, err := p.Step()
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("   one policy epoch: %d migration(s) toward the dominant accessor (imbalance %.2f)\n",
+			rep.Moves, rep.Imbalance)
+		start = w.Now()
+		for i := 0; i < 120; i++ {
+			w.MustWait(w.Proc(3).Get(hot, 64))
+		}
+		if engine == vgas.EngineDES {
+			fmt.Printf("   120 reads again, same address: %v remote before, %v local after the move\n",
+				remote, w.Now()-start)
+		} else {
+			fmt.Println("   the same reads are now served locally — the address never changed")
+		}
+	}
+
 	// topoTour narrates distance-dependent translation cost: on a 64-rank
 	// hierarchical fabric, a stale translation's repair detour spans real
 	// hop distance, so where the forwarding happens (host vs NIC) shows
@@ -250,9 +294,10 @@ func main() {
 			mid-before, after-mid)
 	}
 
-	replication(6)
-	chaos(7)
-	topoTour(9)
+	rebalanceTour(6)
+	replication(7)
+	chaos(8)
+	topoTour(10)
 
 	if w.Fabric() != nil {
 		fmt.Printf("\nSimulated time elapsed: %v. Done.\n", w.Now())

@@ -19,13 +19,13 @@ func main() {
 		n     = 4000
 		deg   = 8
 	)
-	w, err := vgas.NewWorld(vgas.Config{Ranks: ranks, Mode: vgas.AGASNM})
+	w, err := vgas.NewWorld(vgas.Config{Ranks: ranks, Mode: vgas.AGASNM,
+		Heat: vgas.HeatConfig{Enabled: true}})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer w.Stop()
 	ops := collective.New(w)
-	tracker := loadbal.Attach(w)
 	bfs := workloads.NewBFS(w, ops, "bfs")
 	w.Start()
 
@@ -58,7 +58,7 @@ func main() {
 	fmt.Println("distances match sequential reference ✓")
 
 	// Rebalance the distance blocks by observed heat and rerun.
-	moved, err := loadbal.Rebalance(w, 0, bfs.Layout(), tracker)
+	moved, err := loadbal.Rebalance(w, 0, bfs.Layout())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -103,9 +103,8 @@ func f7BFS(o Options) *stats.Table {
 		n, deg = 400, 4
 	}
 	for _, sp := range o.sweep() {
-		w := newWorld(sp, ranks)
+		w := newWorld(sp, ranks, withHeat)
 		ops := collective.New(w)
-		tr := loadbal.Attach(w)
 		b := workloads.NewBFS(w, ops, "bfs")
 		w.Start()
 		g := workloads.GenGraph(n, deg, o.Seed)
@@ -125,7 +124,7 @@ func f7BFS(o Options) *stats.Table {
 		moved := 0
 		if sp.Caps.Migration {
 			var err error
-			moved, err = loadbal.Rebalance(w, 0, b.Layout(), tr)
+			moved, err = loadbal.Rebalance(w, 0, b.Layout())
 			if err != nil {
 				panic(err)
 			}
@@ -196,8 +195,7 @@ func f10Histogram(o Options) *stats.Table {
 		perRank = 80
 	}
 	for _, sp := range o.sweep() {
-		w := newWorld(sp, ranks)
-		tr := loadbal.Attach(w)
+		w := newWorld(sp, ranks, withHeat)
 		h := workloads.NewHistogram(w, "hist")
 		w.Start()
 		if err := h.Setup(64, 32, 1.4, o.Seed); err != nil {
@@ -216,7 +214,7 @@ func f10Histogram(o Options) *stats.Table {
 		moved := 0
 		if sp.Caps.Migration {
 			var err error
-			moved, err = loadbal.Rebalance(w, 0, h.Layout(), tr)
+			moved, err = loadbal.Rebalance(w, 0, h.Layout())
 			if err != nil {
 				panic(err)
 			}

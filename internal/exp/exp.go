@@ -51,6 +51,16 @@ type Options struct {
 	// builds its fabric from at each world size (vgasbench maps
 	// -topology here). Empty = the experiment's default fat-tree.
 	Topology string
+	// TenantBlocks overrides the rebalancing experiment's blocks-per-
+	// tenant (vgasbench maps -tenants here). 0 = the default (8).
+	TenantBlocks int
+	// Shifts is how many hotspot shifts the rebalancing experiment
+	// applies, each followed by a full convergence window (vgasbench
+	// maps -shift here). 0 = the default (1).
+	Shifts int
+	// MoveBudget overrides the rebalancing policy's per-epoch migration
+	// budget (vgasbench maps -rebalance here). 0 = the default (16).
+	MoveBudget int
 }
 
 // sweep returns the address spaces a row-per-mode experiment iterates.
@@ -125,6 +135,12 @@ func newWorld(sp runtime.SpaceSpec, ranks int, mutate ...func(*runtime.Config)) 
 		panic(fmt.Sprintf("exp: world construction: %v", err))
 	}
 	return w
+}
+
+// withHeat turns on sampled access-heat tracking (unsampled, so small
+// experiment worlds see exact counts) for runs that feed loadbal.
+func withHeat(cfg *runtime.Config) {
+	cfg.Heat = runtime.HeatConfig{Enabled: true}
 }
 
 // timeOp measures the simulated duration of one driver-visible operation.

@@ -23,7 +23,7 @@ func cell(t *testing.T, tb interface{ Rows() [][]string }, row, col int) float64
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"T1", "T2", "T3", "T4", "T5", "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9", "F10", "F11", "F12", "F13", "F14", "F15", "F16", "F17", "F18", "A1", "A2", "C1", "C2"}
+	want := []string{"T1", "T2", "T3", "T4", "T5", "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9", "F10", "F11", "F12", "F13", "F14", "F15", "F16", "F17", "F18", "F19", "A1", "A2", "C1", "C2"}
 	for _, id := range want {
 		if _, ok := Find(id); !ok {
 			t.Errorf("experiment %s missing from registry", id)
@@ -514,6 +514,53 @@ func TestF18DistanceCrossoverShape(t *testing.T) {
 		if nm >= sw {
 			t.Fatalf("row %d: in-network forward %v not cheaper than host forward %v", r, nm, sw)
 		}
+	}
+}
+
+func TestF19RebalanceShape(t *testing.T) {
+	tb := mustRun(t, "F19")
+	// Rows: (agas-sw, agas-nm) × (policy off, policy on). Columns:
+	// mode, policy, pre_ops_ms, post_ops_ms, imbalance, moves, repl,
+	// detours.
+	if tb.NumRows() != 4 {
+		t.Fatalf("rows = %d, want 4", tb.NumRows())
+	}
+	for _, r := range []int{0, 2} {
+		if m := cell(t, tb, r, 5); m != 0 {
+			t.Fatalf("row %d: policy-off baseline migrated %v blocks", r, m)
+		}
+	}
+	for _, r := range []int{1, 3} {
+		if m := cell(t, tb, r, 5); m == 0 {
+			t.Fatalf("row %d: policy made no moves", r)
+		}
+		if n := cell(t, tb, r, 6); n == 0 {
+			t.Fatalf("row %d: policy never replicated the shared region", r)
+		}
+	}
+	// The acceptance gate: under network-managed AGAS the policy's
+	// post-shift steady state sustains at least 2x the static placement
+	// (it re-converged after the regime change), and its serving load is
+	// balanced to max/mean <= 1.3.
+	offPost, onPost := cell(t, tb, 2, 3), cell(t, tb, 3, 3)
+	if onPost < 2*offPost {
+		t.Fatalf("agas-nm post-shift: policy %v not 2x static %v", onPost, offPost)
+	}
+	if offPre, onPre := cell(t, tb, 2, 2), cell(t, tb, 3, 2); onPre < 2*offPre {
+		t.Fatalf("agas-nm pre-shift: policy %v not 2x static %v", onPre, offPre)
+	}
+	if imb := cell(t, tb, 3, 4); imb > 1.3 {
+		t.Fatalf("agas-nm converged imbalance %v > 1.3", imb)
+	}
+	// The same migration churn that software AGAS repairs host-side
+	// (stale caches after every policy move) is absorbed in-network by
+	// the NIC-managed space.
+	swDet, nmDet := cell(t, tb, 1, 7), cell(t, tb, 3, 7)
+	if swDet == 0 {
+		t.Fatal("agas-sw policy run shows no host repair detours")
+	}
+	if nmDet >= swDet {
+		t.Fatalf("agas-nm detours %v not under agas-sw %v", nmDet, swDet)
 	}
 }
 

@@ -1,6 +1,7 @@
 package loadbal
 
 import (
+	"math/rand"
 	"testing"
 
 	"nmvgas/internal/gas"
@@ -9,7 +10,8 @@ import (
 
 func newWorld(t *testing.T, mode runtime.Mode) *runtime.World {
 	t.Helper()
-	w, err := runtime.NewWorld(runtime.Config{Ranks: 4, Mode: mode, Engine: runtime.EngineDES})
+	w, err := runtime.NewWorld(runtime.Config{Ranks: 4, Mode: mode, Engine: runtime.EngineDES,
+		Heat: runtime.HeatConfig{Enabled: true}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -17,9 +19,8 @@ func newWorld(t *testing.T, mode runtime.Mode) *runtime.World {
 	return w
 }
 
-func TestTrackerCountsAccesses(t *testing.T) {
+func TestHeatMapCountsAccesses(t *testing.T) {
 	w := newWorld(t, runtime.AGASNM)
-	tr := Attach(w)
 	touch := w.Register("touch", func(c *runtime.Ctx) { c.Continue(nil) })
 	w.Start()
 	lay, err := w.AllocCyclic(0, 64, 4)
@@ -31,18 +32,20 @@ func TestTrackerCountsAccesses(t *testing.T) {
 	}
 	w.MustWait(w.Proc(0).Put(lay.BlockAt(2), []byte{1}))
 
-	if got := tr.Heat(lay.BlockAt(1).Block()); got != 6 {
+	heat := HeatMap(w, lay)
+	if got := heat[lay.BlockAt(1).Block()]; got != 6 {
 		t.Fatalf("heat = %d", got)
 	}
-	if got := tr.Heat(lay.BlockAt(2).Block()); got != 1 {
+	if got := heat[lay.BlockAt(2).Block()]; got != 1 {
 		t.Fatalf("put heat = %d", got)
 	}
-	if tr.LoadOf(lay.HomeOf(1)) < 6 {
-		t.Fatalf("rank load = %d", tr.LoadOf(lay.HomeOf(1)))
+	loads := w.HeatLoads()
+	if loads[lay.HomeOf(1)] < 6 {
+		t.Fatalf("rank load = %d", loads[lay.HomeOf(1)])
 	}
-	tr.Reset()
-	if tr.Heat(lay.BlockAt(1).Block()) != 0 {
-		t.Fatal("Reset did not clear heat")
+	w.HeatEpoch()
+	if got := HeatMap(w, lay); len(got) != 0 {
+		t.Fatalf("epoch reset did not clear heat: %v", got)
 	}
 }
 
@@ -87,10 +90,39 @@ func TestPlanLeavesColdLayoutAlone(t *testing.T) {
 	}
 }
 
+// TestPlanMatchesLinearReference pins the heap-based Plan to the original
+// linear least-loaded scan on randomized heat: same moves, same order.
+func TestPlanMatchesLinearReference(t *testing.T) {
+	w := newWorld(t, runtime.AGASNM)
+	w.Start()
+	lay, err := w.AllocCyclic(0, 64, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		heat := make(map[gas.BlockID]uint64)
+		for d := uint32(0); d < lay.NBlocks; d++ {
+			if rng.Intn(3) > 0 {
+				heat[lay.BlockAt(d).Block()] = uint64(rng.Intn(1000))
+			}
+		}
+		got := Plan(w, lay, heat)
+		want := planLinear(w, lay, heat)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: heap plan %d moves, linear %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d move %d: heap %+v, linear %+v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
 func TestRebalanceEndToEnd(t *testing.T) {
 	for _, mode := range []runtime.Mode{runtime.AGASSW, runtime.AGASNM} {
 		w := newWorld(t, mode)
-		tr := Attach(w)
 		bump := w.Register("bump", func(c *runtime.Ctx) {
 			d := c.Local(c.P.Target)
 			d[0]++
@@ -106,7 +138,7 @@ func TestRebalanceEndToEnd(t *testing.T) {
 				w.MustWait(w.Proc(1).Call(lay.BlockAt(d), bump, nil))
 			}
 		}
-		moved, err := Rebalance(w, 0, lay, tr)
+		moved, err := Rebalance(w, 0, lay)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -134,6 +166,51 @@ func TestRebalanceEndToEnd(t *testing.T) {
 				t.Fatalf("%s: rank %d holds %d blocks after rebalance", mode, r, n)
 			}
 		}
+	}
+}
+
+// TestRebalanceWithoutHeatErrors: Rebalance against a world that never
+// enabled heat tracking must fail loudly, not silently plan nothing.
+func TestRebalanceWithoutHeatErrors(t *testing.T) {
+	w, err := runtime.NewWorld(runtime.Config{Ranks: 2, Mode: runtime.AGASNM, Engine: runtime.EngineDES})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Stop)
+	w.Start()
+	lay, err := w.AllocCyclic(0, 64, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Rebalance(w, 0, lay); err == nil {
+		t.Fatal("rebalance without Config.Heat succeeded")
+	}
+}
+
+// TestApplyWaitCountsOnlyRealMoves pins the Rebalance fix: a refused
+// migration (PGAS pins every block) must not be counted as moved, and
+// must surface as an error.
+func TestApplyWaitCountsOnlyRealMoves(t *testing.T) {
+	w, err := runtime.NewWorld(runtime.Config{Ranks: 4, Mode: runtime.PGAS, Engine: runtime.EngineDES})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Stop)
+	w.Start()
+	lay, err := w.AllocLocal(0, 64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moves := []Move{
+		{Block: lay.BlockAt(0), To: 1},
+		{Block: lay.BlockAt(1), To: 2},
+	}
+	moved, err := ApplyWait(w, 0, moves)
+	if moved != 0 {
+		t.Fatalf("PGAS refused both moves but %d reported moved", moved)
+	}
+	if err == nil {
+		t.Fatal("refused moves surfaced no error")
 	}
 }
 

@@ -1,0 +1,39 @@
+package loadbal
+
+import (
+	"math/rand"
+	"testing"
+
+	"nmvgas/internal/gas"
+	"nmvgas/internal/runtime"
+)
+
+// The satellite microbench: Plan's least-loaded lookup at 4096
+// localities, indexed min-heap vs the original linear scan. The heap
+// turns the per-block O(R) scan into O(log R); at 4096 ranks and 2
+// blocks per rank the linear reference does ~33M load comparisons per
+// plan where the heap does ~100k.
+func benchPlan(b *testing.B, ranks int, plan func(*runtime.World, gas.Layout, map[gas.BlockID]uint64) []Move) {
+	w, err := runtime.NewWorld(runtime.Config{Ranks: ranks, Mode: runtime.AGASNM, Engine: runtime.EngineDES})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Stop()
+	w.Start()
+	lay, err := w.AllocCyclic(0, 64, uint32(2*ranks))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	heat := make(map[gas.BlockID]uint64, lay.NBlocks)
+	for d := uint32(0); d < lay.NBlocks; d++ {
+		heat[lay.BlockAt(d).Block()] = uint64(rng.Intn(10000))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plan(w, lay, heat)
+	}
+}
+
+func BenchmarkPlanHeap4096(b *testing.B)   { benchPlan(b, 4096, Plan) }
+func BenchmarkPlanLinear4096(b *testing.B) { benchPlan(b, 4096, planLinear) }

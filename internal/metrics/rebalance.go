@@ -1,0 +1,64 @@
+package metrics
+
+import (
+	"nmvgas/internal/loadbal"
+	"nmvgas/internal/runtime"
+)
+
+// PolicyPublisher mirrors a load-balancing policy's controller counters
+// into a Registry. Refresh copies the accumulated PolicyStats; Observe
+// additionally records one epoch's Report (the imbalance gauge tracks
+// the most recent observed epoch).
+type PolicyPublisher struct {
+	reg      *Registry
+	p        *loadbal.Policy
+	counters map[string]*Counter
+	imb      *Gauge
+	samples  *Gauge
+}
+
+// PublishPolicy registers p's metric series (labelled like the world's
+// series, with mode and engine) in reg and returns the publisher.
+func PublishPolicy(reg *Registry, w *runtime.World, p *loadbal.Policy) *PolicyPublisher {
+	cfg := w.Config()
+	base := []Label{L("mode", cfg.Mode.String()), L("engine", cfg.Engine.String())}
+	pp := &PolicyPublisher{reg: reg, p: p, counters: make(map[string]*Counter)}
+	counter := func(name, help string) {
+		pp.counters[name] = reg.Counter(name, help, base...)
+	}
+	counter("nmvgas_rebalance_epochs_total", "Control epochs the policy has consumed")
+	counter("nmvgas_rebalance_idle_epochs_total", "Epochs skipped below the minimum-sample floor")
+	counter("nmvgas_rebalance_samples_total", "Sampled accesses the policy has acted on")
+	counter("nmvgas_rebalance_moves_total", "Blocks migrated toward their dominant accessor")
+	counter("nmvgas_rebalance_move_failures_total", "Migrations refused or failed")
+	counter("nmvgas_rebalance_deferred_total", "Hot blocks deferred by budget or cooldown")
+	counter("nmvgas_rebalance_replications_total", "Replica sets installed for read-dominated hot blocks")
+	counter("nmvgas_rebalance_teardowns_total", "Replica sets removed after cooling or turning write-heavy")
+	pp.imb = reg.Gauge("nmvgas_rebalance_imbalance",
+		"Max/mean per-rank sampled load of the last observed epoch", base...)
+	pp.samples = reg.Gauge("nmvgas_rebalance_epoch_samples",
+		"Sampled accesses in the last observed epoch", base...)
+	return pp
+}
+
+// Refresh copies the policy's accumulated counters into the registry.
+func (pp *PolicyPublisher) Refresh() {
+	st := pp.p.Stats()
+	set := func(name string, v int64) { pp.counters[name].Set(v) }
+	set("nmvgas_rebalance_epochs_total", st.Epochs)
+	set("nmvgas_rebalance_idle_epochs_total", st.IdleEpochs)
+	set("nmvgas_rebalance_samples_total", int64(st.Samples))
+	set("nmvgas_rebalance_moves_total", st.Moves)
+	set("nmvgas_rebalance_move_failures_total", st.MoveFailures)
+	set("nmvgas_rebalance_deferred_total", st.Deferred)
+	set("nmvgas_rebalance_replications_total", st.Replications)
+	set("nmvgas_rebalance_teardowns_total", st.Teardowns)
+}
+
+// Observe records one epoch's report (call it with each Policy.Step
+// result) and refreshes the cumulative counters.
+func (pp *PolicyPublisher) Observe(rep loadbal.Report) {
+	pp.imb.Set(rep.Imbalance)
+	pp.samples.Set(float64(rep.Samples))
+	pp.Refresh()
+}

@@ -1,0 +1,73 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"nmvgas/internal/loadbal"
+	"nmvgas/internal/runtime"
+)
+
+func TestPublishPolicy(t *testing.T) {
+	w, err := runtime.NewWorld(runtime.Config{
+		Ranks: 4, Mode: runtime.AGASNM, Engine: runtime.EngineDES,
+		Heat: runtime.HeatConfig{Enabled: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Stop)
+	w.Start()
+	lay, err := w.AllocCyclic(0, 256, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := loadbal.NewPolicy(w, loadbal.PolicyConfig{Layout: lay})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry()
+	pp := PublishPolicy(reg, w, p)
+	wp := PublishWorld(reg, w)
+
+	// Rank 1 hammers a block homed at rank 0: one clear migration for
+	// the policy to make and for the mirrored counters to show.
+	for i := 0; i < 200; i++ {
+		w.MustWait(w.Proc(1).Get(lay.BlockAt(0), 64))
+	}
+	rep, err := p.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Moves != 1 {
+		t.Fatalf("policy moved %d blocks, want 1", rep.Moves)
+	}
+	pp.Observe(rep)
+	wp.Refresh()
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if err := ValidatePrometheus(strings.NewReader(text)); err != nil {
+		t.Fatalf("publisher output invalid: %v\n%s", err, text)
+	}
+	for _, want := range []string{
+		`nmvgas_rebalance_epochs_total{mode="agas-nm",engine="des"} 1`,
+		`nmvgas_rebalance_moves_total{mode="agas-nm",engine="des"} 1`,
+		"nmvgas_rebalance_imbalance",
+		"nmvgas_rebalance_epoch_samples",
+		"nmvgas_heat_sampled_total",
+		"nmvgas_rank_heat_load",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("publisher output missing %q:\n%s", want, text)
+		}
+	}
+	// The world publisher's heat counter mirrors the sampled total.
+	if w.HeatSampled() == 0 {
+		t.Fatal("heat tracker sampled nothing")
+	}
+}

@@ -24,6 +24,7 @@ type WorldPublisher struct {
 	rankTable     []*Gauge
 	rankDownDrops []*Gauge
 	rankDeadNacks []*Gauge
+	rankHeat      []*Gauge
 
 	lat map[string]*Summary
 }
@@ -71,6 +72,7 @@ func PublishWorld(reg *Registry, w *runtime.World) *WorldPublisher {
 	counter("nmvgas_replica_invals_total", "Replica invalidations applied at holders")
 	counter("nmvgas_replica_updates_total", "Write-update snapshots applied at holders")
 	counter("nmvgas_replica_fills_total", "Replica refills installed at holders")
+	counter("nmvgas_heat_sampled_total", "Accesses sampled by the heat tracker (0 when Config.Heat is off)")
 
 	// Fault-injector and membership-fencing counters (all zero on an
 	// unperturbed world).
@@ -102,6 +104,7 @@ func PublishWorld(reg *Registry, w *runtime.World) *WorldPublisher {
 		p.rankTable = append(p.rankTable, reg.Gauge("nmvgas_rank_nic_table_entries", "NIC-resident translation table size", lbl...))
 		p.rankDownDrops = append(p.rankDownDrops, reg.Gauge("nmvgas_fault_rank_down_drops", "Messages this NIC swallowed at a down link (DES fabric only)", lbl...))
 		p.rankDeadNacks = append(p.rankDeadNacks, reg.Gauge("nmvgas_fault_rank_dead_nacks", "Dead-rank NACKs this NIC synthesized (DES fabric only)", lbl...))
+		p.rankHeat = append(p.rankHeat, reg.Gauge("nmvgas_rank_heat_load", "Sampled accesses served by this locality in the current heat epoch", lbl...))
 	}
 
 	if cfg.Metrics {
@@ -138,6 +141,7 @@ func (p *WorldPublisher) Refresh() {
 	set("nmvgas_replica_invals_total", s.ReplicaInvals)
 	set("nmvgas_replica_updates_total", s.ReplicaUpdates)
 	set("nmvgas_replica_fills_total", s.ReplicaFills)
+	set("nmvgas_heat_sampled_total", int64(s.HeatSampled))
 
 	f := s.Delivery.Faults
 	set("nmvgas_fault_dropped_total", int64(f.Dropped))
@@ -167,6 +171,11 @@ func (p *WorldPublisher) Refresh() {
 		dd, dn, _ := p.w.NICFaultStats(r)
 		p.rankDownDrops[r].Set(float64(dd))
 		p.rankDeadNacks[r].Set(float64(dn))
+	}
+	if loads := p.w.HeatLoads(); loads != nil {
+		for r, l := range loads {
+			p.rankHeat[r].Set(float64(l))
+		}
 	}
 
 	if len(p.lat) > 0 && s.Latencies.Enabled {

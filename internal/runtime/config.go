@@ -154,6 +154,12 @@ type Config struct {
 	// flush delay), surfaced by World.Latencies. Off by default; the
 	// disabled path costs a single nil check and zero allocations.
 	Metrics bool
+	// Heat enables sampled per-block access-heat tracking for the load
+	// balancer (see internal/loadbal). Like Metrics, the disabled path
+	// costs a single nil check and zero allocations; the enabled path is
+	// power-of-two sampled into per-rank fixed-size sketches, never an
+	// unbounded map.
+	Heat HeatConfig
 	// Coherence selects how writes to a replicated block keep its replica
 	// set coherent (see World.ReplicateLive): write-invalidate (default),
 	// write-update, or RW leases.
@@ -198,6 +204,10 @@ func (c Config) normalized() (Config, error) {
 		return c, fmt.Errorf("runtime: fault drop probability %v outside [0,1)", c.Faults.Drop)
 	}
 	c.Reliability = c.Reliability.withDefaults()
+	c.Heat = c.Heat.withDefaults()
+	if c.Heat.SampleShift > 20 {
+		return c, fmt.Errorf("runtime: heat sample shift %d too coarse (max 20)", c.Heat.SampleShift)
+	}
 	if c.Coherence > agas.RWLease {
 		return c, fmt.Errorf("runtime: unknown coherence policy %d", c.Coherence)
 	}

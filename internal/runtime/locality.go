@@ -561,7 +561,7 @@ func (l *Locality) runUserParcel(act Action, p *parcel.Parcel, m *netsim.Message
 		return
 	}
 	l.Stats.ParcelsRun.Inc()
-	l.w.noteAccess(l.rank, b)
+	l.w.noteAccess(l.rank, m.Src, b, false)
 	l.traceOp(TraceExec, b, uint64(p.Action), p.OpID)
 	l.w.latParcelExec(p.OpID)
 	act(&Ctx{l: l, P: p})
@@ -748,7 +748,7 @@ func (l *Locality) onDMA(m *netsim.Message) {
 			l.w.fail("rank %d: DMA write to replica of block %d", l.rank, b)
 		}
 	}
-	l.w.noteAccess(l.rank, b)
+	l.w.noteAccess(l.rank, m.Src, b, m.Kind == kGetReq || m.Kind == kGetVec)
 	if !l.relAccept(m) {
 		// Duplicate one-sided request: the first copy applied the effect
 		// and its (retransmitted-until-acked) reply completes the op.
@@ -828,7 +828,7 @@ func (l *Locality) hostPut(m *netsim.Message) {
 			l.recycle(m)
 			return
 		}
-		l.w.noteAccess(l.rank, b)
+		l.w.noteAccess(l.rank, m.Src, b, false)
 		l.exec.Charge(l.w.cfg.Model.CopyTime(len(m.Payload)))
 		if err := l.store.WriteAt(b, m.Target.Offset(), m.Payload); err != nil {
 			l.w.fail("rank %d: %v", l.rank, err)
@@ -876,7 +876,7 @@ func (l *Locality) hostGet(m *netsim.Message) {
 			l.recycle(m)
 			return
 		}
-		l.w.noteAccess(l.rank, b)
+		l.w.noteAccess(l.rank, m.Src, b, true)
 		var data []byte
 		pooled := false
 		if m.PayloadPooled {

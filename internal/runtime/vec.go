@@ -183,7 +183,7 @@ func (l *Locality) hostPutVec(m *netsim.Message) {
 		l.recycle(m)
 		return
 	}
-	l.w.noteAccess(l.rank, b)
+	l.w.noteAccess(l.rank, m.Src, b, false)
 	l.exec.Charge(l.w.cfg.Model.CopyTime(len(m.Payload)))
 	l.applyPutVec(b, m)
 	opID, src := m.OpID, m.Src
@@ -225,7 +225,7 @@ func (l *Locality) hostGetVec(m *netsim.Message) {
 		l.recycle(m)
 		return
 	}
-	l.w.noteAccess(l.rank, b)
+	l.w.noteAccess(l.rank, m.Src, b, true)
 	l.exec.Charge(l.w.cfg.Model.CopyTime(int(m.N)))
 	data, pooled := l.buildGetVecReply(b, m)
 	opID, src := m.OpID, m.Src

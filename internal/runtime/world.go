@@ -60,10 +60,10 @@ type World struct {
 	// disabled hot path pays one nil check, nothing else).
 	lat *latencyState
 
-	// accessHook, when set before Start, observes every data-path access
-	// (action execution, one-sided op completion at the owner). The
-	// load balancer uses it to build block heat maps.
-	accessHook func(rank int, b gas.BlockID)
+	// heat holds the sampled access-heat tracker feeding the load
+	// balancer; nil unless cfg.Heat.Enabled (the disabled hot path pays
+	// one nil check, nothing else — see heat.go).
+	heat *heatState
 
 	// replCount is the number of blocks with live replica sets. Every
 	// read-side coherence hook gates on it, so unreplicated worlds pay
@@ -72,22 +72,6 @@ type World struct {
 
 	started bool
 	stopped bool
-}
-
-// SetAccessHook installs fn as the data-path access observer. Must be
-// called before Start; fn must be safe for concurrent use under the
-// goroutine engine.
-func (w *World) SetAccessHook(fn func(rank int, b gas.BlockID)) {
-	if w.started {
-		panic("runtime: SetAccessHook after Start")
-	}
-	w.accessHook = fn
-}
-
-func (w *World) noteAccess(rank int, b gas.BlockID) {
-	if w.accessHook != nil {
-		w.accessHook(rank, b)
-	}
 }
 
 // NewWorld builds a world from cfg. Call Register for user actions, then
@@ -108,6 +92,9 @@ func NewWorld(cfg Config) (*World, error) {
 	w.registerBuiltins()
 	if cfg.Metrics {
 		w.lat = newLatencyState()
+	}
+	if cfg.Heat.Enabled {
+		w.heat = newHeatState(cfg.Heat, cfg.Ranks)
 	}
 	w.relCfg = cfg.Reliability
 	if cfg.reliable() {

@@ -66,6 +66,12 @@ type WorldStats struct {
 	// Latencies is the runtime latency report (zero unless
 	// Config.Metrics; see WorldLatencies).
 	Latencies WorldLatencies
+
+	// Heat reports the sampled access-heat tracker (zero unless
+	// Config.Heat.Enabled): whether it is on, and the cumulative sampled
+	// access count across epochs.
+	HeatEnabled bool
+	HeatSampled uint64
 }
 
 // Stats sums the per-locality counters and, on the DES engine, the fabric
@@ -107,6 +113,8 @@ func (w *World) Stats() WorldStats {
 	s.Delivery = w.DeliveryStats()
 	s.Membership = w.MembershipStats()
 	s.Latencies = w.Latencies()
+	s.HeatEnabled = w.HeatEnabled()
+	s.HeatSampled = w.HeatSampled()
 	if w.fab != nil {
 		n := w.fab.TotalStats()
 		s.NetSent = n.Sent
@@ -182,6 +190,9 @@ func (w *World) StatsTable() *stats.Table {
 		add("member.down_drops", ms.DownDrops)
 		add("member.dead_nacks", ms.DeadNacks)
 		add("member.stale_epoch_drops", ms.StaleEpochDrops)
+	}
+	if s.HeatEnabled {
+		add("heat.sampled", s.HeatSampled)
 	}
 	if lat := s.Latencies; lat.Enabled {
 		lrow := func(name string, l LatencySummary) {

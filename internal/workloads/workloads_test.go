@@ -16,7 +16,8 @@ var testModes = []runtime.Mode{runtime.PGAS, runtime.AGASSW, runtime.AGASNM}
 
 func newW(t *testing.T, mode runtime.Mode, ranks int) *runtime.World {
 	t.Helper()
-	w, err := runtime.NewWorld(runtime.Config{Ranks: ranks, Mode: mode, Engine: runtime.EngineDES})
+	w, err := runtime.NewWorld(runtime.Config{Ranks: ranks, Mode: mode, Engine: runtime.EngineDES,
+		Heat: runtime.HeatConfig{Enabled: true}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +51,6 @@ func TestGUPSChecksumModeIndependent(t *testing.T) {
 
 func TestGUPSZipfSkewsHeat(t *testing.T) {
 	w := newW(t, runtime.AGASNM, 4)
-	tr := loadbal.Attach(w)
 	g := NewGUPS(w, "gups")
 	w.Start()
 	if err := g.Setup(256, 16, KeysZipf, 7); err != nil {
@@ -59,7 +59,7 @@ func TestGUPSZipfSkewsHeat(t *testing.T) {
 	if _, err := g.Run(200, 8); err != nil {
 		t.Fatal(err)
 	}
-	heat := tr.Snapshot()
+	heat := loadbal.HeatMap(w, g.Layout())
 	var hottest, total uint64
 	for _, h := range heat {
 		total += h
@@ -216,7 +216,6 @@ func TestBFSMatchesSequential(t *testing.T) {
 func TestBFSAfterRebalanceStillCorrect(t *testing.T) {
 	w := newW(t, runtime.AGASNM, 4)
 	ops := collective.New(w)
-	tr := loadbal.Attach(w)
 	b := NewBFS(w, ops, "bfs")
 	w.Start()
 	g := GenGraph(200, 4, 10)
@@ -226,7 +225,7 @@ func TestBFSAfterRebalanceStillCorrect(t *testing.T) {
 	if _, _, err := b.Run(0); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := loadbal.Rebalance(w, 0, b.Layout(), tr); err != nil {
+	if _, err := loadbal.Rebalance(w, 0, b.Layout()); err != nil {
 		t.Fatal(err)
 	}
 	if _, _, err := b.Run(0); err != nil {

@@ -114,6 +114,10 @@ type (
 	Topology = netsim.Topology
 	// CoalesceConfig enables parcel batching.
 	CoalesceConfig = runtime.CoalesceConfig
+
+	// HeatConfig enables sampled access-heat tracking (Config.Heat) for
+	// the load-balancing policy engine.
+	HeatConfig = runtime.HeatConfig
 	// PutSeg is one fragment of a vectored put (Proc.PutVecWait).
 	PutSeg = runtime.PutSeg
 	// GetSeg is one fragment of a vectored get (Proc.GetVecWaitInto).
