@@ -73,6 +73,8 @@ func main() {
 		"followed by a convergence window (0 = default 1)")
 	rebalance := flag.Int("rebalance", 0, "per-epoch migration budget for the rebalancing "+
 		"policy (0 = default 16)")
+	flightOut := flag.String("flight-out", "", "write the F20 health experiment's flight-recorder "+
+		"trip bundle (indented JSON) to this file")
 	scaleJSON := flag.String("scale-json", "", "run the F17 scaling sweep and write the rows as "+
 		"JSON to this file ('-' = stdout), then exit; defaults to 64/256/1024 localities × "+
 		"shards {0,1,4} unless -localities/-shards override")
@@ -145,7 +147,8 @@ func main() {
 		Localities:   parseIntList("localities", *localities),
 		ShardSweep:   parseIntList("shards", *shards),
 		Topology:     *topology,
-		TenantBlocks: *tenants, Shifts: *shift, MoveBudget: *rebalance}
+		TenantBlocks: *tenants, Shifts: *shift, MoveBudget: *rebalance,
+		FlightOut: *flightOut}
 
 	if *scaleJSON != "" {
 		if err := scaleRun(o, *scaleJSON); err != nil {
@@ -339,12 +342,15 @@ func mergeSchedule(base, add map[int]netsim.VTime) map[int]netsim.VTime {
 func observedRun(seed int64, metricsOut, traceOut string) error {
 	w, err := runtime.NewWorld(runtime.Config{
 		Ranks: 4, Mode: runtime.AGASNM, Engine: runtime.EngineDES, Metrics: true,
+		Pulse: runtime.PulseConfig{Enabled: true},
 	})
 	if err != nil {
 		return err
 	}
 	defer w.Stop()
-	ring := trace.Attach(w, 1<<15)
+	flight := trace.NewFlight(w, trace.FlightConfig{Capacity: 1 << 15})
+	flight.Arm()
+	ring := flight.Ring()
 	bump := w.Register("bump", func(c *runtime.Ctx) { c.Continue(nil) })
 	w.Start()
 
@@ -355,6 +361,7 @@ func observedRun(seed int64, metricsOut, traceOut string) error {
 	}
 	reg := metrics.NewRegistry()
 	pub := metrics.PublishWorld(reg, w)
+	health := metrics.PublishHealth(reg, w)
 	sampler := metrics.NewSampler(w)
 	sampler.RunDES(50*netsim.Microsecond, 8)
 
@@ -375,6 +382,7 @@ func observedRun(seed int64, metricsOut, traceOut string) error {
 		}
 	}
 	pub.Refresh()
+	health.Refresh()
 	sampler.Publish(reg)
 
 	if metricsOut != "" {

@@ -23,7 +23,8 @@ func main() {
 	replicasFlag := flag.Int("replicas", 3, "read replicas installed in the replication step (0 skips it)")
 	coherenceFlag := flag.String("coherence", "", "replica coherence policy: write-invalidate, write-update, or rw-lease")
 	httpAddr := flag.String("http", "", "after the tour, serve /metrics, /metrics.json, "+
-		"/trace.json and /debug/pprof on this address (e.g. :8080) until interrupted")
+		"/trace.json, /healthz, /debug/flight and /debug/pprof on this address "+
+		"(e.g. :8080) until interrupted")
 	killFlag := flag.Bool("kill", false, "add a failure step: crash rank 1 mid-tour, watch the survivors "+
 		"declare it dead and promote replicas, then re-admit it via Join")
 	topologyFlag := flag.String("topology", "", "add a topology tour step: build a 64-rank fabric of this "+
@@ -57,6 +58,9 @@ func main() {
 		// nmvgas_heat_* series when -http is on); off the hot paths it
 		// costs a single nil check.
 		Heat: vgas.HeatConfig{Enabled: true},
+		// The runtime pulse drives the watchdog catalog (and /healthz
+		// when -http is on); the health tour below depends on it.
+		Pulse: vgas.PulseConfig{Enabled: true},
 	}
 	if *killFlag {
 		// Crash recovery rides on reliable delivery: retransmission
@@ -69,10 +73,11 @@ func main() {
 		panic(err)
 	}
 	defer w.Stop()
-	var ring *trace.Ring
-	if *httpAddr != "" {
-		ring = trace.Attach(w, 1<<15)
-	}
+	// The flight recorder replaces the plain trace ring: same always-on
+	// event window (it serves /trace.json through Ring), plus correlated
+	// diagnostic bundles on watchdog trips and /debug/flight.
+	flight := trace.NewFlight(w, trace.FlightConfig{Capacity: 1 << 15})
+	flight.Arm()
 
 	echo := w.Register("echo", func(c *vgas.Ctx) {
 		fmt.Printf("   [rank %d] action runs where the data lives\n", c.Rank())
@@ -218,6 +223,42 @@ func main() {
 		}
 	}
 
+	// healthTour narrates the observability loop end to end: inject a
+	// migration stall, watch the watchdog walk warn → critical on the
+	// pulse clock, read the flight recorder's trip bundle, then release
+	// the pin and watch health return to ok.
+	healthTour := func(step int) {
+		fmt.Printf("\n%d. Health tour: pin a migration and let the watchdogs catch it.\n", step)
+		pin := lay.BlockAt(3)
+		release := w.InjectMigrationStall()
+		fut := w.Proc(0).Migrate(pin, 0)
+		fmt.Println("   the migration's data install is stalled; the block is pinned at its")
+		fmt.Println("   old owner and the migration-stall watchdog starts aging the pin...")
+		if !w.AwaitHealth(vgas.WatchCritical, 30*time.Second) {
+			panic("demo: stall never went critical")
+		}
+		h := w.Health()
+		for _, st := range h.Watchdogs {
+			if st.Name == vgas.WatchMigrationStall {
+				fmt.Printf("   pulse %d: %s is %v — %s\n", h.Pulse, st.Name, st.Level, st.Detail)
+			}
+		}
+		if b := flight.Latest(); b != nil {
+			fmt.Printf("   the trip dumped a flight bundle: trigger %s, %d trace events around the anomaly\n",
+				b.Trigger, b.TraceEvents)
+		}
+		fmt.Println("   releasing the pin: the deferred install completes, health recovers")
+		release()
+		if st := vgas.MigrateStatus(w.MustWait(fut)); st != vgas.MigrateOK {
+			panic(fmt.Sprintf("demo: pinned migration finished with status %d", st))
+		}
+		if !w.AwaitHealth(vgas.WatchOK, 30*time.Second) {
+			panic("demo: health never returned to ok")
+		}
+		fmt.Printf("   health back to %v at pulse %d — same story /healthz would tell\n",
+			w.Health().Level, w.Health().Pulse)
+	}
+
 	// topoTour narrates distance-dependent translation cost: on a 64-rank
 	// hierarchical fabric, a stale translation's repair detour spans real
 	// hop distance, so where the forwarding happens (host vs NIC) shows
@@ -248,10 +289,13 @@ func main() {
 		}
 		reg := metrics.NewRegistry()
 		pub := metrics.PublishWorld(reg, w)
-		fmt.Printf("\nServing observability endpoint on %s (/metrics, /metrics.json, /trace.json, /debug/pprof) — Ctrl-C to exit.\n", *httpAddr)
+		health := metrics.PublishHealth(reg, w)
+		fmt.Printf("\nServing observability endpoint on %s (/metrics, /metrics.json, /trace.json, /healthz, /debug/flight, /debug/pprof) — Ctrl-C to exit.\n", *httpAddr)
 		if err := http.ListenAndServe(*httpAddr, metrics.Handler(reg, metrics.HandlerOptions{
-			Refresh: pub.Refresh,
-			Ring:    ring,
+			Refresh: func() { pub.Refresh(); health.Refresh() },
+			Ring:    flight.Ring(),
+			Health:  w.Health,
+			Flight:  flight,
 		})); err != nil {
 			fmt.Fprintf(os.Stderr, "vgasdemo: %v\n", err)
 			os.Exit(1)
@@ -297,7 +341,8 @@ func main() {
 	rebalanceTour(6)
 	replication(7)
 	chaos(8)
-	topoTour(10)
+	healthTour(10)
+	topoTour(11)
 
 	if w.Fabric() != nil {
 		fmt.Printf("\nSimulated time elapsed: %v. Done.\n", w.Now())

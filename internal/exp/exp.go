@@ -61,6 +61,10 @@ type Options struct {
 	// MoveBudget overrides the rebalancing policy's per-epoch migration
 	// budget (vgasbench maps -rebalance here). 0 = the default (16).
 	MoveBudget int
+	// FlightOut, when set, is a file path the health experiment writes
+	// its flight-recorder trip bundle to (vgasbench maps -flight-out
+	// here; CI uploads it as the health-smoke artifact).
+	FlightOut string
 }
 
 // sweep returns the address spaces a row-per-mode experiment iterates.

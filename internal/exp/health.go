@@ -1,0 +1,342 @@
+package exp
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"time"
+
+	"nmvgas/internal/netsim"
+	"nmvgas/internal/parcel"
+	"nmvgas/internal/runtime"
+	"nmvgas/internal/stats"
+	"nmvgas/internal/trace"
+)
+
+func init() {
+	register("F20", "Fig. 20: runtime health — injected anomalies, watchdog trip latency, flight-recorder capture", f20Health)
+}
+
+// HealthPoint is one measured F20 scenario: an injected anomaly, the
+// watchdog expected to catch it, and how fast (on the pulse clock) it
+// did — plus whether the flight recorder's trip bundle retained the
+// anomaly window.
+type HealthPoint struct {
+	Scenario string `json:"scenario"`
+	Mode     string `json:"mode"`
+	// Watchdog is the monitor the scenario targets.
+	Watchdog string `json:"watchdog"`
+	// OnsetPulse is the first pulse at which the anomaly was observable
+	// at all (first retransmit, first pinned block, first hot epoch).
+	OnsetPulse uint64 `json:"onset_pulse"`
+	// TripPulse is the pulse at which the watchdog escalated to critical
+	// (for the rebalance scenario: the last pulse the heat watchdog still
+	// saw the hotspot — the policy's remediation point).
+	TripPulse uint64 `json:"trip_pulse"`
+	// LatencyPulses is TripPulse minus the first pulse the condition
+	// could have tripped (dwell thresholds are subtracted out); -1 means
+	// the watchdog never reached critical.
+	LatencyPulses int64 `json:"latency_pulses"`
+	// BundleEvents is the trace-window size of the trip bundle.
+	BundleEvents int `json:"bundle_events"`
+	// AnomalyInWindow reports that the bundle's retained trace window
+	// contains the anomaly's own protocol events.
+	AnomalyInWindow bool `json:"anomaly_in_window"`
+	// Recovered reports the world returned to ok after the anomaly was
+	// lifted (release, stream drained, or policy convergence).
+	Recovered bool   `json:"recovered"`
+	Detail    string `json:"detail,omitempty"`
+}
+
+// migSpace returns the last built-in space that supports migration (the
+// network-managed AGAS space — F20's anomalies exercise the migration
+// and reliable-delivery protocols, so a static space has nothing to
+// trip).
+func migSpace() runtime.SpaceSpec {
+	var pick runtime.SpaceSpec
+	found := false
+	for _, sp := range spaces {
+		if sp.Caps.Migration {
+			pick, found = sp, true
+		}
+	}
+	if !found {
+		panic("exp: no migrating address space registered")
+	}
+	return pick
+}
+
+// healthStorm injects a retransmission storm: a seeded 30%-drop fault
+// plan under a put stream makes the reliable layer resend in bursts once
+// the 200µs RTO expires. The retransmit-storm watchdog (thresholds
+// lowered to 8/32 resends per 50µs pulse) must reach critical within two
+// pulses of the first resend, and the armed flight recorder's trip
+// bundle must retain retransmit events in its trace window.
+func healthStorm(o Options) (HealthPoint, *trace.Bundle) {
+	const (
+		ranks  = 4
+		window = 64
+	)
+	period := 50 * netsim.Microsecond
+	n := 600
+	if o.Quick {
+		n = 300
+	}
+	sp := migSpace()
+	w := newWorld(sp, ranks, func(cfg *runtime.Config) {
+		cfg.Seed = o.Seed
+		cfg.Faults = netsim.FaultPlan{Drop: 0.3}
+		cfg.Pulse = runtime.PulseConfig{
+			Enabled: true,
+			Period:  period,
+			Watchdogs: runtime.WatchdogConfig{
+				RetransWarn: 8, RetransCritical: 32,
+			},
+		}
+	})
+	f := trace.NewFlight(w, trace.FlightConfig{Capacity: 4096, MaxBundles: 16})
+	f.Arm()
+	var onsetPulse, tripPulse, lastRetrans uint64
+	w.OnWatchdogTrip(func(ev runtime.WatchdogEvent) {
+		if ev.Status.Name == runtime.WatchRetransStorm &&
+			ev.Status.Level == runtime.WatchCritical && tripPulse == 0 {
+			tripPulse = ev.Pulse
+		}
+	})
+	// Independent onset tracker: the storm condition holds at the first
+	// pulse whose resend delta crosses the critical rate. The watchdog's
+	// trip must land within two pulses of this.
+	w.OnPulse("f20.storm-onset", func(pi runtime.PulseInfo) {
+		cum := w.Stats().Delivery.Retransmits
+		delta := cum - lastRetrans
+		lastRetrans = cum
+		if onsetPulse == 0 && delta >= 32 {
+			onsetPulse = pi.Seq
+		}
+	})
+	w.Start()
+	lay, err := w.AllocCyclic(0, 512, ranks*4)
+	if err != nil {
+		panic(err)
+	}
+	// All ranks stream concurrently so the drop plan's resend bursts
+	// stack into a genuine storm rather than a trickle.
+	gates := make([]*runtime.LCORef, ranks)
+	for r := 0; r < ranks; r++ {
+		rr := r
+		gate := w.NewAndGate(rr, 1)
+		gates[rr] = gate
+		loc := w.Locality(rr)
+		buf := make([]byte, 256)
+		issued, completed := 0, 0
+		var issue func()
+		issue = func() {
+			seq := issued
+			issued++
+			loc.PutAsync(lay.BlockAt(uint32((seq+rr+1)%(ranks*4))), buf, func() {
+				completed++
+				if issued < n {
+					issue()
+				} else if completed == n {
+					loc.SendParcel(&parcel.Parcel{Action: runtime.ALCOSet, Target: gate.G})
+				}
+			})
+		}
+		w.Proc(rr).Run(func() {
+			for i := 0; i < window && i < n; i++ {
+				issue()
+			}
+		})
+	}
+	for _, gate := range gates {
+		w.MustWait(gate)
+	}
+	recovered := w.AwaitHealth(runtime.WatchOK, time.Second)
+	ws := w.Stats()
+
+	pt := HealthPoint{
+		Scenario:   "retransmit-storm",
+		Mode:       sp.String(),
+		Watchdog:   runtime.WatchRetransStorm,
+		OnsetPulse: onsetPulse,
+		TripPulse:  tripPulse,
+		Recovered:  recovered,
+		Detail: fmt.Sprintf("%d retransmits over %d pulses",
+			ws.Delivery.Retransmits, w.PulseCount()),
+	}
+	pt.LatencyPulses = -1
+	if tripPulse > 0 && onsetPulse > 0 {
+		pt.LatencyPulses = int64(tripPulse) - int64(onsetPulse)
+	}
+	// Prefer the critical storm trip; a decaying storm re-trips at warn,
+	// and those later bundles would otherwise shadow it.
+	var bundle *trace.Bundle
+	for _, b := range f.Bundles() {
+		if b.Trigger != "watchdog:"+runtime.WatchRetransStorm {
+			continue
+		}
+		if bundle == nil || b.Level >= bundle.Level {
+			bundle = b
+		}
+	}
+	if bundle != nil {
+		pt.BundleEvents = bundle.TraceEvents
+		pt.AnomalyInWindow = bytes.Contains(bundle.Trace, []byte("retransmit"))
+	}
+	w.Stop()
+	return pt, bundle
+}
+
+// healthStall injects a migration stall: InjectMigrationStall parks the
+// data-install leg of every migration, so the block stays pinned at its
+// old owner while arrivals queue behind the pin. The migration-stall
+// watchdog (dwell thresholds lowered to 2/4 pulses) must reach critical
+// within two pulses of the dwell expiring; releasing the stall must let
+// the migration commit and health return to ok.
+func healthStall(o Options) (HealthPoint, *trace.Bundle) {
+	const ranks = 4
+	period := 50 * netsim.Microsecond
+	const stallCritical = 4
+	sp := migSpace()
+	w := newWorld(sp, ranks, func(cfg *runtime.Config) {
+		cfg.Seed = o.Seed
+		cfg.Pulse = runtime.PulseConfig{
+			Enabled: true,
+			Period:  period,
+			Watchdogs: runtime.WatchdogConfig{
+				StallWarnPulses: 2, StallCriticalPulses: stallCritical,
+			},
+		}
+	})
+	f := trace.NewFlight(w, trace.FlightConfig{Capacity: 2048})
+	f.Arm()
+	var pinPulse, tripPulse uint64
+	w.OnWatchdogTrip(func(ev runtime.WatchdogEvent) {
+		if ev.Status.Name == runtime.WatchMigrationStall &&
+			ev.Status.Level == runtime.WatchCritical && tripPulse == 0 {
+			tripPulse = ev.Pulse
+		}
+	})
+	w.OnPulse("f20.stall-onset", func(pi runtime.PulseInfo) {
+		if pinPulse != 0 {
+			return
+		}
+		for _, st := range w.Health().Watchdogs {
+			if st.Name == runtime.WatchMigrationStall && st.Rank >= 0 {
+				pinPulse = pi.Seq
+			}
+		}
+	})
+	w.Start()
+	lay, err := w.AllocCyclic(0, 512, ranks)
+	if err != nil {
+		panic(err)
+	}
+	g := lay.BlockAt(1)
+	w.Proc(0).PutWait(g, bytes.Repeat([]byte{0xEE}, 64))
+
+	release := w.InjectMigrationStall()
+	fut := w.Proc(0).Migrate(g, 3)
+	w.AwaitHealth(runtime.WatchCritical, 2*time.Second)
+	release()
+	ok := runtime.MigrateStatus(w.MustWait(fut)) == runtime.MigrateOK
+	recovered := ok && w.AwaitHealth(runtime.WatchOK, time.Second)
+
+	pt := HealthPoint{
+		Scenario:   "migration-stall",
+		Mode:       sp.String(),
+		Watchdog:   runtime.WatchMigrationStall,
+		OnsetPulse: pinPulse,
+		TripPulse:  tripPulse,
+		Recovered:  recovered,
+		Detail: fmt.Sprintf("block pinned %d pulses, released, committed=%v",
+			tripPulse-pinPulse, ok),
+	}
+	pt.LatencyPulses = -1
+	if tripPulse > 0 && pinPulse > 0 {
+		// The dwell threshold is latency the operator asked for; trip
+		// latency is anything beyond it.
+		pt.LatencyPulses = int64(tripPulse) - int64(pinPulse) - stallCritical
+	}
+	bundle := f.Latest()
+	if bundle != nil {
+		pt.BundleEvents = bundle.TraceEvents
+		pt.AnomalyInWindow = bytes.Contains(bundle.Trace, []byte("migrate-start"))
+	}
+	w.Stop()
+	return pt, bundle
+}
+
+// healthRebalance reruns the F19 colocated-hotspot workload with the
+// policy's epochs driven by the in-runtime pulse (Policy.AttachPulse)
+// instead of the driver loop. The heat-imbalance watchdog registers the
+// hotspot; the pulse-driven policy is the remediation, so the point
+// records when the watchdog stopped seeing imbalance and the throughput
+// win over the static baseline.
+func healthRebalance(o Options) HealthPoint {
+	perRank, preEpochs, postEpochs := 480, 5, 5
+	if o.Quick {
+		perRank, preEpochs, postEpochs = 220, 4, 4
+	}
+	sp := migSpace()
+	off, _ := rebalanceCell(o, sp, perRank, preEpochs, postEpochs, 8, 1, 16, false, false)
+	on, extra := rebalanceCell(o, sp, perRank, preEpochs, postEpochs, 8, 1, 16, true, true)
+
+	pt := HealthPoint{
+		Scenario:   "hotspot-rebalance",
+		Mode:       sp.String(),
+		Watchdog:   runtime.WatchHeatImbalance,
+		OnsetPulse: extra.heatOnset,
+		TripPulse:  extra.heatLastHot,
+		Recovered:  on.Imbalance <= 1.5 && extra.heatLastHot < extra.pulses,
+		Detail: fmt.Sprintf("post-shift %.1f → %.1f ops/ms, %d moves over %d pulses",
+			off.PostOpsPerMs, on.PostOpsPerMs, on.Moves, extra.pulses),
+	}
+	pt.LatencyPulses = -1
+	if extra.heatOnset > 0 {
+		pt.LatencyPulses = int64(extra.heatLastHot) - int64(extra.heatOnset)
+	}
+	return pt
+}
+
+// HealthBench runs every F20 scenario. When o.FlightOut is set, the
+// retained trip bundle of the first scenario that produced one is
+// written there as indented JSON (the CI health-smoke artifact).
+func HealthBench(o Options) []HealthPoint {
+	storm, stormBundle := healthStorm(o)
+	stall, stallBundle := healthStall(o)
+	pts := []HealthPoint{storm, stall, healthRebalance(o)}
+	if o.FlightOut != "" {
+		bundle := stormBundle
+		if bundle == nil {
+			bundle = stallBundle
+		}
+		if bundle != nil {
+			fh, err := os.Create(o.FlightOut)
+			if err != nil {
+				panic(fmt.Sprintf("exp: flight bundle out: %v", err))
+			}
+			defer fh.Close()
+			if err := trace.WriteBundle(fh, bundle); err != nil {
+				panic(fmt.Sprintf("exp: flight bundle write: %v", err))
+			}
+		}
+	}
+	return pts
+}
+
+// f20Health renders the health sweep. latency is on the pulse clock:
+// pulses from "the watchdog could have tripped" to "it did" for the
+// anomaly rows, and the hotspot's visible duration for the rebalance
+// row (its remediation comes from the pulse-driven policy, not an
+// operator).
+func f20Health(o Options) *stats.Table {
+	tb := stats.NewTable("Fig. 20: runtime health — anomaly → watchdog trip → flight bundle",
+		"scenario", "watchdog", "onset_pulse", "trip_pulse", "latency",
+		"bundle_events", "in_window", "recovered", "detail")
+	for _, pt := range HealthBench(o) {
+		tb.AddRow(pt.Scenario, pt.Watchdog, pt.OnsetPulse, pt.TripPulse,
+			pt.LatencyPulses, pt.BundleEvents, pt.AnomalyInWindow, pt.Recovered, pt.Detail)
+	}
+	return tb
+}

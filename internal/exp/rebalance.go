@@ -2,6 +2,7 @@ package exp
 
 import (
 	"nmvgas/internal/loadbal"
+	"nmvgas/internal/netsim"
 	"nmvgas/internal/runtime"
 	"nmvgas/internal/stats"
 	"nmvgas/internal/workloads"
@@ -25,6 +26,11 @@ type RebalancePoint struct {
 	Replications int64   `json:"replications"`
 	Teardowns    int64   `json:"teardowns"`
 	Detours      int64   `json:"host_detours"`
+	// Pulse marks a run whose policy epochs were driven by the in-runtime
+	// pulse (Policy.AttachPulse) instead of the driver loop; PulseTicks is
+	// how many ticks fired (0 for driver-stepped runs).
+	Pulse      bool   `json:"pulse,omitempty"`
+	PulseTicks uint64 `json:"pulse_ticks,omitempty"`
 }
 
 // RebalanceBench drives the multi-tenant serving workload with and
@@ -73,21 +79,57 @@ func RebalanceBench(o Options) []RebalancePoint {
 			continue // a static space has no policy story to measure
 		}
 		for _, policy := range []bool{false, true} {
-			out = append(out, rebalanceCell(o, sp, perRank, preEpochs, postEpochs,
-				perTenant, shifts, budget, policy))
+			pt, _ := rebalanceCell(o, sp, perRank, preEpochs, postEpochs,
+				perTenant, shifts, budget, policy, false)
+			out = append(out, pt)
 		}
 	}
 	return out
 }
 
+// rebalanceExtra carries the pulse-side observations of a viaPulse cell:
+// how many ticks fired and when the heat-imbalance watchdog first saw —
+// and last saw — the hotspot (F20's remediation-latency row reads these).
+type rebalanceExtra struct {
+	pulses      uint64
+	heatOnset   uint64 // first pulse the heat watchdog left ok
+	heatLastHot uint64 // last pulse it was still above ok
+}
+
 func rebalanceCell(o Options, sp runtime.SpaceSpec, perRank, preEpochs, postEpochs int,
-	perTenant uint32, shifts, budget int, policy bool) RebalancePoint {
+	perTenant uint32, shifts, budget int, policy, viaPulse bool) (RebalancePoint, rebalanceExtra) {
 	const (
 		ranks  = 8
 		window = 8
 	)
-	w := newWorld(sp, ranks, withHeat)
+	w := newWorld(sp, ranks, withHeat, func(cfg *runtime.Config) {
+		if viaPulse {
+			// The pulse replaces the driver epoch loop; the heat watchdog's
+			// thresholds are lowered so the colocated hotspot registers as
+			// an anomaly the pulse-driven policy then remediates.
+			cfg.Pulse = runtime.PulseConfig{
+				Enabled: true,
+				Period:  200 * netsim.Microsecond,
+				Watchdogs: runtime.WatchdogConfig{
+					HeatWarn: 2, HeatCritical: 3, HeatMinSamples: 64,
+				},
+			}
+		}
+	})
 	tn := workloads.NewTenants(w)
+	var extra rebalanceExtra
+	if viaPulse {
+		w.OnPulse("exp.heat-track", func(pi runtime.PulseInfo) {
+			for _, st := range w.Health().Watchdogs {
+				if st.Name == runtime.WatchHeatImbalance && st.Level > runtime.WatchOK {
+					if extra.heatOnset == 0 {
+						extra.heatOnset = pi.Seq
+					}
+					extra.heatLastHot = pi.Seq
+				}
+			}
+		})
+	}
 	w.Start()
 	// bsize 256, 4 shared read-mostly blocks, 64B reads, skew 1.8, a
 	// write every 6th tenant op: hot blocks are write-mixed (so the
@@ -113,6 +155,9 @@ func rebalanceCell(o Options, sp runtime.SpaceSpec, perRank, preEpochs, postEpoc
 		if p, err = loadbal.NewPolicy(w, cfg); err != nil {
 			panic(err)
 		}
+		if viaPulse {
+			p.AttachPulse(1)
+		}
 	}
 	imb := 0.0
 	epoch := func() float64 {
@@ -122,7 +167,11 @@ func rebalanceCell(o Options, sp runtime.SpaceSpec, perRank, preEpochs, postEpoc
 			panic(err)
 		}
 		elapsed := w.Now() - start
-		if p != nil {
+		if p != nil && viaPulse {
+			// The pulse steps the policy in-runtime; the driver only reads
+			// the latest control outcome.
+			imb = p.LastReport().Imbalance
+		} else if p != nil {
 			rep, err := p.Step()
 			if err != nil {
 				panic(err)
@@ -153,14 +202,17 @@ func rebalanceCell(o Options, sp runtime.SpaceSpec, perRank, preEpochs, postEpoc
 		PreOpsPerMs: pre, PostOpsPerMs: post,
 		Imbalance: imb,
 		Detours:   ws.HostForwards + ws.HostNacks,
+		Pulse:     viaPulse,
 	}
 	if p != nil {
 		st := p.Stats()
 		pt.Moves, pt.MoveFailures = st.Moves, st.MoveFailures
 		pt.Replications, pt.Teardowns = st.Replications, st.Teardowns
 	}
+	extra.pulses = w.PulseCount()
+	pt.PulseTicks = extra.pulses
 	w.Stop()
-	return pt
+	return pt, extra
 }
 
 // f19Rebalance renders the rebalancing sweep: for each migrating mode, a

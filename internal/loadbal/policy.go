@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"nmvgas/internal/gas"
 	"nmvgas/internal/runtime"
@@ -105,11 +106,18 @@ type Report struct {
 // of thrashing — and, when configured, installs live replica sets for
 // read-dominated hot blocks and tears them down once they cool.
 type Policy struct {
-	w    *runtime.World
-	cfg  PolicyConfig
+	w   *runtime.World
+	cfg PolicyConfig
+
+	// mu guards the controller state below. Driver-stepped policies never
+	// contend; pulse-driven ones are stepped from tick context while the
+	// driver reads Stats/LastReport, and async move completions land from
+	// engine context.
+	mu   sync.Mutex
 	cool map[gas.BlockID]int // block -> epochs of move immunity left
 	repl map[gas.BlockID]bool
 	st   PolicyStats
+	last Report
 }
 
 // NewPolicy validates the world against the config: heat tracking must
@@ -137,7 +145,20 @@ func NewPolicy(w *runtime.World, cfg PolicyConfig) (*Policy, error) {
 }
 
 // Stats returns the accumulated controller counters.
-func (p *Policy) Stats() PolicyStats { return p.st }
+func (p *Policy) Stats() PolicyStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.st
+}
+
+// LastReport returns the most recent epoch's report (zero before the
+// first Step/StepAsync). Pulse-driven runs read it where driver-stepped
+// runs would read Step's return value.
+func (p *Policy) LastReport() Report {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.last
+}
 
 // blockAgg is one block's merged epoch heat.
 type blockAgg struct {
@@ -156,10 +177,75 @@ func blockLayout(lay gas.Layout, d uint32) gas.Layout {
 	return gas.Layout{Base: lay.BlockAt(d), BSize: lay.BSize, NBlocks: 1, Ranks: lay.Ranks, Dist: gas.DistLocal}
 }
 
-// Step runs one control epoch: consume and reset the heat window, then
-// act on it. Call it from the driver with the workload quiesced (between
-// waves); under EngineDES that makes the whole loop deterministic.
+// Step runs one control epoch: consume and reset the heat window, act
+// on it, and wait for every issued migration to complete. Call it from
+// the driver with the workload quiesced (between waves); under
+// EngineDES that makes the whole loop deterministic.
 func (p *Policy) Step() (Report, error) {
+	rep, moves, errs := p.plan()
+	moved, err := ApplyWait(p.w, p.cfg.From, moves)
+	if err != nil {
+		errs = append(errs, err)
+	}
+	rep.Moves = moved
+	rep.MoveFailures = len(moves) - moved
+	p.mu.Lock()
+	p.st.Moves += int64(moved)
+	p.st.MoveFailures += int64(len(moves) - moved)
+	p.last = rep
+	p.mu.Unlock()
+	return rep, errors.Join(errs...)
+}
+
+// StepAsync is Step without the wait: migrations are issued and their
+// outcomes are counted into Stats as each completes (MigrateOK
+// increments Moves, anything else MoveFailures). It never calls
+// World.Wait, so it is legal from pulse-tick context, where re-entering
+// the engine is not; Report.Moves is the issued count.
+func (p *Policy) StepAsync() (Report, error) {
+	rep, moves, errs := p.plan()
+	for _, fut := range Apply(p.w, p.cfg.From, moves) {
+		fut.OnFire(func(v []byte) {
+			p.mu.Lock()
+			if runtime.MigrateStatus(v) == runtime.MigrateOK {
+				p.st.Moves++
+			} else {
+				p.st.MoveFailures++
+			}
+			p.mu.Unlock()
+		})
+	}
+	rep.Moves = len(moves)
+	p.mu.Lock()
+	p.last = rep
+	p.mu.Unlock()
+	return rep, errors.Join(errs...)
+}
+
+// AttachPulse registers the policy as a runtime-pulse client running one
+// StepAsync epoch every `every` pulses (minimum 1): the in-runtime
+// replacement for the driver epoch loop, with the cadence coming from
+// Config.Pulse.Period instead of workload structure. Outcomes accumulate
+// in Stats and LastReport.
+func (p *Policy) AttachPulse(every uint64) {
+	if every < 1 {
+		every = 1
+	}
+	p.w.OnPulse("loadbal.policy", func(pi runtime.PulseInfo) {
+		if pi.Seq%every != 0 {
+			return
+		}
+		_, _ = p.StepAsync()
+	})
+}
+
+// plan consumes one heat epoch and decides what to do: replica installs
+// and teardowns execute inline (they are synchronous driver APIs), and
+// the migration list is returned for the caller to apply synchronously
+// (Step) or asynchronously (StepAsync).
+func (p *Policy) plan() (Report, []Move, []error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	loads, samples := p.w.HeatEpoch()
 	var rep Report
 	rep.Loads = loads
@@ -176,7 +262,7 @@ func (p *Policy) Step() (Report, error) {
 	if rep.Samples < p.cfg.MinSamples {
 		p.st.IdleEpochs++
 		p.tickCooldowns()
-		return rep, nil
+		return rep, nil, nil
 	}
 	rep.Acted = true
 
@@ -285,19 +371,14 @@ func (p *Policy) Step() (Report, error) {
 		}
 	}
 
-	moved, err := ApplyWait(p.w, p.cfg.From, moves)
-	if err != nil {
-		errs = append(errs, err)
-	}
-	rep.Moves = moved
-	rep.MoveFailures = len(moves) - moved
-	p.st.Moves += int64(moved)
-	p.st.MoveFailures += int64(len(moves) - moved)
+	// Cooldown is charged at issue time — for the async path the outcome
+	// is not known yet, and re-proposing a move mid-flight would be the
+	// thrash the cooldown exists to prevent.
 	p.tickCooldowns()
 	for _, mv := range moves {
 		p.cool[mv.Block.Block()] = p.cfg.Cooldown
 	}
-	return rep, errors.Join(errs...)
+	return rep, moves, errs
 }
 
 func (p *Policy) tickCooldowns() {

@@ -3,6 +3,7 @@ package loadbal
 import (
 	"testing"
 
+	"nmvgas/internal/netsim"
 	"nmvgas/internal/runtime"
 )
 
@@ -246,5 +247,48 @@ func TestPolicyRejectsUnsuitableWorlds(t *testing.T) {
 	}
 	if _, err := NewPolicy(w2, PolicyConfig{Layout: lay2}); err == nil {
 		t.Fatal("policy accepted a static address space")
+	}
+}
+
+// TestPolicyPulseDriven runs the same dominant-accessor scenario with no
+// driver epoch loop at all: the policy is attached to the runtime pulse
+// and must act on its own cadence while the workload merely drains.
+func TestPolicyPulseDriven(t *testing.T) {
+	w, err := runtime.NewWorld(runtime.Config{
+		Ranks: 4, Mode: runtime.AGASNM, Engine: runtime.EngineDES,
+		Heat:  runtime.HeatConfig{Enabled: true},
+		Pulse: runtime.PulseConfig{Enabled: true, Period: 200 * netsim.Microsecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Stop)
+	w.Start()
+	lay, err := w.AllocLocal(0, 64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPolicy(w, PolicyConfig{Layout: lay, MinSamples: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.AttachPulse(1)
+	// Rank 2 hammers block 1; no Step/StepAsync call appears anywhere in
+	// this test — only pulse ticks may run the policy.
+	for round := 0; round < 20 && p.Stats().Moves == 0; round++ {
+		for i := 0; i < 40; i++ {
+			w.MustWait(w.Proc(2).Put(lay.BlockAt(1), []byte{1}))
+		}
+		w.Drain()
+	}
+	if st := p.Stats(); st.Moves == 0 {
+		t.Fatalf("pulse-driven policy never moved the hot block: %+v", st)
+	}
+	w.Drain()
+	if _, ok := w.Locality(2).Store().Get(lay.BlockAt(1).Block()); !ok {
+		t.Fatal("hot block did not land at its dominant accessor")
+	}
+	if st := p.Stats(); st.Epochs == 0 {
+		t.Fatalf("no pulse epoch recorded: %+v", st)
 	}
 }

@@ -1,0 +1,62 @@
+package metrics
+
+import (
+	"nmvgas/internal/runtime"
+)
+
+// HealthPublisher mirrors the world's watchdog state into the registry
+// as the nmvgas_health_* series:
+//
+//	nmvgas_health_level{watchdog=...}  per-monitor level (0 ok, 1 warn, 2 critical)
+//	nmvgas_health_value{watchdog=...}  the measured quantity the thresholds apply to
+//	nmvgas_health_worst_level          worst level across the catalog
+//	nmvgas_health_pulse                pulse tick the state reflects
+//
+// Series exist (at level 0) even when the pulse is off, so dashboards
+// and the Prometheus validator see a stable schema.
+type HealthPublisher struct {
+	reg *Registry
+	w   *runtime.World
+
+	level map[string]*Gauge
+	value map[string]*Gauge
+	worst *Gauge
+	pulse *Gauge
+}
+
+// PublishHealth registers the health series (labelled like PublishWorld,
+// per-watchdog series additionally with watchdog) and returns the
+// publisher. Call Refresh before every scrape.
+func PublishHealth(reg *Registry, w *runtime.World) *HealthPublisher {
+	cfg := w.Config()
+	base := []Label{L("mode", cfg.Mode.String()), L("engine", cfg.Engine.String())}
+	p := &HealthPublisher{
+		reg:   reg,
+		w:     w,
+		level: make(map[string]*Gauge),
+		value: make(map[string]*Gauge),
+		worst: reg.Gauge("nmvgas_health_worst_level", "Worst watchdog level (0 ok, 1 warn, 2 critical)", base...),
+		pulse: reg.Gauge("nmvgas_health_pulse", "Pulse tick the health state reflects (0 when Config.Pulse is off)", base...),
+	}
+	for _, name := range runtime.WatchdogNames() {
+		lbl := append(append([]Label(nil), base...), L("watchdog", name))
+		p.level[name] = reg.Gauge("nmvgas_health_level", "Watchdog level (0 ok, 1 warn, 2 critical)", lbl...)
+		p.value[name] = reg.Gauge("nmvgas_health_value", "Watchdog measured value (depth, rate, ratio, or age in pulses per the catalog)", lbl...)
+	}
+	return p
+}
+
+// Refresh copies the current health report into the registry.
+func (p *HealthPublisher) Refresh() {
+	h := p.w.Health()
+	p.worst.Set(float64(h.Level))
+	p.pulse.Set(float64(h.Pulse))
+	for _, st := range h.Watchdogs {
+		if g := p.level[st.Name]; g != nil {
+			g.Set(float64(st.Level))
+		}
+		if g := p.value[st.Name]; g != nil {
+			g.Set(st.Value)
+		}
+	}
+}

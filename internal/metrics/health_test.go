@@ -1,0 +1,215 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"nmvgas/internal/netsim"
+	"nmvgas/internal/runtime"
+	"nmvgas/internal/trace"
+)
+
+// pulseWorldForTest runs the metrics workload on a pulse-enabled world
+// so the health series reflect at least one watchdog evaluation.
+func pulseWorldForTest(t *testing.T) *runtime.World {
+	t.Helper()
+	w, err := runtime.NewWorld(runtime.Config{
+		Ranks: 3, Mode: runtime.AGASNM, Engine: runtime.EngineDES, Metrics: true,
+		Pulse: runtime.PulseConfig{Enabled: true, Period: 20 * netsim.Microsecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Stop)
+	w.Start()
+	lay, err := w.AllocCyclic(0, 256, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := lay.BlockAt(1)
+	w.Proc(0).PutWait(g, []byte{1, 2, 3})
+	w.MustWait(w.Proc(0).Migrate(g, 2))
+	if _, err := w.Wait(w.Proc(0).Get(g, 3)); err != nil {
+		t.Fatal(err)
+	}
+	// Drain fires the trailing metronome tick so the report reflects at
+	// least one watchdog evaluation.
+	w.Drain()
+	return w
+}
+
+func TestPublishHealth(t *testing.T) {
+	w := pulseWorldForTest(t)
+	reg := NewRegistry()
+	wp := PublishWorld(reg, w)
+	hp := PublishHealth(reg, w)
+	wp.Refresh()
+	hp.Refresh()
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if err := ValidatePrometheus(strings.NewReader(text)); err != nil {
+		t.Fatalf("health exposition invalid: %v\n%s", err, text)
+	}
+	for _, want := range []string{
+		"nmvgas_health_worst_level",
+		"nmvgas_health_pulse",
+		`nmvgas_health_level{mode="agas-nm",engine="des",watchdog="queue-depth"}`,
+		`watchdog="retransmit-storm"`,
+		`watchdog="migration-stall"`,
+		"nmvgas_unacked_messages",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("health exposition missing %q:\n%s", want, text)
+		}
+	}
+	// The workload drained, so a healthy world must export worst level 0
+	// and a nonzero pulse tick.
+	h := w.Health()
+	if !h.Enabled || h.Level != runtime.WatchOK {
+		t.Fatalf("world unhealthy after clean workload: %+v", h)
+	}
+	if h.Pulse == 0 {
+		t.Fatal("watchdogs never evaluated (pulse = 0)")
+	}
+}
+
+// TestPublishHealthPulseOff pins the stable-schema promise: the series
+// exist at level 0 even when Config.Pulse is off.
+func TestPublishHealthPulseOff(t *testing.T) {
+	w, err := runtime.NewWorld(runtime.Config{
+		Ranks: 2, Mode: runtime.PGAS, Engine: runtime.EngineDES,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Stop)
+	w.Start()
+	reg := NewRegistry()
+	hp := PublishHealth(reg, w)
+	hp.Refresh()
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if err := ValidatePrometheus(strings.NewReader(text)); err != nil {
+		t.Fatalf("pulse-off exposition invalid: %v", err)
+	}
+	if !strings.Contains(text, "nmvgas_health_worst_level") {
+		t.Fatal("health schema absent with pulse off")
+	}
+}
+
+func TestHealthzEndpoint(t *testing.T) {
+	w := pulseWorldForTest(t)
+	reg := NewRegistry()
+	hp := PublishHealth(reg, w)
+
+	// report is swapped between cases; the handler holds only the func.
+	report := w.Health()
+	h := Handler(reg, HandlerOptions{
+		Refresh: hp.Refresh,
+		Health:  func() runtime.HealthReport { return report },
+	})
+	get := func(path string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		return rec
+	}
+
+	rec := get("/healthz")
+	if rec.Code != 200 {
+		t.Fatalf("/healthz healthy -> %d", rec.Code)
+	}
+	var got runtime.HealthReport
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatalf("/healthz body not a health report: %v", err)
+	}
+	if !got.Enabled || got.Level != runtime.WatchOK {
+		t.Fatalf("served report %+v", got)
+	}
+
+	// Warn keeps the probe green; critical flips it to 503.
+	report.Level = runtime.WatchWarn
+	if rec := get("/healthz"); rec.Code != 200 {
+		t.Fatalf("/healthz warn -> %d, want 200", rec.Code)
+	}
+	report.Level = runtime.WatchCritical
+	rec = get("/healthz")
+	if rec.Code != 503 {
+		t.Fatalf("/healthz critical -> %d, want 503", rec.Code)
+	}
+	if !json.Valid(rec.Body.Bytes()) {
+		t.Fatal("503 body must still carry the JSON report")
+	}
+
+	// No health source attached: the endpoint is a 404, not a lie.
+	bare := Handler(NewRegistry(), HandlerOptions{})
+	rec = httptest.NewRecorder()
+	bare.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 404 {
+		t.Fatalf("/healthz without source -> %d, want 404", rec.Code)
+	}
+}
+
+func TestFlightEndpoint(t *testing.T) {
+	w, err := runtime.NewWorld(runtime.Config{
+		Ranks: 2, Mode: runtime.AGASNM, Engine: runtime.EngineDES,
+		Pulse: runtime.PulseConfig{Enabled: true, Period: 20 * netsim.Microsecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Stop)
+	f := trace.NewFlight(w, trace.FlightConfig{Capacity: 256})
+	f.Arm()
+	w.Start()
+	lay, err := w.AllocCyclic(0, 128, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := lay.BlockAt(1)
+	w.Proc(0).PutWait(g, []byte{7})
+	w.MustWait(w.Proc(0).Migrate(g, 0))
+
+	reg := NewRegistry()
+	h := Handler(reg, HandlerOptions{Health: w.Health, Flight: f})
+	get := func(path string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		return rec
+	}
+
+	rec := get("/debug/flight")
+	if rec.Code != 200 || !json.Valid(rec.Body.Bytes()) {
+		t.Fatalf("/debug/flight -> %d, valid=%v", rec.Code, json.Valid(rec.Body.Bytes()))
+	}
+	var b trace.Bundle
+	if err := json.Unmarshal(rec.Body.Bytes(), &b); err != nil {
+		t.Fatalf("bundle did not round-trip: %v", err)
+	}
+	if b.Trigger != "on-demand" {
+		t.Fatalf("trigger %q, want on-demand", b.Trigger)
+	}
+	if b.TraceEvents == 0 {
+		t.Fatal("on-demand bundle captured no trace window")
+	}
+
+	if rec := get("/debug/flight?trips=1"); rec.Code != 200 || !json.Valid(rec.Body.Bytes()) {
+		t.Fatalf("/debug/flight?trips=1 -> %d", rec.Code)
+	}
+
+	bare := Handler(NewRegistry(), HandlerOptions{})
+	rec = httptest.NewRecorder()
+	bare.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/flight", nil))
+	if rec.Code != 404 {
+		t.Fatalf("/debug/flight without recorder -> %d, want 404", rec.Code)
+	}
+}

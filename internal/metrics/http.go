@@ -1,10 +1,12 @@
 package metrics
 
 import (
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/pprof"
 
+	"nmvgas/internal/runtime"
 	"nmvgas/internal/trace"
 )
 
@@ -15,6 +17,15 @@ type HandlerOptions struct {
 	Refresh func()
 	// Ring, when set, serves /trace.json as Chrome trace-event JSON.
 	Ring *trace.Ring
+	// Health, when set, serves /healthz (typically World.Health). The
+	// endpoint answers 200 while the worst watchdog level is ok or warn
+	// (and when watchdogs are off) and 503 once it is critical, with the
+	// full JSON report either way — load-balancer probe semantics.
+	Health func() runtime.HealthReport
+	// Flight, when set, serves /debug/flight: a freshly captured
+	// diagnostic bundle (trace window + metrics + health state), plus
+	// the retained watchdog-trip bundles under /debug/flight?trips=1.
+	Flight *trace.Flight
 }
 
 // Handler serves the observability endpoint:
@@ -22,6 +33,8 @@ type HandlerOptions struct {
 //	/metrics       Prometheus text exposition
 //	/metrics.json  JSON snapshot of the registry
 //	/trace.json    Chrome trace-event JSON (when a ring is attached)
+//	/healthz       watchdog health JSON (503 when critical)
+//	/debug/flight  on-demand flight-recorder bundle
 //	/debug/pprof/  the standard Go profiler endpoints
 func Handler(reg *Registry, opts HandlerOptions) http.Handler {
 	mux := http.NewServeMux()
@@ -48,6 +61,36 @@ func Handler(reg *Registry, opts HandlerOptions) http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		_ = opts.Ring.DumpChrome(w)
 	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if opts.Health == nil {
+			http.Error(w, "no health source attached", http.StatusNotFound)
+			return
+		}
+		refresh()
+		h := opts.Health()
+		w.Header().Set("Content-Type", "application/json")
+		if h.Enabled && h.Level >= runtime.WatchCritical {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(h)
+	})
+	mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, r *http.Request) {
+		if opts.Flight == nil {
+			http.Error(w, "no flight recorder attached", http.StatusNotFound)
+			return
+		}
+		refresh()
+		w.Header().Set("Content-Type", "application/json")
+		if r.URL.Query().Get("trips") != "" {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(opts.Flight.Bundles())
+			return
+		}
+		_ = trace.WriteBundle(w, opts.Flight.Snapshot("on-demand"))
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -62,6 +105,8 @@ func Handler(reg *Registry, opts HandlerOptions) http.Handler {
 <li><a href="/metrics">/metrics</a> (Prometheus text)</li>
 <li><a href="/metrics.json">/metrics.json</a> (JSON snapshot)</li>
 <li><a href="/trace.json">/trace.json</a> (Chrome trace export)</li>
+<li><a href="/healthz">/healthz</a> (watchdog health, 503 when critical)</li>
+<li><a href="/debug/flight">/debug/flight</a> (flight-recorder bundle; <a href="/debug/flight?trips=1">?trips=1</a> for trip history)</li>
 <li><a href="/debug/pprof/">/debug/pprof/</a></li>
 </ul></body></html>`)
 	})

@@ -87,6 +87,7 @@ func PublishWorld(reg *Registry, w *runtime.World) *WorldPublisher {
 	gauge := func(name, help string) {
 		p.gauges[name] = reg.Gauge(name, help, base...)
 	}
+	gauge("nmvgas_unacked_messages", "Messages held by the reliable layer awaiting acknowledgement (black-hole audit; 0 when the layer is off)")
 	gauge("nmvgas_member_epoch", "Current membership epoch (0 = membership never changed)")
 	gauge("nmvgas_member_deaths", "Localities declared dead")
 	gauge("nmvgas_member_joins", "Localities re-admitted via Join")
@@ -154,6 +155,7 @@ func (p *WorldPublisher) Refresh() {
 	set("nmvgas_fault_dead_nacks_total", int64(ms.DeadNacks))
 	set("nmvgas_fault_stale_epoch_drops_total", int64(ms.StaleEpochDrops))
 	sg := func(name string, v float64) { p.gauges[name].Set(v) }
+	sg("nmvgas_unacked_messages", float64(s.Unacked))
 	sg("nmvgas_member_epoch", float64(ms.Epoch))
 	sg("nmvgas_member_deaths", float64(ms.Deaths))
 	sg("nmvgas_member_joins", float64(ms.Joins))

@@ -203,6 +203,31 @@ func (e *Engine) Pending() int {
 	return len(e.q)
 }
 
+// PendingByRank counts scheduled-but-unexecuted events attributed to
+// each rank into counts (one slot per rank); driver and barrier work
+// (rank -1) is not attributed. It is an on-demand O(pending) scan over
+// the heaps, so the hot scheduling path pays nothing for the tap — the
+// watchdog that calls it runs at pulse cadence, not per event.
+func (e *Engine) PendingByRank(counts []int) {
+	for i := range counts {
+		counts[i] = 0
+	}
+	if e.par != nil && e.shard < 0 {
+		e.par.pendingByRank(counts)
+		return
+	}
+	countEvents(e.q, counts)
+}
+
+// countEvents attributes a batch of events to their ranks.
+func countEvents(evs []event, counts []int) {
+	for i := range evs {
+		if r := int(evs[i].rank); r >= 0 && r < len(counts) {
+			counts[r]++
+		}
+	}
+}
+
 // At schedules fn to run at absolute simulated time t. Scheduling in the
 // past is a protocol bug and panics. On a sharded engine the event is
 // attributed to the currently executing rank; use AtRank to schedule
@@ -242,7 +267,13 @@ func (e *Engine) After(d VTime, fn func()) {
 // lock-free inbox merged at the next barrier.
 func (e *Engine) AtRank(rank int, t VTime, fn func()) {
 	if e.par == nil {
-		e.At(t, fn)
+		if t < e.now {
+			panic(fmt.Sprintf("netsim: scheduling at %v before now %v", t, e.now))
+		}
+		// Same scheduling semantics as At, but the event carries its rank
+		// so backlog taps (PendingByRank) can attribute it.
+		e.seq++
+		e.q.push(event{at: t, tie: e.seq, rank: int32(rank), fn: fn})
 		return
 	}
 	e.par.atRank(e, rank, t, fn)

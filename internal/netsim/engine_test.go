@@ -160,3 +160,60 @@ func TestVTimeString(t *testing.T) {
 		t.Errorf("Micros = %v", m)
 	}
 }
+
+// TestPendingByRank pins the backlog tap the queue-depth watchdog uses:
+// AtRank events are attributed to their rank, driver work (At, rank -1)
+// is not, and executed events leave the counts.
+func TestPendingByRank(t *testing.T) {
+	e := NewEngine()
+	counts := make([]int, 3)
+	e.AtRank(0, 10, func() {})
+	e.AtRank(1, 10, func() {})
+	e.AtRank(1, 20, func() {})
+	e.AtRank(2, 30, func() {})
+	e.At(5, func() {}) // driver event: unattributed
+	e.PendingByRank(counts)
+	if counts[0] != 1 || counts[1] != 2 || counts[2] != 1 {
+		t.Fatalf("initial backlog %v, want [1 2 1]", counts)
+	}
+	e.RunFor(15)
+	e.PendingByRank(counts)
+	if counts[0] != 0 || counts[1] != 1 || counts[2] != 1 {
+		t.Fatalf("backlog after t=15 %v, want [0 1 1]", counts)
+	}
+	e.Run()
+	e.PendingByRank(counts)
+	for r, c := range counts {
+		if c != 0 {
+			t.Fatalf("rank %d still shows %d pending after drain", r, c)
+		}
+	}
+}
+
+// TestPendingByRankSharded covers the sharded scan: events spread over
+// shard heaps (and staged barrier tasks) attribute the same way, read
+// from driver context between windows.
+func TestPendingByRankSharded(t *testing.T) {
+	const ranks = 4
+	la := 900 * Nanosecond
+	drv := NewParEngine(ranks, 2, la)
+	counts := make([]int, ranks)
+	for r := 0; r < ranks; r++ {
+		for i := 0; i <= r; i++ {
+			drv.AtRank(r, VTime(1000+100*i), func() {})
+		}
+	}
+	drv.PendingByRank(counts)
+	for r := 0; r < ranks; r++ {
+		if counts[r] != r+1 {
+			t.Fatalf("sharded backlog %v, want [1 2 3 4]", counts)
+		}
+	}
+	drv.Run()
+	drv.PendingByRank(counts)
+	for r, c := range counts {
+		if c != 0 {
+			t.Fatalf("rank %d shows %d pending after drain", r, c)
+		}
+	}
+}

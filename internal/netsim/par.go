@@ -512,3 +512,20 @@ func (p *ParEngine) Shutdown() {
 	}
 	p.workers = nil
 }
+
+// pendingByRank attributes scheduled-but-unexecuted events across the
+// driver heap, shard heaps, inboxes, and staged barrier tasks to their
+// ranks (see Engine.PendingByRank). Only legal between windows (driver
+// phase), where the workers are parked and every queue is stable.
+func (p *ParEngine) pendingByRank(counts []int) {
+	countEvents(p.driver.q, counts)
+	for _, s := range p.shards {
+		countEvents(s.q, counts)
+	}
+	for i := range p.inbox {
+		countEvents(p.inbox[i], counts)
+	}
+	for s := range p.taskStage {
+		countEvents(p.taskStage[s], counts)
+	}
+}

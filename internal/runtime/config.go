@@ -160,6 +160,11 @@ type Config struct {
 	// power-of-two sampled into per-rank fixed-size sketches, never an
 	// unbounded map.
 	Heat HeatConfig
+	// Pulse enables the runtime pulse: a periodic in-runtime control tick
+	// that drives watchdog evaluation and registered control loops (see
+	// PulseConfig). Like Metrics and Heat, the disabled path is a nil
+	// pointer and costs a single nil check.
+	Pulse PulseConfig
 	// Coherence selects how writes to a replicated block keep its replica
 	// set coherent (see World.ReplicateLive): write-invalidate (default),
 	// write-update, or RW leases.
@@ -208,6 +213,7 @@ func (c Config) normalized() (Config, error) {
 	if c.Heat.SampleShift > 20 {
 		return c, fmt.Errorf("runtime: heat sample shift %d too coarse (max 20)", c.Heat.SampleShift)
 	}
+	c.Pulse = c.Pulse.withDefaults()
 	if c.Coherence > agas.RWLease {
 		return c, fmt.Errorf("runtime: unknown coherence policy %d", c.Coherence)
 	}

@@ -290,12 +290,35 @@ func (w *World) Latencies() WorldLatencies {
 
 // QueueDepth returns rank r's pending host-executor backlog (mailbox
 // length on the goroutine engine; 0 under DES, whose global event queue
-// has no per-rank decomposition). The metrics sampler polls it.
+// has no per-rank decomposition — use QueueDepths for the DES view).
+// The metrics sampler polls it.
 func (w *World) QueueDepth(r int) int {
 	if ex, ok := w.locs[r].exec.(*goExec); ok {
 		return ex.depth()
 	}
 	return 0
+}
+
+// queueDepthsInto fills counts (one slot per rank) with each rank's
+// pending backlog: mailbox depth on the goroutine engine, rank-
+// attributed pending events on DES. The queue-depth watchdog calls it
+// every pulse; it is an on-demand tap with no hot-path bookkeeping.
+func (w *World) queueDepthsInto(counts []int) {
+	if w.eng != nil {
+		w.eng.PendingByRank(counts)
+		return
+	}
+	for r := range counts {
+		counts[r] = w.QueueDepth(r)
+	}
+}
+
+// QueueDepths returns every rank's pending backlog (see queueDepthsInto)
+// as a fresh slice.
+func (w *World) QueueDepths() []int {
+	counts := make([]int, w.Ranks())
+	w.queueDepthsInto(counts)
+	return counts
 }
 
 // NICTableLen returns the NIC-resident translation table size at rank r

@@ -609,6 +609,7 @@ func (w *World) AwaitMember(rank int, want MemberState, timeout time.Duration) b
 		// and state transitions are thousands of events apart, so probing
 		// it per event is pure overhead. The ≤63-event overshoot is
 		// harmless — nothing here measures the stopping time.
+		w.pulseResume()
 		w.eng.RunUntilStride(cond, 64)
 		return cond()
 	}

@@ -1,7 +1,10 @@
 package runtime
 
 import (
+	"time"
+
 	"nmvgas/internal/gas"
+	"nmvgas/internal/netsim"
 	"nmvgas/internal/parcel"
 )
 
@@ -210,8 +213,28 @@ func migrateReq(c *Ctx) {
 }
 
 // migrateData runs at the destination locality.
+// stallRetryDelay spaces the re-executions of a data install parked by
+// InjectMigrationStall: long enough that a stalled run is not dominated
+// by retry events, short enough that release is picked up within a
+// fraction of a pulse period.
+const stallRetryDelay = 5 * netsim.Microsecond
+
 func migrateData(c *Ctx) {
 	l := c.l
+	if l.w.migStall.Load() {
+		// Anomaly injection (see World.InjectMigrationStall): park the
+		// install and retry later. The block stays pinned at its old
+		// owner with arrivals queuing behind the pin — the real stall
+		// pathology, produced through the real protocol path.
+		retry := *c.P
+		fn := func() { migrateData(&Ctx{l: l, P: &retry}) }
+		if l.w.eng != nil {
+			l.exec.Exec(stallRetryDelay, fn)
+		} else {
+			time.AfterFunc(l.w.goWall(stallRetryDelay), func() { l.exec.Exec(0, fn) })
+		}
+		return
+	}
 	mp := decodeMig(c.P.Payload)
 	b := mp.g.Block()
 

@@ -70,6 +70,16 @@ type World struct {
 	// one atomic load and nothing else.
 	replCount atomic.Int64
 
+	// pulse drives the periodic control tick and its watchdogs; nil
+	// unless cfg.Pulse.Enabled (the disabled hooks pay one nil check —
+	// see pulse.go).
+	pulse *pulseState
+
+	// migStall, when set via InjectMigrationStall, parks every
+	// migration's data-install step so the stall watchdog has a real
+	// anomaly to catch.
+	migStall atomic.Bool
+
 	started bool
 	stopped bool
 }
@@ -95,6 +105,9 @@ func NewWorld(cfg Config) (*World, error) {
 	}
 	if cfg.Heat.Enabled {
 		w.heat = newHeatState(cfg.Heat, cfg.Ranks)
+	}
+	if cfg.Pulse.Enabled {
+		w.pulse = newPulseState(w, cfg.Pulse)
 	}
 	w.relCfg = cfg.Reliability
 	if cfg.reliable() {
@@ -229,6 +242,9 @@ func (w *World) Start() {
 		}
 	}
 	w.scheduleFaultMembership()
+	if w.pulse != nil {
+		w.pulse.start()
+	}
 }
 
 // StopDrainTimeout bounds how long Stop waits for in-flight migrations
@@ -247,6 +263,9 @@ func (w *World) Stop() {
 		return
 	}
 	w.stopped = true
+	if w.pulse != nil {
+		w.pulse.stopGo()
+	}
 	if w.eng != nil {
 		if par := w.eng.Par(); par != nil {
 			par.Shutdown()
@@ -309,6 +328,7 @@ func (w *World) abortStrandedMigrations() {
 // EngineGo, where there is no global event queue to drain.
 func (w *World) Drain() {
 	w.mustDES("Drain")
+	w.pulseResume()
 	w.eng.Run()
 }
 
@@ -397,6 +417,7 @@ var WaitTimeout = 30 * time.Second
 // calling goroutine.
 func (w *World) Wait(ref *LCORef) ([]byte, error) {
 	if w.eng != nil {
+		w.pulseResume()
 		if ok := w.eng.RunUntil(ref.obj.Ready); !ok {
 			return nil, fmt.Errorf("%w: event queue drained with LCO %v unset", ErrDeadlock, ref.G)
 		}

@@ -72,6 +72,16 @@ type WorldStats struct {
 	// access count across epochs.
 	HeatEnabled bool
 	HeatSampled uint64
+
+	// Unacked is the instantaneous count of messages held by the
+	// reliable layer awaiting acknowledgement (the black-hole audit
+	// quantity; 0 when the layer is off).
+	Unacked int
+
+	// Pulses counts runtime pulse ticks fired so far (0 when
+	// Config.Pulse is off). It is observability metadata: a pulse-on
+	// world matches a pulse-off world on every other counter.
+	Pulses uint64
 }
 
 // Stats sums the per-locality counters and, on the DES engine, the fabric
@@ -115,6 +125,8 @@ func (w *World) Stats() WorldStats {
 	s.Latencies = w.Latencies()
 	s.HeatEnabled = w.HeatEnabled()
 	s.HeatSampled = w.HeatSampled()
+	s.Unacked = w.UnackedMessages()
+	s.Pulses = w.PulseCount()
 	if w.fab != nil {
 		n := w.fab.TotalStats()
 		s.NetSent = n.Sent
@@ -174,6 +186,7 @@ func (w *World) StatsTable() *stats.Table {
 	add("rel.dups_suppressed", d.DupsSuppressed)
 	add("rel.abandoned", d.Abandoned)
 	add("rel.loop_nacks", d.HopCapNacks)
+	add("rel.unacked", s.Unacked)
 	add("faults.dropped", d.Faults.Dropped)
 	add("faults.duplicated", d.Faults.Duplicated)
 	add("faults.delayed", d.Faults.Delayed)
@@ -193,6 +206,17 @@ func (w *World) StatsTable() *stats.Table {
 	}
 	if s.HeatEnabled {
 		add("heat.sampled", s.HeatSampled)
+	}
+	if h := w.Health(); h.Enabled {
+		add("pulse.ticks", s.Pulses)
+		add("health.level", h.Level.String())
+		for _, st := range h.Watchdogs {
+			if st.Level > WatchOK {
+				add("health."+st.Name, st.Level.String()+" ("+st.Detail+")")
+			}
+		}
+	} else if s.Pulses > 0 {
+		add("pulse.ticks", s.Pulses)
 	}
 	if lat := s.Latencies; lat.Enabled {
 		lrow := func(name string, l LatencySummary) {

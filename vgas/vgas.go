@@ -136,6 +136,24 @@ type (
 	// MembershipStats reports the elastic-membership counters
 	// (WorldStats.Membership).
 	MembershipStats = runtime.MembershipStats
+	// PulseConfig enables the runtime pulse (Config.Pulse): a periodic
+	// in-runtime control tick driving watchdogs and OnPulse clients.
+	PulseConfig = runtime.PulseConfig
+	// PulseInfo is handed to OnPulse clients on each tick.
+	PulseInfo = runtime.PulseInfo
+	// WatchdogConfig tunes the invariant monitors evaluated each pulse
+	// (PulseConfig.Watchdogs).
+	WatchdogConfig = runtime.WatchdogConfig
+	// WatchLevel is a watchdog's thresholded state (ok/warn/critical).
+	WatchLevel = runtime.WatchLevel
+	// WatchdogStatus is one monitor's state as of the last pulse.
+	WatchdogStatus = runtime.WatchdogStatus
+	// WatchdogEvent is delivered to OnWatchdogTrip callbacks when a
+	// monitor escalates.
+	WatchdogEvent = runtime.WatchdogEvent
+	// HealthReport is the aggregated watchdog state (World.Health, and
+	// the /healthz endpoint's JSON body).
+	HealthReport = runtime.HealthReport
 	// FaultPlan schedules message-level faults and whole-locality
 	// kill/restart events on the fabric (Config.Faults).
 	FaultPlan = netsim.FaultPlan
@@ -202,6 +220,23 @@ const (
 	MigrateOK        = runtime.MigrateOK
 	MigratePinned    = runtime.MigratePinned
 	MigrateBadTarget = runtime.MigrateBadTarget
+)
+
+// Watchdog levels (see World.Health and PulseConfig.Watchdogs).
+const (
+	WatchOK       = runtime.WatchOK
+	WatchWarn     = runtime.WatchWarn
+	WatchCritical = runtime.WatchCritical
+)
+
+// Watchdog catalog names (WatchdogStatus.Name, metric labels).
+const (
+	WatchQueueDepth     = runtime.WatchQueueDepth
+	WatchRetransStorm   = runtime.WatchRetransStorm
+	WatchUnackedBacklog = runtime.WatchUnackedBacklog
+	WatchMemberDwell    = runtime.WatchMemberDwell
+	WatchHeatImbalance  = runtime.WatchHeatImbalance
+	WatchMigrationStall = runtime.WatchMigrationStall
 )
 
 // Membership lifecycle states (see World.MemberState).
